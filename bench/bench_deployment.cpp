@@ -1,0 +1,62 @@
+// Reproduces the §5.1 deployment study: a LAMMPS-like production cluster
+// monitored over a continuous period with systematically injected faults
+// (ChaosBlade analogue). Reports pattern-matching latency per monitoring
+// cycle, per-sample detection latency, and precision/recall on the injected
+// failures. Paper reference: 5.11 s matching per hourly cycle, 36 ms per
+// sampling point, precision 0.857 / recall 0.923.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+int main() {
+  using namespace ns;
+  using namespace ns::bench;
+
+  std::printf("=== Deployment study (paper section 5.1) ===\n\n");
+  // The paper evaluates one continuous month; our scaled campaign holds a
+  // handful of fault events per run, so we average three monitoring runs.
+  DetectionMetrics metrics;
+  double match_per_cycle = 0.0, per_point_ms = 0.0;
+  const std::uint64_t seeds[] = {33, 44, 55};
+  for (const std::uint64_t seed : seeds) {
+    const SimDataset sim = build_sim_dataset(deployment_sim_config(seed));
+    NodeSentry sentry(bench_nodesentry_config());
+    const auto fit = sentry.fit(sim.data, sim.train_end);
+    const auto det = sentry.detect();
+    const auto m = evaluate(sim, det.detections);
+    std::printf("run seed=%llu: %zu faults, train %s, P=%.3f R=%.3f\n",
+                static_cast<unsigned long long>(seed), sim.faults.size(),
+                format_seconds(fit.total_seconds).c_str(), m.precision,
+                m.recall);
+    metrics.precision += m.precision / 3.0;
+    metrics.recall += m.recall / 3.0;
+    // Pattern matching latency per monitoring cycle (one matching
+    // operation per test segment; a production hourly cycle re-matches
+    // each node once).
+    const std::size_t matches =
+        det.segments_matched + det.segments_unmatched;
+    if (matches > 0)
+      match_per_cycle += det.match_seconds / static_cast<double>(matches) *
+                         static_cast<double>(sim.data.num_nodes()) / 3.0;
+    if (det.scored_points > 0)
+      per_point_ms += (det.total_seconds - det.match_seconds) /
+                      static_cast<double>(det.scored_points) * 1e3 / 3.0;
+  }
+
+  TablePrinter table({"Quantity", "Measured", "Paper"});
+  table.add_row({"pattern matching / monitoring cycle",
+                 format_seconds(match_per_cycle), "5.11 s"});
+  char ms[32];
+  std::snprintf(ms, sizeof ms, "%.2f ms", per_point_ms);
+  table.add_row({"detection latency / sampling point", ms, "36 ms"});
+  table.add_row({"precision", format_double(metrics.precision), "0.857"});
+  table.add_row({"recall", format_double(metrics.recall), "0.923"});
+  std::printf("\n%s", table.render().c_str());
+  std::printf("\nnote: absolute latencies depend on hardware and model size; "
+              "the reproduction target is sub-second per-point latency and "
+              "high precision/recall on injected faults.\n");
+  return 0;
+}

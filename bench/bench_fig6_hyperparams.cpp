@@ -1,0 +1,153 @@
+// Reproduces Fig. 6: F1-score under different hyperparameter settings.
+//   (a) training-set size  (b) number of clusters (x auto-k)
+//   (c) number of experts  (d) experts assigned per token (top-k)
+//   (e) pattern-matching period  (f) threshold time window
+// Run with a mode letter to sweep one panel (e.g. `bench_fig6_hyperparams c`)
+// or with no arguments to run all six.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+using namespace ns;
+using namespace ns::bench;
+
+double run_f1(const SimDataset& sim, const NodeSentryConfig& config) {
+  NodeSentry sentry(config);
+  sentry.fit(sim.data, sim.train_end);
+  const auto det = sentry.detect();
+  return evaluate(sim, det.detections).f1;
+}
+
+// Each panel sweeps one knob on both simulated datasets.
+void run_panel(char mode, const SimDataset& d1, const SimDataset& d2) {
+  struct Point {
+    std::string label;
+    NodeSentryConfig config;
+  };
+  std::vector<Point> points;
+  const auto base = [] {
+    NodeSentryConfig c = bench_nodesentry_config();
+    // Fig. 6(a/b) sweep structure knobs; incremental adaptation would mask
+    // their effect, so it is disabled for the sweeps.
+    c.incremental_updates = false;
+    return c;
+  };
+
+  switch (mode) {
+    case 'a':
+      std::printf("\n(a) training-set size\n");
+      // The low end must genuinely starve the model of patterns; at this
+      // scale 20%% of the segments already covers every archetype.
+      for (double f : {0.05, 0.1, 0.2, 0.5, 1.0}) {
+        Point p{std::to_string(static_cast<int>(f * 100)) + "%", base()};
+        p.config.training_subsample = f;
+        points.push_back(std::move(p));
+      }
+      break;
+    case 'b': {
+      std::printf("\n(b) number of clusters (multiple of auto-k)\n");
+      for (double f : {0.1, 0.5, 1.0, 1.5, 2.0}) {
+        char label[16];
+        std::snprintf(label, sizeof label, "x%.1f", f);
+        Point p{label, base()};
+        // forced_k is resolved per dataset below via auto-k of a probe run;
+        // store the factor in the label and patch before running.
+        p.config.forced_k = static_cast<std::size_t>(f * 1000);  // sentinel
+        points.push_back(std::move(p));
+      }
+      break;
+    }
+    case 'c':
+      std::printf("\n(c) number of experts\n");
+      for (std::size_t n : {1u, 2u, 3u, 4u, 5u}) {
+        Point p{std::to_string(n), base()};
+        p.config.model.num_experts = n;
+        p.config.model.top_k = 1;
+        points.push_back(std::move(p));
+      }
+      break;
+    case 'd':
+      std::printf("\n(d) experts assigned per token (top-k)\n");
+      for (std::size_t k : {1u, 2u, 3u}) {
+        Point p{std::to_string(k), base()};
+        p.config.model.num_experts = 3;
+        p.config.model.top_k = k;
+        points.push_back(std::move(p));
+      }
+      break;
+    case 'e':
+      std::printf("\n(e) pattern-matching period (hours)\n");
+      for (double h : {0.5, 1.0, 1.5, 2.0}) {
+        char label[16];
+        std::snprintf(label, sizeof label, "%.1f h", h);
+        Point p{label, base()};
+        p.config.match_period = static_cast<std::size_t>(h * 240);  // 15 s
+        points.push_back(std::move(p));
+      }
+      break;
+    case 'f':
+      std::printf("\n(f) threshold time window (minutes)\n");
+      for (int minutes : {15, 20, 30, 45}) {
+        Point p{std::to_string(minutes) + " min", base()};
+        p.config.threshold_window = static_cast<std::size_t>(minutes) * 4;
+        points.push_back(std::move(p));
+      }
+      break;
+    default:
+      std::printf("unknown mode '%c'\n", mode);
+      return;
+  }
+
+  TablePrinter table({"Setting", "F1 (D1-sim)", "F1 (D2-sim)"});
+  for (Point& point : points) {
+    NodeSentryConfig c1 = point.config, c2 = point.config;
+    if (mode == 'b') {
+      // Resolve the auto-k multiple per dataset with a probe fit.
+      const double factor = static_cast<double>(point.config.forced_k) / 1000.0;
+      NodeSentryConfig probe = base();
+      NodeSentry probe_sentry(probe);
+      probe_sentry.fit(d1.data, d1.train_end);
+      c1.forced_k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::lround(factor * probe_sentry.auto_k())));
+      NodeSentry probe2(probe);
+      probe2.fit(d2.data, d2.train_end);
+      c2.forced_k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::lround(factor * probe2.auto_k())));
+    }
+    table.add_row({point.label, format_double(run_f1(d1, c1)),
+                   format_double(run_f1(d2, c2))});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ns::bench;
+  std::printf("=== Fig. 6: hyperparameter sensitivity ===\n");
+  // Smaller datasets keep the 25-point sweep tractable on one core.
+  ns::SimDatasetConfig d1_config = ns::d1_sim_config(0.6, 11);
+  d1_config.anomaly_ratio = 0.012;
+  ns::SimDatasetConfig d2_config = ns::d2_sim_config(0.8, 22);
+  d2_config.anomaly_ratio = 0.012;
+  const ns::SimDataset d1 = ns::build_sim_dataset(d1_config);
+  const ns::SimDataset d2 = ns::build_sim_dataset(d2_config);
+
+  const std::string modes = argc > 1 ? argv[1] : "abcdef";
+  for (char mode : modes) run_panel(mode, d1, d2);
+
+  std::printf(
+      "\npaper reference (shape): (a) F1 rises with training size; "
+      "(b) F1 poor below the auto k, stable above; (c) best at 3 experts; "
+      "(d) best at top-1; (e) longer matching periods help slightly; "
+      "(f) robust across windows, short windows recommended.\n");
+  return 0;
+}

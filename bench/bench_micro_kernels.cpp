@@ -1,0 +1,83 @@
+// google-benchmark microbenchmarks for the numeric kernels underlying the
+// pipeline: matmul, FFT, feature extraction, HAC, and the shared model's
+// forward pass. Useful for tracking performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "cluster/hac.hpp"
+#include "common/rng.hpp"
+#include "features/extract.hpp"
+#include "features/fft.hpp"
+#include "nn/transformer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace ns;
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<float> series(n);
+  for (float& x : series) x = static_cast<float>(rng.gaussian());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(power_spectrum(series));
+  }
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<float> series(len);
+  for (float& x : series) x = static_cast<float>(rng.gaussian());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_series_features(series));
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_HacClustering(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<std::vector<float>> points(n, std::vector<float>(16));
+  for (auto& p : points)
+    for (float& x : p) x = static_cast<float>(rng.gaussian());
+  for (auto _ : state) {
+    Hac hac(points, Linkage::kWard);
+    benchmark::DoNotOptimize(hac.cut(4));
+  }
+}
+BENCHMARK(BM_HacClustering)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TransformerForward(benchmark::State& state) {
+  const std::size_t tokens = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  TransformerConfig config;
+  config.input_dim = 16;
+  TransformerReconstructor model(config, rng);
+  model.set_training(false);
+  const Tensor x = Tensor::randn(Shape{tokens, 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(Var::constant(x), rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          tokens);
+}
+BENCHMARK(BM_TransformerForward)->Arg(32)->Arg(96);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Incremental training walkthrough (paper §3.5 + RQ3): start from a model
+// library trained on a fraction of the data, then show how (a) more training
+// data improves detection and (b) unmatched online patterns spawn new
+// clusters instead of failing silently.
+#include <cstdio>
+
+#include "core/nodesentry.hpp"
+#include "eval/metrics.hpp"
+#include "sim/dataset_builder.hpp"
+
+int main() {
+  using namespace ns;
+
+  SimDatasetConfig sim_config = d2_sim_config(1.0, /*seed=*/77);
+  sim_config.anomaly_ratio = 0.01;
+  const SimDataset sim = build_sim_dataset(sim_config);
+  std::vector<std::vector<std::uint8_t>> masks;
+  for (std::size_t n = 0; n < sim.data.num_nodes(); ++n)
+    masks.push_back(evaluation_mask(sim.data.jobs[n],
+                                    sim.data.num_timestamps(), sim.train_end,
+                                    4));
+
+  std::printf("%-18s %-10s %-8s %-8s %-8s %-12s\n", "training subset", "clusters",
+              "F1", "AUC", "new", "fit time");
+  for (const double fraction : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    NodeSentryConfig config;
+    config.train_epochs = 8;
+    config.learning_rate = 3e-3f;
+    config.training_subsample = fraction;
+    config.incremental_updates = true;  // adapt to unseen patterns online
+    NodeSentry sentry(config);
+    const auto fit = sentry.fit(sim.data, sim.train_end);
+    const auto detect = sentry.detect();
+    const DetectionMetrics metrics =
+        aggregate_nodes(detect.detections, sim.data.labels, masks);
+    std::printf("%15.0f%%   %-10zu %-8.3f %-8.3f %-8zu %6.1f s\n",
+                fraction * 100, fit.num_clusters, metrics.f1, metrics.auc,
+                detect.incremental_new_clusters, fit.total_seconds);
+  }
+  std::printf("\nsmaller training subsets leave more online patterns "
+              "unmatched; incremental updates spawn new clusters for them "
+              "(the 'new' column), keeping detection usable (§3.5).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Case study (paper §5.2 / Fig. 8): an out-of-memory failure develops on a
+// node; NodeSentry should raise the alarm well before the job dies.
+//
+// We simulate a cluster, force a long memory-leak fault that ends exactly at
+// a job boundary (the "job failure"), and measure the detection lead time.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/nodesentry.hpp"
+#include "io/csv.hpp"
+#include "sim/dataset_builder.hpp"
+
+int main() {
+  using namespace ns;
+
+  SimDatasetConfig sim_config = d2_sim_config(1.0, /*seed=*/4242);
+  sim_config.anomaly_ratio = 0.0;  // we inject the case manually below
+  SimDataset sim = build_sim_dataset(sim_config);
+
+  // Pick a long test-region job to play the victim.
+  std::size_t victim_node = 0;
+  JobSpan victim_span{};
+  for (std::size_t n = 0; n < sim.data.num_nodes() && victim_span.length() == 0;
+       ++n) {
+    for (const JobSpan& span : sim.data.jobs[n]) {
+      if (span.begin >= sim.train_end + 40 && span.length() >= 160 &&
+          !span.is_idle()) {
+        victim_node = n;
+        victim_span = span;
+        break;
+      }
+    }
+  }
+  if (victim_span.length() == 0) {
+    std::printf("no suitable victim job found; adjust the seed\n");
+    return 1;
+  }
+
+  // Memory leak covering the last ~60 steps (15 min) of the job, ramping to
+  // exhaustion right when the job fails at victim_span.end.
+  const std::size_t leak_start = victim_span.end - 60;
+  FaultEvent leak;
+  leak.node = victim_node;
+  leak.begin = leak_start;
+  leak.end = victim_span.end;
+  leak.type = FaultType::kMemoryLeak;
+  leak.magnitude = 1.0;
+  // Re-apply on the raw semantic-driven metrics: emulate by blending the
+  // memory metrics toward saturation on the raw dataset.
+  for (std::size_t m = 0; m < sim.data.num_metrics(); ++m) {
+    const std::string& name = sim.data.metrics[m].name;
+    const bool memory_metric = name.find("memory_active") != std::string::npos;
+    const bool cache_metric = name.find("memory_cached") != std::string::npos;
+    const bool fault_metric = name.find("pgmajfault") != std::string::npos;
+    if (!memory_metric && !cache_metric && !fault_metric) continue;
+    auto& series = sim.data.nodes[victim_node].values[m];
+    for (std::size_t t = leak.begin; t < leak.end; ++t) {
+      const float ramp = static_cast<float>(t - leak.begin) /
+                         static_cast<float>(leak.end - leak.begin);
+      if (memory_metric) series[t] = series[t] * (1 - ramp) + 1.15f * ramp;
+      if (cache_metric) series[t] *= (1.0f - 0.9f * ramp);
+      if (fault_metric) series[t] = series[t] * (1 - ramp) + 0.9f * ramp;
+    }
+  }
+  for (std::size_t t = leak.begin; t < leak.end; ++t)
+    sim.data.labels[victim_node][t] = 1;
+  sim.faults.push_back(leak);
+
+  std::printf("victim: node %zu, job %lld fails at step %zu; leak starts at "
+              "step %zu\n",
+              victim_node, static_cast<long long>(victim_span.job_id),
+              victim_span.end, leak.begin);
+
+  NodeSentryConfig config;
+  config.train_epochs = 10;
+  config.learning_rate = 3e-3f;
+  NodeSentry sentry(config);
+  sentry.fit(sim.data, sim.train_end);
+  const auto detect = sentry.detect();
+
+  // First flagged point inside/after the leak = alarm time.
+  const auto& pred = detect.detections[victim_node].predictions;
+  std::size_t alarm = victim_span.end;
+  for (std::size_t t = leak.begin; t < victim_span.end; ++t)
+    if (pred[t]) {
+      alarm = t;
+      break;
+    }
+  if (alarm == victim_span.end) {
+    std::printf("no alarm raised before the job failure\n");
+  } else {
+    const double lead_minutes =
+        static_cast<double>(victim_span.end - alarm) *
+        sim.data.interval_seconds / 60.0;
+    std::printf("alarm at step %zu -> %.1f minutes before the job failure "
+                "(paper's case: 54 minutes)\n",
+                alarm, lead_minutes);
+  }
+
+  // Export the window around the incident for plotting: memory metric,
+  // anomaly score, alarm flag.
+  const auto& processed = sentry.processed();
+  std::size_t mem_metric = 0;
+  for (std::size_t m = 0; m < processed.num_metrics(); ++m)
+    if (processed.metrics[m].name.find("memory_active") != std::string::npos)
+      mem_metric = m;
+  std::vector<std::vector<std::string>> rows;
+  const std::size_t from = leak.begin > 120 ? leak.begin - 120 : 0;
+  for (std::size_t t = from; t < victim_span.end; ++t)
+    rows.push_back({std::to_string(t),
+                    format_double(processed.nodes[victim_node].values[mem_metric][t], 4),
+                    format_double(detect.detections[victim_node].scores[t], 4),
+                    std::to_string(static_cast<int>(pred[t]))});
+  write_csv("oom_case_study.csv", {"step", "memory_z", "anomaly_score", "alarm"},
+            rows);
+  std::printf("incident trace written to oom_case_study.csv\n");
+  return 0;
+}

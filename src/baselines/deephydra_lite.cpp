@@ -1,0 +1,148 @@
+#include "baselines/deephydra_lite.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/dbscan.hpp"
+#include "cluster/distance.hpp"
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/autoencoder.hpp"
+#include "nn/optim.hpp"
+
+namespace ns {
+namespace {
+
+// Mean latent vector of a window under the trained encoder's bottleneck.
+std::vector<float> window_latent(const Mlp& encoder,
+                                 const MtsDataset& dataset, std::size_t node,
+                                 std::size_t begin, std::size_t end,
+                                 std::size_t latent) {
+  const std::size_t M = dataset.num_metrics();
+  Tensor x(Shape{end - begin, M});
+  for (std::size_t t = begin; t < end; ++t)
+    for (std::size_t m = 0; m < M; ++m)
+      x.at(t - begin, m) = dataset.nodes[node].values[m][t];
+  const Var z = vrelu(encoder.forward(Var::constant(x)));
+  std::vector<float> mean_latent(latent, 0.0f);
+  for (std::size_t t = 0; t < end - begin; ++t)
+    for (std::size_t d = 0; d < latent; ++d)
+      mean_latent[d] += z.value().at(t, d);
+  for (float& v : mean_latent) v /= static_cast<float>(end - begin);
+  return mean_latent;
+}
+
+}  // namespace
+
+DetectorReport DeepHydraLite::run(const MtsDataset& processed,
+                                  std::size_t train_end) {
+  DetectorReport report;
+  const std::size_t N = processed.num_nodes();
+  const std::size_t T = processed.num_timestamps();
+  const std::size_t M = processed.num_metrics();
+  const std::size_t W = config_.window;
+  Stopwatch train_sw;
+  Rng rng(config_.seed);
+
+  // 1. Train a global bottleneck autoencoder (explicit encoder/decoder so
+  // the encoder half can be reused for latent extraction).
+  Mlp encoder({M, config_.hidden, config_.latent}, rng);
+  Mlp decoder({config_.latent, config_.hidden, M}, rng);
+  std::vector<Var> params = encoder.parameters();
+  {
+    const auto dec = decoder.parameters();
+    params.insert(params.end(), dec.begin(), dec.end());
+  }
+  Adam optimizer(params, config_.learning_rate);
+  const std::size_t total_rows = N * train_end;
+  const std::size_t stride_rows =
+      std::max<std::size_t>(1, total_rows / config_.max_train_rows);
+  std::vector<float> pool;
+  std::size_t pool_rows = 0;
+  for (std::size_t r = 0; r < total_rows; r += stride_rows) {
+    const std::size_t n = r / train_end;
+    const std::size_t t = r % train_end;
+    for (std::size_t m = 0; m < M; ++m)
+      pool.push_back(processed.nodes[n].values[m][t]);
+    ++pool_rows;
+  }
+  const std::size_t batch = 128;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t lo = 0; lo + 2 <= pool_rows; lo += batch) {
+      const std::size_t hi = std::min(pool_rows, lo + batch);
+      Tensor x(Shape{hi - lo, M},
+               std::vector<float>(pool.begin() + static_cast<std::ptrdiff_t>(lo * M),
+                                  pool.begin() + static_cast<std::ptrdiff_t>(hi * M)));
+      optimizer.zero_grad();
+      Var recon = decoder.forward(vrelu(encoder.forward(Var::constant(x))));
+      Var loss = vmse_loss(recon, x);
+      loss.backward();
+      optimizer.step();
+    }
+  }
+  encoder.set_training(false);
+
+  // 2. Latents of all training windows, clustered with DBSCAN.
+  std::vector<std::vector<float>> train_latents;
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t begin = 0; begin + W <= train_end;
+         begin += config_.stride)
+      train_latents.push_back(window_latent(encoder, processed, n, begin,
+                                            begin + W, config_.latent));
+  // Adaptive eps from a subsample of pairwise distances.
+  std::vector<float> pairwise;
+  Rng pair_rng(config_.seed + 1);
+  for (int s = 0; s < 2000 && train_latents.size() >= 2; ++s) {
+    const auto i = static_cast<std::size_t>(pair_rng.uniform_int(
+        0, static_cast<std::int64_t>(train_latents.size()) - 1));
+    const auto j = static_cast<std::size_t>(pair_rng.uniform_int(
+        0, static_cast<std::int64_t>(train_latents.size()) - 1));
+    if (i == j) continue;
+    pairwise.push_back(
+        static_cast<float>(euclidean(train_latents[i], train_latents[j])));
+  }
+  const double eps =
+      pairwise.empty() ? 1.0 : config_.eps_factor * median(pairwise);
+  const DbscanResult clusters =
+      dbscan(train_latents, std::max(1e-6, eps), config_.min_points);
+  // Core reference set: all non-noise training latents.
+  std::vector<std::vector<float>> reference;
+  for (std::size_t i = 0; i < train_latents.size(); ++i)
+    if (clusters.labels[i] != kDbscanNoise)
+      reference.push_back(train_latents[i]);
+  if (reference.empty()) reference = train_latents;  // degenerate fallback
+  report.train_seconds = train_sw.elapsed_s();
+
+  // 3. Detection: distance of each test window's latent to the nearest
+  // reference latent, smeared over the window.
+  Stopwatch detect_sw;
+  report.detections.assign(N, NodeDetection{});
+  parallel_for(0, N, [&](std::size_t n) {
+    NodeDetection& det = report.detections[n];
+    det.scores.assign(T, 0.0f);
+    std::vector<float> counts(T, 0.0f);
+    for (std::size_t begin = train_end; begin < T; begin += config_.stride) {
+      const std::size_t end = std::min(T, begin + W);
+      if (end - begin < 8) break;
+      const auto latent = window_latent(encoder, processed, n, begin, end,
+                                        config_.latent);
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& ref : reference)
+        best = std::min(best, squared_euclidean(latent, ref));
+      const float score = static_cast<float>(std::sqrt(best));
+      for (std::size_t t = begin; t < end; ++t) {
+        det.scores[t] += score;
+        counts[t] += 1.0f;
+      }
+    }
+    for (std::size_t t = train_end; t < T; ++t)
+      if (counts[t] > 0.0f) det.scores[t] /= counts[t];
+    det.predictions = baseline_threshold(det.scores, train_end, T);
+  });
+  report.detect_seconds = detect_sw.elapsed_s();
+  return report;
+}
+
+}  // namespace ns

@@ -1,0 +1,42 @@
+// DeepHydraLite — the unsupervised core of DeepHYDRA (Stehle et al.,
+// ICS'24): an autoencoder's latent space clustered with DBSCAN; windows
+// whose latent falls far from any training cluster score as anomalous.
+//
+// The full DeepHYDRA is semi-supervised and therefore excluded from the
+// paper's Table 4 comparison (§4.1.2); this unsupervised distillation is
+// provided as an extra detector for experimentation.
+#pragma once
+
+#include <vector>
+
+#include "baselines/detector.hpp"
+
+namespace ns {
+
+struct DeepHydraLiteConfig {
+  std::size_t window = 32;
+  std::size_t stride = 16;
+  std::size_t hidden = 32;
+  std::size_t latent = 6;
+  std::size_t epochs = 3;
+  float learning_rate = 2e-3f;
+  std::size_t max_train_rows = 6144;
+  /// DBSCAN neighbourhood, as a multiple of the median pairwise latent
+  /// distance (adaptive: latent scale depends on training).
+  double eps_factor = 0.5;
+  std::size_t min_points = 4;
+  std::uint64_t seed = 47;
+};
+
+class DeepHydraLite : public Detector {
+ public:
+  explicit DeepHydraLite(DeepHydraLiteConfig config = {}) : config_(config) {}
+  std::string name() const override { return "DeepHYDRA-lite"; }
+  DetectorReport run(const MtsDataset& processed,
+                     std::size_t train_end) override;
+
+ private:
+  DeepHydraLiteConfig config_;
+};
+
+}  // namespace ns

@@ -1,0 +1,30 @@
+// ExaMon baseline (Borghesi et al., TPDS'21), unsupervised component: a
+// dense autoencoder per node scored by reconstruction error. Per the paper's
+// comparison setup, only the unsupervised part is used.
+#pragma once
+
+#include "baselines/detector.hpp"
+
+namespace ns {
+
+struct ExamonConfig {
+  std::size_t hidden = 32;
+  std::size_t bottleneck = 8;
+  std::size_t epochs = 4;
+  float learning_rate = 2e-3f;
+  std::size_t batch_rows = 128;
+  std::uint64_t seed = 27;
+};
+
+class Examon : public Detector {
+ public:
+  explicit Examon(ExamonConfig config = {}) : config_(config) {}
+  std::string name() const override { return "ExaMon"; }
+  DetectorReport run(const MtsDataset& processed,
+                     std::size_t train_end) override;
+
+ private:
+  ExamonConfig config_;
+};
+
+}  // namespace ns

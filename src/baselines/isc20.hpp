@@ -1,0 +1,31 @@
+// ISC'20 baseline (Ozer et al.): BGMM clustering of statistical features +
+// Mahalanobis-distance scoring. No deep model — the cheapest and, per the
+// paper's Table 4, the weakest baseline (coarse window granularity cannot
+// localize point anomalies).
+#pragma once
+
+#include "baselines/detector.hpp"
+#include "cluster/gmm.hpp"
+
+namespace ns {
+
+struct Isc20Config {
+  std::size_t max_components = 8;
+  std::size_t window = 60;        ///< detection feature window (steps)
+  std::size_t stride = 30;        ///< detection hop
+  std::size_t em_iterations = 40;
+  std::uint64_t seed = 7;
+};
+
+class Isc20 : public Detector {
+ public:
+  explicit Isc20(Isc20Config config = {}) : config_(config) {}
+  std::string name() const override { return "ISC 20"; }
+  DetectorReport run(const MtsDataset& processed,
+                     std::size_t train_end) override;
+
+ private:
+  Isc20Config config_;
+};
+
+}  // namespace ns

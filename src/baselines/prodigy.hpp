@@ -1,0 +1,34 @@
+// Prodigy baseline (Aksar et al., SC'23): unsupervised anomaly detection
+// with feature extraction + a variational autoencoder. One global model over
+// all nodes; no job/pattern awareness — the paper attributes its weakness on
+// node-level MTS to exactly that.
+#pragma once
+
+#include "baselines/detector.hpp"
+
+namespace ns {
+
+struct ProdigyConfig {
+  std::size_t hidden = 64;
+  std::size_t latent = 8;
+  std::size_t epochs = 4;
+  float learning_rate = 2e-3f;
+  float kl_beta = 1e-3f;
+  std::size_t batch_rows = 128;
+  /// Training rows are subsampled to at most this many token vectors.
+  std::size_t max_train_rows = 8192;
+  std::uint64_t seed = 17;
+};
+
+class Prodigy : public Detector {
+ public:
+  explicit Prodigy(ProdigyConfig config = {}) : config_(config) {}
+  std::string name() const override { return "Prodigy"; }
+  DetectorReport run(const MtsDataset& processed,
+                     std::size_t train_end) override;
+
+ private:
+  ProdigyConfig config_;
+};
+
+}  // namespace ns

@@ -1,0 +1,32 @@
+// RUAD baseline (Molan et al., FGCS'23): a per-node LSTM autoencoder over
+// sliding windows, scored by window reconstruction error. Training one deep
+// sequence model per node makes it the most expensive method in Table 4.
+#pragma once
+
+#include "baselines/detector.hpp"
+
+namespace ns {
+
+struct RuadConfig {
+  std::size_t window = 32;
+  std::size_t train_stride = 16;
+  std::size_t hidden = 16;
+  std::size_t epochs = 2;
+  float learning_rate = 5e-3f;
+  /// Cap on training windows per node (subsampled uniformly beyond it).
+  std::size_t max_windows_per_node = 60;
+  std::uint64_t seed = 37;
+};
+
+class Ruad : public Detector {
+ public:
+  explicit Ruad(RuadConfig config = {}) : config_(config) {}
+  std::string name() const override { return "RUAD"; }
+  DetectorReport run(const MtsDataset& processed,
+                     std::size_t train_end) override;
+
+ private:
+  RuadConfig config_;
+};
+
+}  // namespace ns

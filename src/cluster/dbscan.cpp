@@ -1,0 +1,51 @@
+#include "cluster/dbscan.hpp"
+
+#include <deque>
+
+#include "cluster/distance.hpp"
+#include "common/error.hpp"
+
+namespace ns {
+
+DbscanResult dbscan(const std::vector<std::vector<float>>& points, double eps,
+                    std::size_t min_points) {
+  NS_REQUIRE(eps > 0.0, "dbscan: eps must be positive");
+  const std::size_t n = points.size();
+  DbscanResult result;
+  result.labels.assign(n, kDbscanNoise);
+  if (n == 0) return result;
+
+  const double eps_sq = eps * eps;
+  const auto neighbours = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j)
+      if (squared_euclidean(points[i], points[j]) <= eps_sq) out.push_back(j);
+    return out;
+  };
+
+  std::vector<bool> visited(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    std::vector<std::size_t> seed = neighbours(i);
+    if (seed.size() < min_points) continue;  // noise (may be claimed later)
+    const std::ptrdiff_t cluster =
+        static_cast<std::ptrdiff_t>(result.num_clusters++);
+    result.labels[i] = cluster;
+    std::deque<std::size_t> queue(seed.begin(), seed.end());
+    while (!queue.empty()) {
+      const std::size_t j = queue.front();
+      queue.pop_front();
+      if (result.labels[j] == kDbscanNoise) result.labels[j] = cluster;
+      if (visited[j]) continue;
+      visited[j] = true;
+      result.labels[j] = cluster;
+      std::vector<std::size_t> more = neighbours(j);
+      if (more.size() >= min_points)
+        queue.insert(queue.end(), more.begin(), more.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace ns

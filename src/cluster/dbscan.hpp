@@ -1,0 +1,22 @@
+// DBSCAN density clustering (used by the labeling tool's built-in reference
+// clusterers; DeepHYDRA-style pipelines pair it with learned detectors).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ns {
+
+/// Label for points not assigned to any cluster.
+inline constexpr std::ptrdiff_t kDbscanNoise = -1;
+
+struct DbscanResult {
+  /// Per-point cluster id in [0, num_clusters), or kDbscanNoise.
+  std::vector<std::ptrdiff_t> labels;
+  std::size_t num_clusters = 0;
+};
+
+DbscanResult dbscan(const std::vector<std::vector<float>>& points, double eps,
+                    std::size_t min_points);
+
+}  // namespace ns

@@ -1,0 +1,86 @@
+#include "cluster/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ns {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shared rolling-array DTW core; cost(i, j) supplies the local cost.
+template <typename CostFn>
+double dtw_core(std::size_t n, std::size_t m, std::size_t band,
+                const CostFn& cost) {
+  NS_REQUIRE(n > 0 && m > 0, "dtw: empty series");
+  const std::size_t effective_band =
+      band == 0 ? std::max(n, m)
+                : std::max(band, n > m ? n - m : m - n);
+  std::vector<double> prev(m + 1, kInf), curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const std::size_t j_lo =
+        i > effective_band ? i - effective_band : 1;
+    const std::size_t j_hi = std::min(m, i + effective_band);
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double c = cost(i - 1, j - 1);
+      curr[j] = c + std::min({prev[j], curr[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, curr);
+  }
+  return std::sqrt(prev[m]);
+}
+
+}  // namespace
+
+double dtw_distance(std::span<const float> a, std::span<const float> b,
+                    std::size_t band) {
+  return dtw_core(a.size(), b.size(), band, [&](std::size_t i, std::size_t j) {
+    const double d = static_cast<double>(a[i]) - b[j];
+    return d * d;
+  });
+}
+
+double dtw_distance_multivariate(const std::vector<std::vector<float>>& a,
+                                 const std::vector<std::vector<float>>& b,
+                                 std::size_t band) {
+  NS_REQUIRE(!a.empty() && a.size() == b.size(),
+             "multivariate dtw: metric count mismatch");
+  const std::size_t n = a.front().size();
+  const std::size_t m = b.front().size();
+  for (const auto& series : a)
+    NS_REQUIRE(series.size() == n, "multivariate dtw: ragged series a");
+  for (const auto& series : b)
+    NS_REQUIRE(series.size() == m, "multivariate dtw: ragged series b");
+  return dtw_core(n, m, band, [&](std::size_t i, std::size_t j) {
+    double c = 0.0;
+    for (std::size_t metric = 0; metric < a.size(); ++metric) {
+      const double d = static_cast<double>(a[metric][i]) - b[metric][j];
+      c += d * d;
+    }
+    return c;
+  });
+}
+
+std::vector<std::vector<double>> dtw_distance_matrix(
+    const std::vector<std::vector<std::vector<float>>>& segments,
+    std::size_t band) {
+  const std::size_t n = segments.size();
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  parallel_for(0, n, [&](std::size_t i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d =
+          dtw_distance_multivariate(segments[i], segments[j], band);
+      matrix[i][j] = d;
+      matrix[j][i] = d;
+    }
+  });
+  return matrix;
+}
+
+}  // namespace ns

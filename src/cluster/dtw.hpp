@@ -1,0 +1,34 @@
+// Dynamic Time Warping — the shape-based alternative for clustering
+// variable-length segments discussed in the paper's Challenge 1. Included
+// so the cost argument ("clustering a week's data with DTW would take 3.8
+// months") can be reproduced quantitatively against feature-based
+// clustering (bench_challenge1_dtw).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ns {
+
+/// Classic DTW distance between two univariate series with an optional
+/// Sakoe–Chiba band (0 = unconstrained). Cost is squared pointwise
+/// difference; returns the square root of the accumulated cost.
+double dtw_distance(std::span<const float> a, std::span<const float> b,
+                    std::size_t band = 0);
+
+/// Multivariate DTW: alignment over time with the per-step cost summed
+/// across metric dimensions (series layout: [metric][time], equal metric
+/// counts, possibly different lengths).
+double dtw_distance_multivariate(
+    const std::vector<std::vector<float>>& a,
+    const std::vector<std::vector<float>>& b, std::size_t band = 0);
+
+/// Pairwise DTW distance matrix over multivariate segments (parallel).
+/// O(n^2 * T_a * T_b * M) — the quadratic-in-length term is exactly why the
+/// paper rejects DTW for production-scale clustering.
+std::vector<std::vector<double>> dtw_distance_matrix(
+    const std::vector<std::vector<std::vector<float>>>& segments,
+    std::size_t band = 0);
+
+}  // namespace ns

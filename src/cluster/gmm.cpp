@@ -1,0 +1,159 @@
+#include "cluster/gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "cluster/kmeans.hpp"
+#include "common/error.hpp"
+
+namespace ns {
+namespace {
+
+constexpr double kMinVariance = 1e-6;
+
+}  // namespace
+
+void BayesianGmm::fit(const std::vector<std::vector<float>>& points, Rng& rng,
+                      std::size_t iterations) {
+  NS_REQUIRE(!points.empty(), "BayesianGmm::fit on empty data");
+  const std::size_t n = points.size();
+  const std::size_t dim = points[0].size();
+  const std::size_t k0 = std::min(max_components_, n);
+
+  // Initialize means with k-means, variances from the global spread.
+  const KMeansResult init = kmeans(points, k0, rng, 20);
+  components_.clear();
+  components_.resize(k0);
+  std::vector<double> global_var(dim, kMinVariance);
+  {
+    std::vector<double> mu(dim, 0.0);
+    for (const auto& p : points)
+      for (std::size_t d = 0; d < dim; ++d) mu[d] += p[d];
+    for (double& m : mu) m /= static_cast<double>(n);
+    for (const auto& p : points)
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = p[d] - mu[d];
+        global_var[d] += diff * diff / static_cast<double>(n);
+      }
+  }
+  for (std::size_t c = 0; c < k0; ++c) {
+    components_[c].weight = 1.0 / static_cast<double>(k0);
+    components_[c].mean.assign(init.centroids[c].begin(),
+                               init.centroids[c].end());
+    components_[c].variance = global_var;
+  }
+
+  std::vector<std::vector<double>> resp(n);
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    const std::size_t k = components_.size();
+    // E-step: responsibilities via log-sum-exp.
+    for (std::size_t i = 0; i < n; ++i) {
+      resp[i].assign(k, 0.0);
+      double max_log = -std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        resp[i][c] = std::log(components_[c].weight) +
+                     component_log_density(components_[c], points[i]);
+        max_log = std::max(max_log, resp[i][c]);
+      }
+      double denom = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        resp[i][c] = std::exp(resp[i][c] - max_log);
+        denom += resp[i][c];
+      }
+      for (std::size_t c = 0; c < k; ++c) resp[i][c] /= denom;
+    }
+    // M-step with Dirichlet(alpha) smoothing on the weights.
+    std::vector<double> nk(k, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t c = 0; c < k; ++c) nk[c] += resp[i][c];
+    const double weight_denom =
+        static_cast<double>(n) + static_cast<double>(k) * (alpha_ - 1.0);
+    for (std::size_t c = 0; c < k; ++c) {
+      components_[c].weight =
+          std::max(0.0, (nk[c] + alpha_ - 1.0)) / std::max(1e-12, weight_denom);
+      if (nk[c] < 1e-9) continue;
+      for (std::size_t d = 0; d < dim; ++d) {
+        double mu = 0.0;
+        for (std::size_t i = 0; i < n; ++i) mu += resp[i][c] * points[i][d];
+        mu /= nk[c];
+        double var = kMinVariance;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double diff = points[i][d] - mu;
+          var += resp[i][c] * diff * diff;
+        }
+        components_[c].mean[d] = mu;
+        components_[c].variance[d] = var / nk[c] + kMinVariance;
+      }
+    }
+    // Prune collapsed components (the "Bayesian" automatic selection).
+    std::vector<GmmComponent> survivors;
+    for (auto& comp : components_)
+      if (comp.weight > prune_weight_) survivors.push_back(std::move(comp));
+    if (!survivors.empty()) {
+      double total = 0.0;
+      for (const auto& comp : survivors) total += comp.weight;
+      for (auto& comp : survivors) comp.weight /= total;
+      components_ = std::move(survivors);
+    }
+  }
+}
+
+double BayesianGmm::component_log_density(const GmmComponent& c,
+                                          std::span<const float> x) const {
+  double log_det = 0.0, quad = 0.0;
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    log_det += std::log(c.variance[d]);
+    const double diff = x[d] - c.mean[d];
+    quad += diff * diff / c.variance[d];
+  }
+  return -0.5 * (static_cast<double>(x.size()) *
+                     std::log(2.0 * std::numbers::pi) +
+                 log_det + quad);
+}
+
+std::size_t BayesianGmm::assign(std::span<const float> x) const {
+  NS_REQUIRE(fitted(), "BayesianGmm::assign before fit");
+  std::size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    const double s = std::log(std::max(1e-300, components_[c].weight)) +
+                     component_log_density(components_[c], x);
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double BayesianGmm::mahalanobis_score(std::span<const float> x) const {
+  NS_REQUIRE(fitted(), "BayesianGmm::mahalanobis_score before fit");
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& c : components_) {
+    double quad = 0.0;
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      const double diff = x[d] - c.mean[d];
+      quad += diff * diff / c.variance[d];
+    }
+    best = std::min(best, quad);
+  }
+  return std::sqrt(best);
+}
+
+double BayesianGmm::log_likelihood(std::span<const float> x) const {
+  NS_REQUIRE(fitted(), "BayesianGmm::log_likelihood before fit");
+  double max_log = -std::numeric_limits<double>::infinity();
+  std::vector<double> logs(components_.size());
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    logs[c] = std::log(std::max(1e-300, components_[c].weight)) +
+              component_log_density(components_[c], x);
+    max_log = std::max(max_log, logs[c]);
+  }
+  double acc = 0.0;
+  for (double l : logs) acc += std::exp(l - max_log);
+  return max_log + std::log(acc);
+}
+
+}  // namespace ns

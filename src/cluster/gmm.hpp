@@ -1,0 +1,60 @@
+// Bayesian Gaussian Mixture Model with diagonal covariances — the substrate
+// for the ISC'20 baseline (BGMM clustering + Mahalanobis scoring).
+//
+// A Dirichlet prior over the mixing weights regularizes EM; components whose
+// responsibility mass collapses below a threshold are pruned, giving the
+// "automatic component selection" behaviour of variational BGMM without the
+// full variational machinery (substitution documented in DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ns {
+
+struct GmmComponent {
+  double weight = 0.0;
+  std::vector<double> mean;
+  std::vector<double> variance;  // diagonal covariance
+};
+
+class BayesianGmm {
+ public:
+  /// max_components is an upper bound; fit() may prune below it.
+  explicit BayesianGmm(std::size_t max_components = 8,
+                       double dirichlet_alpha = 1.0,
+                       double prune_weight = 1e-3)
+      : max_components_(max_components),
+        alpha_(dirichlet_alpha),
+        prune_weight_(prune_weight) {}
+
+  void fit(const std::vector<std::vector<float>>& points, Rng& rng,
+           std::size_t iterations = 50);
+
+  bool fitted() const { return !components_.empty(); }
+  const std::vector<GmmComponent>& components() const { return components_; }
+
+  /// Index of the highest-responsibility component for x.
+  std::size_t assign(std::span<const float> x) const;
+
+  /// Mahalanobis distance of x to its closest component (the ISC'20 anomaly
+  /// score: large distance = anomalous).
+  double mahalanobis_score(std::span<const float> x) const;
+
+  /// Log-likelihood of one point under the mixture.
+  double log_likelihood(std::span<const float> x) const;
+
+ private:
+  double component_log_density(const GmmComponent& c,
+                               std::span<const float> x) const;
+
+  std::size_t max_components_;
+  double alpha_;
+  double prune_weight_;
+  std::vector<GmmComponent> components_;
+};
+
+}  // namespace ns

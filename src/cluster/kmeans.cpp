@@ -1,0 +1,83 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/distance.hpp"
+#include "common/error.hpp"
+
+namespace ns {
+
+KMeansResult kmeans(const std::vector<std::vector<float>>& points,
+                    std::size_t k, Rng& rng, std::size_t max_iterations,
+                    double tolerance) {
+  NS_REQUIRE(!points.empty(), "kmeans on empty point set");
+  NS_REQUIRE(k >= 1 && k <= points.size(),
+             "kmeans: k " << k << " out of [1," << points.size() << "]");
+  const std::size_t n = points.size();
+  const std::size_t dim = points[0].size();
+
+  KMeansResult result;
+  // k-means++ seeding.
+  result.centroids.push_back(
+      points[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))]);
+  std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+  while (result.centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_sq[i] = std::min(
+          min_sq[i], squared_euclidean(points[i], result.centroids.back()));
+      total += min_sq[i];
+    }
+    std::size_t pick = 0;
+    if (total > 0.0) {
+      double target = rng.uniform() * total;
+      for (; pick + 1 < n; ++pick) {
+        target -= min_sq[pick];
+        if (target <= 0.0) break;
+      }
+    } else {
+      pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    result.centroids.push_back(points[pick]);
+  }
+
+  result.labels.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_euclidean(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          result.labels[i] = c;
+        }
+      }
+      result.inertia += best;
+    }
+    // Update step.
+    std::vector<std::vector<double>> acc(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> count(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      count[result.labels[i]]++;
+      for (std::size_t d = 0; d < dim; ++d)
+        acc[result.labels[i]][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (count[c] == 0) continue;  // keep the old centroid for empty cluster
+      for (std::size_t d = 0; d < dim; ++d)
+        result.centroids[c][d] =
+            static_cast<float>(acc[c][d] / static_cast<double>(count[c]));
+    }
+    if (prev_inertia - result.inertia < tolerance) break;
+    prev_inertia = result.inertia;
+  }
+  return result;
+}
+
+}  // namespace ns

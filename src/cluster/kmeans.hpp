@@ -1,0 +1,23 @@
+// k-means with k-means++ seeding (supporting substrate: labeling-tool
+// reference clusterer and an HAC alternative in ablations).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ns {
+
+struct KMeansResult {
+  std::vector<std::size_t> labels;            // per point
+  std::vector<std::vector<float>> centroids;  // k x dim
+  double inertia = 0.0;                       // sum of squared distances
+  std::size_t iterations = 0;
+};
+
+KMeansResult kmeans(const std::vector<std::vector<float>>& points,
+                    std::size_t k, Rng& rng, std::size_t max_iterations = 100,
+                    double tolerance = 1e-6);
+
+}  // namespace ns

@@ -1,0 +1,65 @@
+// Error handling primitives shared across all NodeSentry modules.
+//
+// Library code throws ns::Error on contract violations and unrecoverable
+// conditions; NS_CHECK/NS_REQUIRE give formatted, source-located messages.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ns {
+
+/// Base exception for every error raised by the NodeSentry libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a function argument or tensor shape violates a precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when serialized state (model file, CSV, label store) is malformed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace detail
+}  // namespace ns
+
+/// Precondition check on public API boundaries. Always enabled.
+#define NS_REQUIRE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream ns_require_os_;                                    \
+      ns_require_os_ << msg; /* NOLINT */                                   \
+      ::ns::detail::throw_check_failure("NS_REQUIRE", #cond, __FILE__,      \
+                                        __LINE__, ns_require_os_.str());    \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant check. Always enabled (cheap relative to workloads).
+#define NS_CHECK(cond, msg)                                                 \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream ns_check_os_;                                      \
+      ns_check_os_ << msg; /* NOLINT */                                     \
+      ::ns::detail::throw_check_failure("NS_CHECK", #cond, __FILE__,        \
+                                        __LINE__, ns_check_os_.str());      \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,33 @@
+// Minimal leveled logger. Thread-safe, writes to stderr by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ns {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace ns
+
+#define NS_LOG(level, expr)                                          \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::ns::log_level())) { \
+      std::ostringstream ns_log_os_;                                 \
+      ns_log_os_ << expr; /* NOLINT */                               \
+      ::ns::detail::log_emit(level, ns_log_os_.str());               \
+    }                                                                \
+  } while (false)
+
+#define NS_LOG_DEBUG(expr) NS_LOG(::ns::LogLevel::kDebug, expr)
+#define NS_LOG_INFO(expr) NS_LOG(::ns::LogLevel::kInfo, expr)
+#define NS_LOG_WARN(expr) NS_LOG(::ns::LogLevel::kWarn, expr)
+#define NS_LOG_ERROR(expr) NS_LOG(::ns::LogLevel::kError, expr)

@@ -1,0 +1,111 @@
+// Scalar statistics helpers shared by preprocessing, features and eval.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+inline double mean(std::span<const float> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (float x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+inline double variance(std::span<const float> xs, double mu) {
+  if (xs.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (float x : xs) {
+    const double d = x - mu;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+inline double variance(std::span<const float> xs) {
+  return variance(xs, mean(xs));
+}
+
+inline double stddev(std::span<const float> xs) {
+  return std::sqrt(variance(xs));
+}
+
+/// q in [0,1]; linear interpolation between order statistics (type-7).
+inline double percentile(std::vector<float> xs, double q) {
+  NS_REQUIRE(!xs.empty(), "percentile of empty range");
+  NS_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]: " << q);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return (1.0 - frac) * xs[lo] + frac * xs[hi];
+}
+
+inline double median(std::vector<float> xs) {
+  return percentile(std::move(xs), 0.5);
+}
+
+/// Mean and stddev computed after dropping the lowest/highest `trim`
+/// fraction of samples (the paper trims 5% on each side, §3.2).
+struct TrimmedMoments {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+inline TrimmedMoments trimmed_moments(std::vector<float> xs, double trim) {
+  NS_REQUIRE(trim >= 0.0 && trim < 0.5, "trim fraction out of [0,0.5)");
+  TrimmedMoments out;
+  if (xs.empty()) return out;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t drop = static_cast<std::size_t>(
+      trim * static_cast<double>(xs.size()));
+  const std::size_t lo = drop;
+  const std::size_t hi = xs.size() - drop;
+  if (lo >= hi) {  // degenerate: keep the middle element
+    out.mean = xs[xs.size() / 2];
+    out.stddev = 0.0;
+    return out;
+  }
+  const std::span<const float> kept(xs.data() + lo, hi - lo);
+  out.mean = mean(kept);
+  out.stddev = std::sqrt(variance(kept, out.mean));
+  return out;
+}
+
+/// Pearson correlation coefficient (Eq. 1 of the paper). Returns 0 when
+/// either series has zero variance.
+inline double pearson(std::span<const float> a, std::span<const float> b) {
+  NS_REQUIRE(a.size() == b.size(), "pearson: length mismatch");
+  if (a.size() < 2) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double xa = a[i] - ma;
+    const double xb = b[i] - mb;
+    num += xa * xb;
+    da += xa * xa;
+    db += xb * xb;
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+/// Mean Absolute Change (Eq. 6 of the paper): average |x[t+1]-x[t]|.
+inline double mean_absolute_change(std::span<const float> xs) {
+  if (xs.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t t = 0; t + 1 < xs.size(); ++t) {
+    sum += std::abs(static_cast<double>(xs[t + 1]) - xs[t]);
+  }
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+}  // namespace ns

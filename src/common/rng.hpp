@@ -1,0 +1,114 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components (simulator, weight init, sampling) take an
+// explicit Rng so experiments are reproducible bit-for-bit across runs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+/// xoshiro256** seeded via splitmix64. Fast, high-quality, reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the scalar seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    NS_REQUIRE(lo <= hi, "uniform_int: empty range [" << lo << "," << hi << "]");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % span;
+    std::uint64_t r = next_u64();
+    while (r >= limit) r = next_u64();
+    return lo + static_cast<std::int64_t>(r % span);
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double gaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * factor;
+    has_gauss_ = true;
+    return u * factor;
+  }
+
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with given rate (lambda).
+  double exponential(double rate) {
+    NS_REQUIRE(rate > 0.0, "exponential: rate must be positive");
+    return -std::log(1.0 - uniform()) / rate;
+  }
+
+  /// Derives an independent child stream (for per-thread / per-node use).
+  Rng fork(std::uint64_t stream_id) {
+    return Rng(next_u64() ^ (stream_id * 0xD1342543DE82EF95ull + 1));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_gauss_ = 0.0;
+  bool has_gauss_ = false;
+};
+
+}  // namespace ns

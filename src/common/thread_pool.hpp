@@ -1,0 +1,57 @@
+// Fixed-size worker pool with a blocking task queue, plus parallel_for.
+//
+// All data-parallel stages (feature extraction over segments, per-cluster
+// training, per-node detection) funnel through parallel_for so thread count
+// is controlled in one place. With hardware_concurrency()==1 the pool
+// degrades to sequential execution with identical results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future rethrows any task exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end), distributing contiguous chunks over the
+/// pool. Blocks until all iterations finish; the first exception thrown by
+/// any chunk is rethrown in the caller.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool = nullptr, std::size_t grain = 1);
+
+}  // namespace ns

@@ -1,0 +1,167 @@
+#include "core/cluster_library.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "cluster/distance.hpp"
+#include "common/error.hpp"
+
+namespace ns {
+
+MatchResult ClusterLibrary::match(const std::vector<float>& features,
+                                  double match_threshold_factor) const {
+  NS_REQUIRE(!clusters_.empty(), "match on empty cluster library");
+  MatchResult result;
+  result.distance = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    const double d = euclidean(features, clusters_[c].centroid);
+    if (d < result.distance) {
+      result.distance = d;
+      result.cluster = c;
+    }
+  }
+  const double limit =
+      match_threshold_factor * std::max(clusters_[result.cluster].radius, 1e-9);
+  result.matched = result.distance <= limit;
+  return result;
+}
+
+std::size_t ClusterLibrary::nearest_member(
+    std::size_t cluster, const std::vector<float>& features) const {
+  NS_REQUIRE(cluster < clusters_.size(), "nearest_member: bad cluster index");
+  const auto& member_features = clusters_[cluster].member_features;
+  NS_REQUIRE(!member_features.empty(), "cluster has no member features");
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < member_features.size(); ++i) {
+    const double d = euclidean(features, member_features[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+void write_floats(std::ostream& os, const std::vector<float>& xs) {
+  const std::uint32_t n = static_cast<std::uint32_t>(xs.size());
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(reinterpret_cast<const char*>(xs.data()),
+           static_cast<std::streamsize>(xs.size() * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::istream& is) {
+  std::uint32_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  NS_REQUIRE(is.good(), "cluster library: truncated file");
+  std::vector<float> xs(n);
+  is.read(reinterpret_cast<char*>(xs.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  NS_REQUIRE(is.good(), "cluster library: truncated float block");
+  return xs;
+}
+
+}  // namespace
+
+void ClusterLibrary::save(const std::string& directory) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  {
+    std::ofstream index(fs::path(directory) / "index.txt");
+    NS_REQUIRE(index.good(), "cannot write cluster index in " << directory);
+    index << clusters_.size() << '\n';
+  }
+  {
+    std::ofstream os(fs::path(directory) / "scaler.bin", std::ios::binary);
+    NS_REQUIRE(os.good(), "cannot write feature scaler");
+    write_floats(os, scaler_.means());
+    write_floats(os, scaler_.stddevs());
+    const std::uint32_t pca_rows = static_cast<std::uint32_t>(
+        pca_.fitted() ? pca_.components().size() : 0);
+    os.write(reinterpret_cast<const char*>(&pca_rows), sizeof(pca_rows));
+    if (pca_rows > 0) {
+      write_floats(os, pca_.mean());
+      for (const auto& row : pca_.components()) write_floats(os, row);
+    }
+  }
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    const ClusterEntry& entry = clusters_[c];
+    std::ofstream os(fs::path(directory) / ("cluster_" + std::to_string(c) +
+                                            ".bin"),
+                     std::ios::binary);
+    NS_REQUIRE(os.good(), "cannot write cluster file " << c);
+    write_floats(os, entry.centroid);
+    const double radius = entry.radius;
+    os.write(reinterpret_cast<const char*>(&radius), sizeof(radius));
+    os.write(reinterpret_cast<const char*>(&entry.baseline_error),
+             sizeof(entry.baseline_error));
+    std::vector<float> weights(entry.metric_weights.flat().begin(),
+                               entry.metric_weights.flat().end());
+    write_floats(os, weights);
+    std::vector<float> resid(entry.residual_scale.flat().begin(),
+                             entry.residual_scale.flat().end());
+    write_floats(os, resid);
+    const std::uint32_t member_count =
+        static_cast<std::uint32_t>(entry.member_features.size());
+    os.write(reinterpret_cast<const char*>(&member_count),
+             sizeof(member_count));
+    for (const auto& mf : entry.member_features) write_floats(os, mf);
+    NS_REQUIRE(entry.model != nullptr, "cluster " << c << " has no model");
+    save_parameters(*entry.model, os);
+  }
+}
+
+void ClusterLibrary::load(const std::string& directory,
+                          const TransformerConfig& model_config,
+                          std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  std::ifstream index(fs::path(directory) / "index.txt");
+  NS_REQUIRE(index.good(), "cannot read cluster index in " << directory);
+  std::size_t count = 0;
+  index >> count;
+  {
+    std::ifstream is(fs::path(directory) / "scaler.bin", std::ios::binary);
+    NS_REQUIRE(is.good(), "cannot read feature scaler");
+    std::vector<float> means = read_floats(is);
+    std::vector<float> stds = read_floats(is);
+    if (!means.empty()) scaler_.restore(std::move(means), std::move(stds));
+    std::uint32_t pca_rows = 0;
+    is.read(reinterpret_cast<char*>(&pca_rows), sizeof(pca_rows));
+    if (is.good() && pca_rows > 0) {
+      std::vector<float> pca_mean = read_floats(is);
+      std::vector<std::vector<float>> components(pca_rows);
+      for (auto& row : components) row = read_floats(is);
+      pca_.restore(std::move(pca_mean), std::move(components));
+    }
+  }
+  clusters_.clear();
+  clusters_.resize(count);
+  Rng rng(seed);
+  for (std::size_t c = 0; c < count; ++c) {
+    std::ifstream is(fs::path(directory) / ("cluster_" + std::to_string(c) +
+                                            ".bin"),
+                     std::ios::binary);
+    NS_REQUIRE(is.good(), "cannot read cluster file " << c);
+    ClusterEntry& entry = clusters_[c];
+    entry.centroid = read_floats(is);
+    is.read(reinterpret_cast<char*>(&entry.radius), sizeof(entry.radius));
+    is.read(reinterpret_cast<char*>(&entry.baseline_error),
+            sizeof(entry.baseline_error));
+    const std::vector<float> weights = read_floats(is);
+    entry.metric_weights = Tensor::from_vector(weights);
+    entry.residual_scale = Tensor::from_vector(read_floats(is));
+    std::uint32_t member_count = 0;
+    is.read(reinterpret_cast<char*>(&member_count), sizeof(member_count));
+    NS_REQUIRE(is.good(), "cluster library: truncated member block");
+    entry.member_features.resize(member_count);
+    for (auto& mf : entry.member_features) mf = read_floats(is);
+    entry.model =
+        std::make_shared<TransformerReconstructor>(model_config, rng);
+    load_parameters(*entry.model, is);
+  }
+}
+
+}  // namespace ns

@@ -1,0 +1,644 @@
+#include "core/nodesentry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "cluster/distance.hpp"
+#include "common/log.hpp"
+#include "common/mathutil.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "features/extract.hpp"
+#include "nn/optim.hpp"
+
+namespace ns {
+
+std::vector<float> NodeSentry::segment_features(
+    const CoreSegment& segment) const {
+  return extract_segment_features(core_segment_values(processed_, segment));
+}
+
+Tensor NodeSentry::model_tokens(const CoreSegment& segment,
+                                std::size_t max_tokens) const {
+  Tensor tokens = segment_tokens(processed_, segment, max_tokens);
+  if (!config_.center_tokens) return tokens;
+  const std::size_t rows = tokens.size(0);
+  const std::size_t cols = tokens.size(1);
+  const std::size_t lead = std::min(rows, config_.match_period);
+  for (std::size_t m = 0; m < cols; ++m) {
+    double mu = 0.0;
+    for (std::size_t t = 0; t < lead; ++t) mu += tokens.at(t, m);
+    mu /= static_cast<double>(lead);
+    for (std::size_t t = 0; t < rows; ++t)
+      tokens.at(t, m) -= static_cast<float>(mu);
+  }
+  return tokens;
+}
+
+TransformerConfig NodeSentry::model_config() const {
+  TransformerConfig mc = config_.model;
+  mc.input_dim = processed_.num_metrics();
+  mc.max_segments = std::max<std::size_t>(config_.segments_per_cluster, 2);
+  mc.max_position =
+      std::max<std::size_t>(mc.max_position, config_.max_tokens_per_segment);
+  return mc;
+}
+
+NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
+                                      std::size_t train_end) {
+  NS_REQUIRE(train_end > 0 && train_end <= raw.num_timestamps(),
+             "fit: train_end out of range");
+  FitReport report;
+  Stopwatch total;
+  train_end_ = train_end;
+
+  // ---- Preprocessing (§3.2)
+  Stopwatch sw;
+  PreprocessOutput pre =
+      preprocess(raw, train_end, config_.correlation_threshold,
+                 config_.standardize_trim, config_.standardize_clip);
+  processed_ = std::move(pre.dataset);
+  report.preprocess_seconds = sw.elapsed_s();
+  report.metrics_after_reduction = processed_.num_metrics();
+
+  // ---- Segmentation + feature extraction (§3.3)
+  sw.restart();
+  std::vector<CoreSegment> segments =
+      training_segments(processed_, train_end, config_);
+  NS_REQUIRE(!segments.empty(), "fit: no training segments");
+  Rng rng(config_.seed);
+  if (config_.training_subsample < 1.0) {
+    // Uniform random subset (Fig. 6a training-size sweep).
+    std::vector<CoreSegment> kept;
+    for (const CoreSegment& seg : segments)
+      if (rng.bernoulli(config_.training_subsample)) kept.push_back(seg);
+    if (!kept.empty()) segments = std::move(kept);
+  }
+  std::vector<std::vector<float>> features(segments.size());
+  parallel_for(0, segments.size(), [&](std::size_t i) {
+    features[i] = segment_features(segments[i]);
+  });
+  // Column z-scaling so no single feature (e.g. abs_energy, which grows
+  // with segment length) dominates the clustering distance, then PCA to
+  // concentrate the informative directions (Challenge 1).
+  library_.scaler().fit(features);
+  library_.scaler().transform_in_place(features);
+  if (config_.pca_components > 0 && features.size() > 2) {
+    library_.pca().fit(features, config_.pca_components);
+    library_.pca().transform_in_place(features);
+  }
+  report.feature_seconds = sw.elapsed_s();
+  report.num_segments = segments.size();
+
+  // ---- Coarse-grained clustering (§3.3)
+  sw.restart();
+  std::vector<std::size_t> labels;
+  std::size_t k = 1;
+  if (segments.size() == 1) {
+    labels.assign(1, 0);
+    auto_k_ = 1;
+  } else {
+    Hac hac(features, config_.linkage);
+    const DistanceMatrix dist = DistanceMatrix::build(features);
+    const std::size_t k_max =
+        std::min(config_.k_max, segments.size());
+    const AutoKResult auto_k = choose_k_by_silhouette(
+        hac, dist, std::min(config_.k_min, k_max), k_max);
+    auto_k_ = auto_k.k;
+    report.silhouette = auto_k.silhouette;
+    if (config_.forced_k > 0) {
+      k = std::min(config_.forced_k, segments.size());
+      labels = hac.cut(k);
+    } else {
+      k = auto_k.k;
+      labels = auto_k.labels;
+    }
+    if (config_.random_cluster_assignment) {
+      // Ablation C2: same model count, random membership.
+      for (auto& label : labels)
+        label = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+    }
+  }
+  report.clustering_seconds = sw.elapsed_s();
+
+  // ---- Fine-grained model sharing (§3.4)
+  sw.restart();
+  std::vector<std::vector<std::size_t>> members(k);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    members[labels[i]].push_back(i);
+  library_.clusters().clear();
+  library_.clusters().resize(k);
+  std::vector<std::size_t> nonempty;
+  for (std::size_t c = 0; c < k; ++c)
+    if (!members[c].empty()) nonempty.push_back(c);
+  parallel_for(0, nonempty.size(), [&](std::size_t idx) {
+    const std::size_t c = nonempty[idx];
+    library_.clusters()[c] = build_cluster(
+        segments, features, members[c], config_.seed + 1000 + c);
+  });
+  // Drop empty clusters (possible under random assignment).
+  auto& clusters = library_.clusters();
+  clusters.erase(std::remove_if(clusters.begin(), clusters.end(),
+                                [](const ClusterEntry& e) {
+                                  return e.members.empty();
+                                }),
+                 clusters.end());
+  report.training_seconds = sw.elapsed_s();
+  report.num_clusters = library_.size();
+  report.total_seconds = total.elapsed_s();
+  NS_LOG_INFO("NodeSentry fit: " << report.num_segments << " segments -> "
+                                 << report.num_clusters << " clusters in "
+                                 << report.total_seconds << " s");
+  return report;
+}
+
+ClusterEntry NodeSentry::build_cluster(
+    const std::vector<CoreSegment>& segments,
+    const std::vector<std::vector<float>>& features,
+    const std::vector<std::size_t>& member_indices, std::uint64_t seed) {
+  ClusterEntry entry;
+  entry.centroid = centroid_of(features, member_indices);
+
+  // Mean member distance = matching radius.
+  double radius = 0.0;
+  for (std::size_t idx : member_indices)
+    radius += euclidean(features[idx], entry.centroid);
+  entry.radius = radius / static_cast<double>(member_indices.size());
+
+  // K segments nearest the centroid become the shared model's training set.
+  std::vector<std::pair<double, std::size_t>> by_distance;
+  by_distance.reserve(member_indices.size());
+  for (std::size_t idx : member_indices)
+    by_distance.emplace_back(euclidean(features[idx], entry.centroid), idx);
+  std::sort(by_distance.begin(), by_distance.end());
+  const std::size_t keep =
+      std::min(config_.segments_per_cluster, by_distance.size());
+  for (std::size_t i = 0; i < keep; ++i) {
+    entry.members.push_back(segments[by_distance[i].second]);
+    entry.member_features.push_back(features[by_distance[i].second]);
+  }
+
+  // WMSE weights from MAC (Eq. 5–6): metrics with high mean absolute change
+  // are intrinsically unstable within this pattern, so they are
+  // down-weighted (w = 1 / (1 + MAC), normalized to mean 1).
+  const std::size_t M = processed_.num_metrics();
+  std::vector<double> mac(M, 0.0);
+  for (const CoreSegment& seg : entry.members) {
+    const auto values = core_segment_values(processed_, seg);
+    for (std::size_t m = 0; m < M; ++m)
+      mac[m] += mean_absolute_change(values[m]);
+  }
+  Tensor weights(Shape{M});
+  double weight_sum = 0.0;
+  for (std::size_t m = 0; m < M; ++m) {
+    const double w = 1.0 / (1.0 + mac[m] / entry.members.size());
+    weights.at(m) = static_cast<float>(w);
+    weight_sum += w;
+  }
+  const float norm = static_cast<float>(static_cast<double>(M) / weight_sum);
+  for (std::size_t m = 0; m < M; ++m) weights.at(m) *= norm;
+  entry.metric_weights = std::move(weights);
+
+  Rng model_rng(seed);
+  entry.model =
+      std::make_shared<TransformerReconstructor>(model_config(), model_rng);
+  train_cluster(entry, config_.train_epochs, seed ^ 0xABCDEF);
+  return entry;
+}
+
+void NodeSentry::train_cluster(ClusterEntry& entry, std::size_t epochs,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  entry.model->set_training(true);
+  Adam optimizer(entry.model->parameters(), config_.learning_rate);
+
+  // Pre-build token chunks: (tokens, offsets, segment id).
+  struct Chunk {
+    Tensor tokens;
+    std::vector<std::size_t> offsets;
+    std::size_t segment_id;
+  };
+  std::vector<Chunk> chunks;
+  const std::size_t W = std::max<std::size_t>(config_.train_window, 4);
+  for (std::size_t s = 0; s < entry.members.size(); ++s) {
+    const Tensor tokens =
+        model_tokens(entry.members[s], config_.max_tokens_per_segment);
+    const std::size_t len = tokens.size(0);
+    for (std::size_t start = 0; start < len; start += W) {
+      const std::size_t stop = std::min(len, start + W);
+      if (stop - start < 4) break;
+      Chunk chunk;
+      chunk.tokens = slice_rows(tokens, start, stop);
+      chunk.offsets.resize(stop - start);
+      std::iota(chunk.offsets.begin(), chunk.offsets.end(), start);
+      chunk.segment_id = s;
+      entry.training_tokens += stop - start;
+      chunks.push_back(std::move(chunk));
+    }
+  }
+  if (chunks.empty()) {
+    // Degenerate members (too short to chunk): neutral scoring statistics.
+    entry.residual_scale = Tensor::ones(Shape{processed_.num_metrics()});
+    entry.baseline_error = 1.0;
+    return;
+  }
+
+  std::vector<std::size_t> order(chunks.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    // Fisher–Yates shuffle for stochastic chunk order.
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1],
+                order[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+    for (std::size_t idx : order) {
+      const Chunk& chunk = chunks[idx];
+      optimizer.zero_grad();
+      const std::vector<std::size_t> seg_ids(chunk.tokens.size(0),
+                                             chunk.segment_id);
+      // Denoising corruption: additive Gaussian noise plus whole-token
+      // drops; the loss targets the clean tokens.
+      Tensor corrupted = chunk.tokens.clone();
+      const std::size_t rows = corrupted.size(0), cols = corrupted.size(1);
+      for (std::size_t t = 0; t < rows; ++t) {
+        if (config_.denoise_token_drop > 0.0f &&
+            rng.bernoulli(config_.denoise_token_drop)) {
+          for (std::size_t m = 0; m < cols; ++m) corrupted.at(t, m) = 0.0f;
+          continue;
+        }
+        if (config_.denoise_noise > 0.0f)
+          for (std::size_t m = 0; m < cols; ++m)
+            corrupted.at(t, m) += static_cast<float>(
+                rng.gaussian(0.0, config_.denoise_noise));
+      }
+      Var out = entry.model->forward(Var::constant(corrupted),
+                                     chunk.offsets, seg_ids, rng);
+      Var loss = vwmse_loss(out, chunk.tokens, entry.metric_weights);
+      Var aux = entry.model->aux_loss();
+      if (aux.defined()) loss = vadd(loss, aux);
+      loss.backward();
+      optimizer.step();
+    }
+  }
+  entry.model->set_training(false);
+
+  // Residual statistics on the clean member chunks: per-metric mean squared
+  // residual (for whitening) and the resulting whitened baseline error.
+  const std::size_t M = processed_.num_metrics();
+  std::vector<double> resid(M, 0.0);
+  std::size_t err_count = 0;
+  std::vector<Tensor> outputs;
+  outputs.reserve(chunks.size());
+  for (const Chunk& chunk : chunks) {
+    const std::vector<std::size_t> seg_ids(chunk.tokens.size(0),
+                                           chunk.segment_id);
+    const Var out = entry.model->forward(Var::constant(chunk.tokens),
+                                         chunk.offsets, seg_ids, rng);
+    outputs.push_back(out.value());
+    for (std::size_t t = 0; t < chunk.tokens.size(0); ++t) {
+      for (std::size_t m = 0; m < M; ++m) {
+        const double d = out.value().at(t, m) - chunk.tokens.at(t, m);
+        resid[m] += d * d;
+      }
+      ++err_count;
+    }
+  }
+  entry.residual_scale = Tensor(Shape{M});
+  for (std::size_t m = 0; m < M; ++m)
+    entry.residual_scale.at(m) = static_cast<float>(std::max(
+        1e-6, err_count > 0 ? resid[m] / static_cast<double>(err_count)
+                            : 1.0));
+  // Whitened baseline (mean over member tokens of the online score form).
+  double err_sum = 0.0;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    const Chunk& chunk = chunks[c];
+    for (std::size_t t = 0; t < chunk.tokens.size(0); ++t) {
+      double err = 0.0;
+      for (std::size_t m = 0; m < M; ++m) {
+        const double d = outputs[c].at(t, m) - chunk.tokens.at(t, m);
+        err += entry.metric_weights.at(m) * d * d / entry.residual_scale.at(m);
+      }
+      err_sum += err / static_cast<double>(M);
+    }
+  }
+  entry.baseline_error =
+      err_count > 0 ? std::max(1e-6, err_sum / err_count) : 1.0;
+}
+
+std::vector<std::uint8_t> ksigma_flags(const std::vector<float>& scores,
+                                       std::size_t begin, std::size_t end,
+                                       std::size_t window, double k_sigma,
+                                       double sigma_floor_fraction,
+                                       double min_score, double hard_score) {
+  NS_REQUIRE(begin <= end && end <= scores.size(),
+             "ksigma_flags: bad range");
+  std::vector<std::uint8_t> flags(scores.size(), 0);
+  // Running sums over the trailing window of *previous* scores.
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = begin; t < end; ++t) {
+    if (count >= 8) {  // enough history for a stable estimate
+      const double mu = sum / static_cast<double>(count);
+      const double var =
+          std::max(0.0, sum_sq / static_cast<double>(count) - mu * mu);
+      const double sigma = std::max(std::sqrt(var),
+                                    sigma_floor_fraction * std::abs(mu)) +
+                           1e-9;
+      if (scores[t] > mu + k_sigma * sigma && scores[t] >= min_score)
+        flags[t] = 1;
+      if (hard_score > 0.0 && scores[t] >= hard_score) flags[t] = 1;
+    }
+    // Slide the window: add current, evict the oldest if full.
+    sum += scores[t];
+    sum_sq += static_cast<double>(scores[t]) * scores[t];
+    ++count;
+    if (count > window) {
+      const float old = scores[t - window];
+      sum -= old;
+      sum_sq -= static_cast<double>(old) * old;
+      --count;
+    }
+  }
+  return flags;
+}
+
+std::vector<float> causal_median_filter(const std::vector<float>& scores,
+                                        std::size_t width) {
+  if (width <= 1) return scores;
+  std::vector<float> out(scores.size());
+  std::vector<float> window;
+  for (std::size_t t = 0; t < scores.size(); ++t) {
+    const std::size_t begin = t + 1 >= width ? t + 1 - width : 0;
+    window.assign(scores.begin() + static_cast<std::ptrdiff_t>(begin),
+                  scores.begin() + static_cast<std::ptrdiff_t>(t) + 1);
+    std::nth_element(window.begin(), window.begin() + window.size() / 2,
+                     window.end());
+    out[t] = window[window.size() / 2];
+  }
+  return out;
+}
+
+NodeSentry::DetectReport NodeSentry::detect() {
+  NS_REQUIRE(!library_.empty(), "detect before fit");
+  DetectReport report;
+  Stopwatch total;
+  const std::size_t T = processed_.num_timestamps();
+  const std::size_t N = processed_.num_nodes();
+  const std::size_t M = processed_.num_metrics();
+  report.detections.assign(N, NodeDetection{});
+  for (auto& d : report.detections) {
+    d.scores.assign(T, 0.0f);
+    d.predictions.assign(T, 0);
+  }
+
+  const std::vector<CoreSegment> segments =
+      test_segments(processed_, train_end_, config_);
+  Rng rng(config_.seed ^ 0xDE7EC7);
+  double match_seconds = 0.0;
+
+  // Normalized mean reconstruction error of a window under a cluster's
+  // model (capped at one detection chunk) — the trigger for targeted
+  // incremental fine-tuning.
+  const auto window_error = [&](const ClusterEntry& entry,
+                                const CoreSegment& window,
+                                std::size_t segment_id) {
+    const Tensor tokens =
+        model_tokens(window, config_.detect_chunk);
+    std::vector<std::size_t> offsets(tokens.size(0));
+    std::iota(offsets.begin(), offsets.end(), 0);
+    const std::vector<std::size_t> seg_ids(tokens.size(0), segment_id);
+    const Var out = entry.model->forward(Var::constant(tokens), offsets,
+                                         seg_ids, rng);
+    double err = 0.0;
+    for (std::size_t t = 0; t < tokens.size(0); ++t)
+      for (std::size_t m = 0; m < M; ++m) {
+        const double d = out.value().at(t, m) - tokens.at(t, m);
+        err += entry.metric_weights.at(m) * d * d /
+               entry.residual_scale.at(m);
+      }
+    return err / static_cast<double>(tokens.size(0)) /
+           static_cast<double>(M) / entry.baseline_error;
+  };
+
+  for (const CoreSegment& seg : segments) {
+    // ---- Pattern matching on the short window after the transition.
+    Stopwatch match_sw;
+    CoreSegment window = seg;
+    window.end = std::min(seg.end, seg.begin + config_.match_period);
+    const std::vector<float> feats =
+        library_.scale(segment_features(window));
+    const MatchResult match =
+        library_.match(feats, config_.match_threshold_factor);
+    match_seconds += match_sw.elapsed_s();
+
+    std::size_t cluster_index = match.cluster;
+    if (match.matched) {
+      ++report.segments_matched;
+      if (config_.incremental_updates) {
+        ClusterEntry& entry = library_.clusters()[cluster_index];
+        bool tune = config_.finetune_matched;
+        if (!tune && config_.finetune_trigger > 0.0) {
+          // Targeted adaptation: only when the shared model visibly misfits
+          // this segment's matching window — but not when the window looks
+          // outright anomalous (learning it would mask the fault).
+          const std::size_t member =
+              library_.nearest_member(cluster_index, feats);
+          const double err = window_error(entry, window, member);
+          tune = err > config_.finetune_trigger &&
+                 (config_.finetune_ceiling <= 0.0 ||
+                  err < config_.finetune_ceiling);
+        }
+        if (tune) {
+          // Light fine-tune on the window only (the cluster's other members
+          // are already fitted; retraining them here would dominate online
+          // cost). Positional metadata matches what detection uses below.
+          const std::size_t member =
+              library_.nearest_member(cluster_index, feats);
+          Rng tune_rng(config_.seed ^ (seg.begin * 31 + seg.node));
+          Adam optimizer(entry.model->parameters(), config_.learning_rate);
+          const Tensor tokens =
+              model_tokens(window, config_.max_tokens_per_segment);
+          // Robust (trimmed) fine-tuning: tokens in the top error quartile
+          // under the current model are excluded from the loss — if the
+          // window hides a localized anomaly, those are its points, and
+          // learning them would mask the fault for the rest of the segment.
+          std::vector<float> token_weight(tokens.size(0), 1.0f);
+          {
+            std::vector<std::size_t> offsets(tokens.size(0));
+            std::iota(offsets.begin(), offsets.end(), 0);
+            const std::vector<std::size_t> ids(tokens.size(0), member);
+            const Var probe = entry.model->forward(Var::constant(tokens),
+                                                   offsets, ids, tune_rng);
+            std::vector<float> errs(tokens.size(0));
+            for (std::size_t t = 0; t < tokens.size(0); ++t) {
+              double e = 0.0;
+              for (std::size_t m = 0; m < M; ++m) {
+                const double d = probe.value().at(t, m) - tokens.at(t, m);
+                e += entry.metric_weights.at(m) * d * d /
+                     entry.residual_scale.at(m);
+              }
+              errs[t] = static_cast<float>(e);
+            }
+            const float cut = static_cast<float>(percentile(errs, 0.75));
+            for (std::size_t t = 0; t < tokens.size(0); ++t)
+              if (errs[t] > cut) token_weight[t] = 0.0f;
+          }
+          entry.model->set_training(true);
+          const std::size_t W = std::max<std::size_t>(config_.train_window, 4);
+          for (std::size_t epoch = 0; epoch < config_.finetune_epochs;
+               ++epoch) {
+            for (std::size_t start = 0; start < tokens.size(0); start += W) {
+              const std::size_t stop = std::min<std::size_t>(tokens.size(0),
+                                                             start + W);
+              if (stop - start < 4) break;
+              Tensor chunk = slice_rows(tokens, start, stop);
+              for (std::size_t t = 0; t < chunk.size(0); ++t) {
+                if (config_.denoise_token_drop > 0.0f &&
+                    tune_rng.bernoulli(config_.denoise_token_drop)) {
+                  for (std::size_t m = 0; m < M; ++m) chunk.at(t, m) = 0.0f;
+                  continue;
+                }
+                for (std::size_t m = 0; m < M; ++m)
+                  chunk.at(t, m) += static_cast<float>(
+                      tune_rng.gaussian(0.0, config_.denoise_noise));
+              }
+              std::vector<std::size_t> offsets(stop - start);
+              std::iota(offsets.begin(), offsets.end(), start);
+              const std::vector<std::size_t> seg_ids(stop - start, member);
+              optimizer.zero_grad();
+              Var out = entry.model->forward(Var::constant(chunk), offsets,
+                                             seg_ids, tune_rng);
+              // Row-masked WMSE: rows with token weight 0 drop out of the
+              // loss (sqrt(w_m) folded into a constant [T, M] mask).
+              Tensor weight_mask(Shape{stop - start, M});
+              for (std::size_t t = 0; t < stop - start; ++t)
+                for (std::size_t m = 0; m < M; ++m)
+                  weight_mask.at(t, m) =
+                      token_weight[start + t] *
+                      std::sqrt(entry.metric_weights.at(m));
+              Var diff = vsub(
+                  out, Var::constant(slice_rows(tokens, start, stop)));
+              Var masked = vmask(diff, weight_mask);
+              Var loss = vmean(vmul(masked, masked));
+              loss.backward();
+              optimizer.step();
+            }
+          }
+          entry.model->set_training(false);
+          ++report.incremental_finetunes;
+        }
+      }
+    } else {
+      ++report.segments_unmatched;
+      if (config_.incremental_updates) {
+        // New pattern: spawn a cluster trained on the matching window.
+        ClusterEntry entry;
+        entry.centroid = feats;
+        entry.radius = std::max(
+            1e-6, library_.clusters()[match.cluster].radius);
+        entry.members.push_back(window);
+        entry.member_features.push_back(feats);
+        // Weights from this window's MAC.
+        const auto values = core_segment_values(processed_, window);
+        Tensor weights(Shape{M});
+        double weight_sum = 0.0;
+        for (std::size_t m = 0; m < M; ++m) {
+          const double w = 1.0 / (1.0 + mean_absolute_change(values[m]));
+          weights.at(m) = static_cast<float>(w);
+          weight_sum += w;
+        }
+        for (std::size_t m = 0; m < M; ++m)
+          weights.at(m) *=
+              static_cast<float>(static_cast<double>(M) / weight_sum);
+        entry.metric_weights = std::move(weights);
+        Rng model_rng(config_.seed ^ (0xBEEF + seg.node * 131 + seg.begin));
+        entry.model = std::make_shared<TransformerReconstructor>(
+            model_config(), model_rng);
+        train_cluster(entry, config_.finetune_epochs,
+                      config_.seed ^ (seg.begin * 17 + seg.node));
+        library_.clusters().push_back(std::move(entry));
+        cluster_index = library_.size() - 1;
+        ++report.incremental_new_clusters;
+      }
+    }
+
+    // ---- Reconstruction scoring with the matched shared model.
+    const ClusterEntry& entry = library_.clusters()[cluster_index];
+    const std::size_t segment_id =
+        library_.nearest_member(cluster_index, feats);
+    entry.model->set_training(false);
+    std::vector<float>& scores = report.detections[seg.node].scores;
+    const Tensor all_tokens = model_tokens(seg);
+    const std::size_t len = seg.length();
+    for (std::size_t start = 0; start < len;
+         start += config_.detect_chunk) {
+      const std::size_t stop = std::min(len, start + config_.detect_chunk);
+      if (stop - start < 2) break;
+      const Tensor chunk = slice_rows(all_tokens, start, stop);
+      std::vector<std::size_t> offsets(stop - start);
+      std::iota(offsets.begin(), offsets.end(), start);
+      const std::vector<std::size_t> seg_ids(stop - start, segment_id);
+      const Var out = entry.model->forward(Var::constant(chunk), offsets,
+                                           seg_ids, rng);
+      for (std::size_t t = 0; t < stop - start; ++t) {
+        double err = 0.0;
+        for (std::size_t m = 0; m < M; ++m) {
+          const double d = out.value().at(t, m) - chunk.at(t, m);
+          err += entry.metric_weights.at(m) * d * d /
+                 entry.residual_scale.at(m);
+        }
+        scores[seg.begin + start + t] = static_cast<float>(
+            err / static_cast<double>(M) / entry.baseline_error);
+        ++report.scored_points;
+      }
+    }
+  }
+
+  // ---- Dynamic k-sigma thresholding per node (§3.5).
+  // Reference level per timestamp: the median score of the *segment* the
+  // point belongs to. A segment whose pattern the matched model fits less
+  // well has a uniformly elevated error; judging each point against its own
+  // segment keeps those segments from drowning in false positives (and
+  // keeps anomalies inside them detectable).
+  std::vector<std::vector<float>> reference(N);
+  for (std::size_t n = 0; n < N; ++n)
+    reference[n].assign(T, 1.0f);
+  for (const CoreSegment& seg : segments) {
+    const std::vector<float>& scores = report.detections[seg.node].scores;
+    std::vector<float> seg_scores(
+        scores.begin() + static_cast<std::ptrdiff_t>(seg.begin),
+        scores.begin() + static_cast<std::ptrdiff_t>(seg.end));
+    // 25th percentile, not median: a fault can cover a large fraction of a
+    // short (clipped) test segment, and the reference must track the
+    // *normal* level, not the contaminated bulk.
+    const float ref = static_cast<float>(
+        std::max(1e-6, percentile(std::move(seg_scores), 0.25)));
+    for (std::size_t t = seg.begin; t < seg.end; ++t)
+      reference[seg.node][t] = ref;
+  }
+  for (std::size_t n = 0; n < N; ++n) {
+    const std::vector<float> smoothed = causal_median_filter(
+        report.detections[n].scores, config_.score_median_window);
+    const std::vector<std::uint8_t> base_flags =
+        ksigma_flags(smoothed, train_end_, T, config_.threshold_window,
+                     config_.k_sigma, config_.sigma_floor_fraction);
+    std::vector<std::uint8_t>& flags = report.detections[n].predictions;
+    flags.assign(T, 0);
+    for (std::size_t t = train_end_; t < T; ++t) {
+      const double ref = reference[n][t];
+      const bool above_floor =
+          config_.min_score_factor <= 0.0 ||
+          smoothed[t] >= config_.min_score_factor * ref;
+      const bool hard_hit = config_.hard_score_factor > 0.0 &&
+                            smoothed[t] >= config_.hard_score_factor * ref;
+      if ((base_flags[t] && above_floor) || hard_hit) flags[t] = 1;
+    }
+  }
+  report.match_seconds = match_seconds;
+  report.total_seconds = total.elapsed_s();
+  return report;
+}
+
+}  // namespace ns

@@ -1,0 +1,121 @@
+// NodeSentry: unsupervised node-level anomaly detection for HPC systems via
+// coarse-grained clustering and fine-grained model sharing (the paper's
+// primary contribution).
+//
+// Offline (fit): preprocess -> job-based segmentation -> TSFEL-style
+// feature extraction -> HAC with silhouette-chosen k -> per cluster, train
+// one shared Transformer+MoE reconstruction model on the K segments nearest
+// the centroid, with MAC-derived WMSE weights and segment-aware positional
+// encoding.
+//
+// Online (detect): for every test segment, extract features from a short
+// matching window after the job transition, match the nearest cluster,
+// reconstruct with its shared model, score by weighted reconstruction
+// error, and flag anomalies with a sliding k-sigma threshold. Unmatched
+// patterns optionally spawn new clusters; matched ones can be fine-tuned
+// incrementally.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cluster_library.hpp"
+#include "core/config.hpp"
+#include "core/segments.hpp"
+#include "eval/metrics.hpp"
+#include "ts/mts.hpp"
+#include "ts/preprocess.hpp"
+
+namespace ns {
+
+class NodeSentry {
+ public:
+  explicit NodeSentry(NodeSentryConfig config) : config_(std::move(config)) {}
+
+  struct FitReport {
+    double preprocess_seconds = 0.0;
+    double feature_seconds = 0.0;
+    double clustering_seconds = 0.0;
+    double training_seconds = 0.0;
+    double total_seconds = 0.0;
+    std::size_t num_segments = 0;
+    std::size_t num_clusters = 0;
+    std::size_t metrics_after_reduction = 0;
+    double silhouette = 0.0;
+  };
+
+  /// Trains the full pipeline on raw data; the standardizer is fitted on
+  /// [0, train_end) only.
+  FitReport fit(const MtsDataset& raw, std::size_t train_end);
+
+  struct DetectReport {
+    /// Per node, aligned to the full timeline (zeros before train_end).
+    std::vector<NodeDetection> detections;
+    double total_seconds = 0.0;
+    double match_seconds = 0.0;  ///< feature extraction + centroid matching
+    std::size_t scored_points = 0;
+    std::size_t segments_matched = 0;
+    std::size_t segments_unmatched = 0;
+    std::size_t incremental_new_clusters = 0;
+    std::size_t incremental_finetunes = 0;
+  };
+
+  /// Runs online detection over the test region of the fitted dataset.
+  /// With config.incremental_updates, unmatched patterns spawn new clusters
+  /// and matched patterns fine-tune their shared model (mutates the
+  /// library).
+  DetectReport detect();
+
+  const ClusterLibrary& library() const { return library_; }
+  ClusterLibrary& mutable_library() { return library_; }
+  const MtsDataset& processed() const { return processed_; }
+  std::size_t train_end() const { return train_end_; }
+  const NodeSentryConfig& config() const { return config_; }
+  /// Silhouette-optimal k found during fit (before forced_k overrides).
+  std::size_t auto_k() const { return auto_k_; }
+
+  /// Feature vector of a segment of the processed dataset (exposed for the
+  /// labeling tool and tests).
+  std::vector<float> segment_features(const CoreSegment& segment) const;
+
+  /// Token matrix of a segment, centered per metric by the mean of the
+  /// segment's leading window when config.center_tokens is set (see config
+  /// for rationale). Exposed for tests.
+  Tensor model_tokens(const CoreSegment& segment,
+                      std::size_t max_tokens = 0) const;
+
+ private:
+  /// Trains one cluster's shared model on its member segments.
+  void train_cluster(ClusterEntry& entry, std::size_t epochs,
+                     std::uint64_t seed);
+  /// Builds a fully-populated entry (centroid, radius, weights, members)
+  /// from member segment indices, then trains it.
+  ClusterEntry build_cluster(const std::vector<CoreSegment>& segments,
+                             const std::vector<std::vector<float>>& features,
+                             const std::vector<std::size_t>& member_indices,
+                             std::uint64_t seed);
+  TransformerConfig model_config() const;
+
+  NodeSentryConfig config_;
+  MtsDataset processed_;
+  std::size_t train_end_ = 0;
+  ClusterLibrary library_;
+  std::size_t auto_k_ = 0;
+};
+
+/// Sliding k-sigma dynamic threshold (§3.5): a point is anomalous when its
+/// score exceeds mean + k * stddev of the previous `window` scores.
+/// Returns per-point flags for [begin, end) of `scores` (zeros elsewhere).
+std::vector<std::uint8_t> ksigma_flags(const std::vector<float>& scores,
+                                       std::size_t begin, std::size_t end,
+                                       std::size_t window, double k_sigma,
+                                       double sigma_floor_fraction = 0.0,
+                                       double min_score = 0.0,
+                                       double hard_score = 0.0);
+
+/// Causal median filter: out[t] = median(scores[t-w+1 .. t]) (clipped at the
+/// front). Width 1 returns the input unchanged.
+std::vector<float> causal_median_filter(const std::vector<float>& scores,
+                                        std::size_t width);
+
+}  // namespace ns

@@ -1,0 +1,92 @@
+#include "core/segments.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ns {
+namespace {
+
+std::vector<CoreSegment> fixed_segments(const MtsDataset& dataset,
+                                        std::size_t region_begin,
+                                        std::size_t region_end,
+                                        const NodeSentryConfig& config) {
+  std::vector<CoreSegment> out;
+  const std::size_t w = std::max<std::size_t>(config.fixed_segment_length, 2);
+  for (std::size_t n = 0; n < dataset.num_nodes(); ++n) {
+    for (std::size_t begin = region_begin; begin < region_end; begin += w) {
+      const std::size_t end = std::min(region_end, begin + w);
+      if (end - begin >= config.min_segment_length)
+        out.push_back(CoreSegment{n, begin, end, /*job_id=*/0});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CoreSegment> training_segments(const MtsDataset& dataset,
+                                           std::size_t train_end,
+                                           const NodeSentryConfig& config) {
+  if (config.fixed_length_segmentation)
+    return fixed_segments(dataset, 0, train_end, config);
+  std::vector<CoreSegment> out;
+  for (std::size_t n = 0; n < dataset.jobs.size(); ++n) {
+    for (const JobSpan& span : dataset.jobs[n]) {
+      const std::size_t begin = span.begin;
+      const std::size_t end = std::min(span.end, train_end);
+      if (begin >= train_end) break;
+      if (end - begin >= config.min_segment_length)
+        out.push_back(CoreSegment{n, begin, end, span.job_id});
+    }
+  }
+  return out;
+}
+
+std::vector<CoreSegment> test_segments(const MtsDataset& dataset,
+                                       std::size_t train_end,
+                                       const NodeSentryConfig& config) {
+  const std::size_t T = dataset.num_timestamps();
+  if (config.fixed_length_segmentation)
+    return fixed_segments(dataset, train_end, T, config);
+  std::vector<CoreSegment> out;
+  for (std::size_t n = 0; n < dataset.jobs.size(); ++n) {
+    for (const JobSpan& span : dataset.jobs[n]) {
+      if (span.end <= train_end) continue;
+      const std::size_t begin = std::max(span.begin, train_end);
+      // Keep even short tails so the whole test region is scored; callers
+      // fall back to the best cluster when the matching window is tiny.
+      if (span.end - begin >= 2)
+        out.push_back(CoreSegment{n, begin, span.end, span.job_id});
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> core_segment_values(const MtsDataset& dataset,
+                                                    const CoreSegment& seg) {
+  NS_REQUIRE(seg.node < dataset.nodes.size() && seg.begin < seg.end &&
+                 seg.end <= dataset.num_timestamps(),
+             "core_segment_values: segment out of range");
+  const NodeSeries& series = dataset.nodes[seg.node];
+  std::vector<std::vector<float>> out(series.num_metrics());
+  for (std::size_t m = 0; m < series.num_metrics(); ++m)
+    out[m].assign(series.values[m].begin() + static_cast<std::ptrdiff_t>(seg.begin),
+                  series.values[m].begin() + static_cast<std::ptrdiff_t>(seg.end));
+  return out;
+}
+
+Tensor segment_tokens(const MtsDataset& dataset, const CoreSegment& seg,
+                      std::size_t max_tokens) {
+  const std::size_t M = dataset.num_metrics();
+  std::size_t len = seg.length();
+  if (max_tokens > 0) len = std::min(len, max_tokens);
+  Tensor tokens(Shape{len, M});
+  const NodeSeries& series = dataset.nodes[seg.node];
+  for (std::size_t t = 0; t < len; ++t)
+    for (std::size_t m = 0; m < M; ++m)
+      tokens.at(t, m) = series.values[m][seg.begin + t];
+  return tokens;
+}
+
+}  // namespace ns

@@ -1,0 +1,47 @@
+// Train/test segment derivation for the NodeSentry pipeline.
+//
+// Training segments are job spans clipped to the training region; test
+// segments are job spans clipped to the test region. Ablation C3 replaces
+// job-based boundaries with fixed-length windows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "ts/mts.hpp"
+
+namespace ns {
+
+/// A concrete [begin, end) slice of one node's processed series.
+struct CoreSegment {
+  std::size_t node = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::int64_t job_id = 0;
+
+  std::size_t length() const { return end - begin; }
+};
+
+/// Job-based (or fixed-length, per config) segments fully inside
+/// [0, train_end), at least min_segment_length long.
+std::vector<CoreSegment> training_segments(const MtsDataset& dataset,
+                                           std::size_t train_end,
+                                           const NodeSentryConfig& config);
+
+/// Segments overlapping [train_end, T), clipped to the test region.
+std::vector<CoreSegment> test_segments(const MtsDataset& dataset,
+                                       std::size_t train_end,
+                                       const NodeSentryConfig& config);
+
+/// Extracts the segment slice as [M][len] series (copies).
+std::vector<std::vector<float>> core_segment_values(const MtsDataset& dataset,
+                                                    const CoreSegment& seg);
+
+/// Token matrix [len, M] (the model's input layout) for a segment slice,
+/// optionally capped to the first `max_tokens` steps (0 = no cap).
+Tensor segment_tokens(const MtsDataset& dataset, const CoreSegment& seg,
+                      std::size_t max_tokens = 0);
+
+}  // namespace ns

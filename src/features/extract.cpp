@@ -1,0 +1,522 @@
+#include "features/extract.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/mathutil.hpp"
+#include "common/thread_pool.hpp"
+#include "features/fft.hpp"
+
+namespace ns {
+namespace {
+
+// Feature order must match kFeatureNames below.
+enum FeatureIndex : std::size_t {
+  // --- statistical (20)
+  kMean = 0,
+  kStd,
+  kVariance,
+  kMedian,
+  kMin,
+  kMax,
+  kRange,
+  kRms,
+  kAbsEnergy,
+  kSkewness,
+  kKurtosis,
+  kP05,
+  kP25,
+  kP75,
+  kP95,
+  kIqr,
+  kMeanAbsDeviation,
+  kZeroCrossRate,
+  kAboveMeanFraction,
+  kHistEntropy,
+  // --- temporal (11)
+  kMac,
+  kMeanDiff,
+  kMaxAbsDiff,
+  kSumAbsChange,
+  kAutocorrLag1,
+  kAutocorrLag4,
+  kSlope,
+  kPeakFraction,
+  kLongestStrikeAboveMean,
+  kCidCe,
+  kTurningPointRate,
+  // --- spectral (9)
+  kMaxPower,
+  kArgmaxFreq,
+  kSpectralCentroid,
+  kSpectralSpread,
+  kSpectralEntropy,
+  kSpectralRolloff,
+  kBandRatioLow,
+  kBandRatioMid,
+  kBandRatioHigh,
+  kNumFeatures
+};
+
+const std::vector<std::string> kFeatureNames = {
+    "mean", "std", "variance", "median", "min", "max", "range", "rms",
+    "abs_energy", "skewness", "kurtosis", "p05", "p25", "p75", "p95", "iqr",
+    "mean_abs_deviation", "zero_cross_rate", "above_mean_fraction",
+    "hist_entropy", "mac", "mean_diff", "max_abs_diff", "sum_abs_change",
+    "autocorr_lag1", "autocorr_lag4", "slope", "peak_fraction",
+    "longest_strike_above_mean", "cid_ce", "turning_point_rate", "max_power",
+    "argmax_freq", "spectral_centroid", "spectral_spread", "spectral_entropy",
+    "spectral_rolloff", "band_ratio_low", "band_ratio_mid", "band_ratio_high"};
+
+static_assert(kNumFeatures == 40);
+
+double autocorrelation(std::span<const float> xs, std::size_t lag, double mu,
+                       double var);
+float sanitize(double x);
+
+// Second-tier (extended) features, appended after the base set.
+const std::vector<std::string> kExtendedNames = {
+    "p10", "p90", "median_abs_deviation", "below_mean_fraction",
+    "argmax_location", "argmin_location", "diff_variance",
+    "mean_second_derivative", "autocorr_lag2", "autocorr_lag8",
+    "autocorr_lag16", "autocorr_peak", "autocorr_peak_lag", "trend_r2",
+    "ratio_beyond_1sigma", "ratio_beyond_2sigma",
+    "longest_strike_below_mean", "quarter_energy_1", "quarter_energy_2",
+    "quarter_energy_3", "quarter_energy_4", "fft_coef_1", "fft_coef_2",
+    "fft_coef_3", "fft_coef_4", "fft_coef_5", "fft_coef_6", "fft_coef_7",
+    "fft_coef_8", "haar_energy_1", "haar_energy_2", "haar_energy_3"};
+
+std::vector<float> extract_extended_features(std::span<const float> series) {
+  std::vector<float> f(kExtendedNames.size(), 0.0f);
+  const std::size_t n = series.size();
+  if (n < 2) return f;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double mu = mean(series);
+  const double var = variance(series, mu);
+  const double sd = std::sqrt(var);
+  std::vector<float> sorted(series.begin(), series.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto order_stat = [&](double q) {
+    const double pos = q * static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return (1.0 - frac) * sorted[lo] + frac * sorted[hi];
+  };
+  std::size_t slot = 0;
+  f[slot++] = sanitize(order_stat(0.10));
+  f[slot++] = sanitize(order_stat(0.90));
+  {
+    // Median absolute deviation from the median (robust spread).
+    const double med = order_stat(0.5);
+    std::vector<float> devs(n);
+    for (std::size_t i = 0; i < n; ++i)
+      devs[i] = static_cast<float>(std::abs(series[i] - med));
+    std::sort(devs.begin(), devs.end());
+    f[slot++] = sanitize(devs[n / 2]);
+  }
+  {
+    std::size_t below = 0, argmax = 0, argmin = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (series[i] < mu) ++below;
+      if (series[i] > series[argmax]) argmax = i;
+      if (series[i] < series[argmin]) argmin = i;
+    }
+    f[slot++] = sanitize(static_cast<double>(below) * inv_n);
+    f[slot++] = sanitize(static_cast<double>(argmax) * inv_n);
+    f[slot++] = sanitize(static_cast<double>(argmin) * inv_n);
+  }
+  {
+    // Variance of first differences and mean |second derivative|.
+    double diff_mu = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i)
+      diff_mu += static_cast<double>(series[i + 1]) - series[i];
+    diff_mu /= static_cast<double>(n - 1);
+    double diff_var = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double d =
+          static_cast<double>(series[i + 1]) - series[i] - diff_mu;
+      diff_var += d * d;
+    }
+    f[slot++] = sanitize(diff_var / static_cast<double>(n - 1));
+    double second = 0.0;
+    for (std::size_t i = 1; i + 1 < n; ++i)
+      second += std::abs(static_cast<double>(series[i + 1]) -
+                         2.0 * series[i] + series[i - 1]);
+    f[slot++] = sanitize(n > 2 ? second / static_cast<double>(n - 2) : 0.0);
+  }
+  f[slot++] = sanitize(autocorrelation(series, 2, mu, var));
+  f[slot++] = sanitize(autocorrelation(series, 8, mu, var));
+  f[slot++] = sanitize(autocorrelation(series, 16, mu, var));
+  {
+    // Dominant autocorrelation over lags 2..32 (periodicity strength + lag).
+    double best = 0.0;
+    std::size_t best_lag = 0;
+    for (std::size_t lag = 2; lag <= 32 && lag < n; ++lag) {
+      const double ac = autocorrelation(series, lag, mu, var);
+      if (ac > best) {
+        best = ac;
+        best_lag = lag;
+      }
+    }
+    f[slot++] = sanitize(best);
+    f[slot++] = sanitize(static_cast<double>(best_lag) / 32.0);
+  }
+  {
+    // R^2 of the least-squares linear fit (trend strength).
+    const double t_mean = (n - 1) / 2.0;
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dt = static_cast<double>(i) - t_mean;
+      num += dt * (series[i] - mu);
+      den += dt * dt;
+    }
+    const double beta = den > 0.0 ? num / den : 0.0;
+    const double ss_model = beta * beta * den;
+    f[slot++] = sanitize(var > 1e-12 ? ss_model / (var * n) : 0.0);
+  }
+  {
+    std::size_t beyond1 = 0, beyond2 = 0;
+    for (float x : series) {
+      const double d = std::abs(x - mu);
+      if (d > sd) ++beyond1;
+      if (d > 2.0 * sd) ++beyond2;
+    }
+    f[slot++] = sanitize(static_cast<double>(beyond1) * inv_n);
+    f[slot++] = sanitize(static_cast<double>(beyond2) * inv_n);
+  }
+  {
+    std::size_t strike = 0, best_strike = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      strike = series[i] < mu ? strike + 1 : 0;
+      best_strike = std::max(best_strike, strike);
+    }
+    f[slot++] = sanitize(static_cast<double>(best_strike) * inv_n);
+  }
+  {
+    // Energy distribution across the four temporal quarters (sub-pattern
+    // imbalance indicator).
+    double total = 1e-12;
+    double quarters[4] = {0, 0, 0, 0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = static_cast<double>(series[i] - mu) * (series[i] - mu);
+      quarters[std::min<std::size_t>(3, 4 * i / n)] += e;
+      total += e;
+    }
+    for (double q : quarters) f[slot++] = sanitize(q / total);
+  }
+  {
+    // Magnitudes of FFT bins 1..8 normalized by total spectral power.
+    const std::vector<double> power = power_spectrum(series);
+    double total = 1e-12;
+    for (double p : power) total += p;
+    for (std::size_t k = 1; k <= 8; ++k)
+      f[slot++] = sanitize(k < power.size() ? std::sqrt(power[k] / total)
+                                            : 0.0);
+  }
+  {
+    // Haar wavelet detail energies at 3 levels (multi-scale activity).
+    std::vector<double> approx(series.begin(), series.end());
+    for (int level = 0; level < 3; ++level) {
+      if (approx.size() < 2) {
+        f[slot++] = 0.0f;
+        continue;
+      }
+      std::vector<double> next(approx.size() / 2);
+      double detail_energy = 0.0;
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        const double a = approx[2 * i];
+        const double b = approx[2 * i + 1];
+        next[i] = (a + b) * 0.5;
+        const double d = (a - b) * 0.5;
+        detail_energy += d * d;
+      }
+      f[slot++] = sanitize(detail_energy / static_cast<double>(next.size()));
+      approx = std::move(next);
+    }
+  }
+  NS_CHECK(slot == kExtendedNames.size(),
+           "extended feature count drifted from the name table");
+  return f;
+}
+
+double autocorrelation(std::span<const float> xs, std::size_t lag, double mu,
+                       double var) {
+  if (xs.size() <= lag || var <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i + lag < xs.size(); ++i)
+    acc += (xs[i] - mu) * (xs[i + lag] - mu);
+  return acc / (static_cast<double>(xs.size() - lag) * var);
+}
+
+float sanitize(double x) {
+  if (!std::isfinite(x)) return 0.0f;
+  return static_cast<float>(std::clamp(x, -1e12, 1e12));
+}
+
+}  // namespace
+
+const std::vector<std::string>& feature_names(bool extended) {
+  if (!extended) return kFeatureNames;
+  static const std::vector<std::string> all = [] {
+    std::vector<std::string> names = kFeatureNames;
+    names.insert(names.end(), kExtendedNames.begin(), kExtendedNames.end());
+    return names;
+  }();
+  return all;
+}
+
+std::size_t features_per_metric(bool extended) {
+  return kNumFeatures + (extended ? kExtendedNames.size() : 0);
+}
+
+std::vector<float> extract_series_features(std::span<const float> series,
+                                           bool extended) {
+  std::vector<float> f(kNumFeatures, 0.0f);
+  if (extended) {
+    // Compute the base block below, then append the second tier.
+    std::vector<float> base = extract_series_features(series, false);
+    const std::vector<float> extra = extract_extended_features(series);
+    base.insert(base.end(), extra.begin(), extra.end());
+    return base;
+  }
+  const std::size_t n = series.size();
+  if (n < 2) return f;
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  // ---- statistical
+  const double mu = mean(series);
+  const double var = variance(series, mu);
+  const double sd = std::sqrt(var);
+  std::vector<float> sorted(series.begin(), series.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto order_stat = [&](double q) {
+    const double pos = q * static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return (1.0 - frac) * sorted[lo] + frac * sorted[hi];
+  };
+  f[kMean] = sanitize(mu);
+  f[kStd] = sanitize(sd);
+  f[kVariance] = sanitize(var);
+  f[kMedian] = sanitize(order_stat(0.5));
+  f[kMin] = sanitize(sorted.front());
+  f[kMax] = sanitize(sorted.back());
+  f[kRange] = sanitize(sorted.back() - sorted.front());
+  double energy = 0.0;
+  for (float x : series) energy += static_cast<double>(x) * x;
+  f[kAbsEnergy] = sanitize(energy);
+  f[kRms] = sanitize(std::sqrt(energy * inv_n));
+  if (sd > 1e-12) {
+    double m3 = 0.0, m4 = 0.0;
+    for (float x : series) {
+      const double d = (x - mu) / sd;
+      m3 += d * d * d;
+      m4 += d * d * d * d;
+    }
+    f[kSkewness] = sanitize(m3 * inv_n);
+    f[kKurtosis] = sanitize(m4 * inv_n - 3.0);
+  }
+  f[kP05] = sanitize(order_stat(0.05));
+  f[kP25] = sanitize(order_stat(0.25));
+  f[kP75] = sanitize(order_stat(0.75));
+  f[kP95] = sanitize(order_stat(0.95));
+  f[kIqr] = sanitize(order_stat(0.75) - order_stat(0.25));
+  double mad = 0.0;
+  for (float x : series) mad += std::abs(x - mu);
+  f[kMeanAbsDeviation] = sanitize(mad * inv_n);
+  std::size_t zero_cross = 0, above = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (series[i] > mu) ++above;
+    if (i > 0 && ((series[i - 1] - mu) * (series[i] - mu) < 0.0)) ++zero_cross;
+  }
+  f[kZeroCrossRate] = sanitize(static_cast<double>(zero_cross) / (n - 1));
+  f[kAboveMeanFraction] = sanitize(static_cast<double>(above) * inv_n);
+  // Histogram entropy over 10 equal-width bins.
+  if (sorted.back() > sorted.front()) {
+    constexpr std::size_t kBins = 10;
+    std::vector<std::size_t> bins(kBins, 0);
+    const double width = (sorted.back() - sorted.front()) / kBins;
+    for (float x : series) {
+      std::size_t b = static_cast<std::size_t>((x - sorted.front()) / width);
+      bins[std::min(b, kBins - 1)]++;
+    }
+    double entropy = 0.0;
+    for (std::size_t c : bins) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) * inv_n;
+      entropy -= p * std::log2(p);
+    }
+    f[kHistEntropy] = sanitize(entropy);
+  }
+
+  // ---- temporal
+  f[kMac] = sanitize(mean_absolute_change(series));
+  double sum_diff = 0.0, sum_abs_diff = 0.0, max_abs_diff = 0.0,
+         sum_sq_diff = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double d = static_cast<double>(series[i + 1]) - series[i];
+    sum_diff += d;
+    sum_abs_diff += std::abs(d);
+    max_abs_diff = std::max(max_abs_diff, std::abs(d));
+    sum_sq_diff += d * d;
+  }
+  f[kMeanDiff] = sanitize(sum_diff / (n - 1));
+  f[kMaxAbsDiff] = sanitize(max_abs_diff);
+  f[kSumAbsChange] = sanitize(sum_abs_diff);
+  f[kAutocorrLag1] = sanitize(autocorrelation(series, 1, mu, var));
+  f[kAutocorrLag4] = sanitize(autocorrelation(series, 4, mu, var));
+  // Least-squares slope against t = 0..n-1.
+  {
+    const double t_mean = (n - 1) / 2.0;
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dt = static_cast<double>(i) - t_mean;
+      num += dt * (series[i] - mu);
+      den += dt * dt;
+    }
+    f[kSlope] = sanitize(den > 0.0 ? num / den : 0.0);
+  }
+  std::size_t peaks = 0, turning = 0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const bool up = series[i] > series[i - 1];
+    const bool down = series[i] > series[i + 1];
+    if (up && down) ++peaks;
+    if ((series[i] - series[i - 1]) * (series[i + 1] - series[i]) < 0.0)
+      ++turning;
+  }
+  f[kPeakFraction] = sanitize(static_cast<double>(peaks) * inv_n);
+  f[kTurningPointRate] = sanitize(static_cast<double>(turning) * inv_n);
+  std::size_t strike = 0, best_strike = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    strike = series[i] > mu ? strike + 1 : 0;
+    best_strike = std::max(best_strike, strike);
+  }
+  f[kLongestStrikeAboveMean] =
+      sanitize(static_cast<double>(best_strike) * inv_n);
+  f[kCidCe] = sanitize(std::sqrt(sum_sq_diff));
+
+  // ---- spectral
+  const std::vector<double> power = power_spectrum(series);
+  double total_power = 0.0;
+  for (double p : power) total_power += p;
+  std::size_t argmax = 0;
+  for (std::size_t k = 1; k < power.size(); ++k)
+    if (power[k] > power[argmax]) argmax = k;
+  f[kMaxPower] = sanitize(power[argmax]);
+  f[kArgmaxFreq] =
+      sanitize(static_cast<double>(argmax) / static_cast<double>(power.size()));
+  if (total_power > 1e-12) {
+    double centroid = 0.0;
+    for (std::size_t k = 0; k < power.size(); ++k)
+      centroid += static_cast<double>(k) * power[k];
+    centroid /= total_power * static_cast<double>(power.size());
+    f[kSpectralCentroid] = sanitize(centroid);
+    double spread = 0.0;
+    for (std::size_t k = 0; k < power.size(); ++k) {
+      const double rel = static_cast<double>(k) / power.size() - centroid;
+      spread += rel * rel * power[k];
+    }
+    f[kSpectralSpread] = sanitize(std::sqrt(spread / total_power));
+    double sentropy = 0.0;
+    for (double p : power) {
+      if (p <= 0.0) continue;
+      const double q = p / total_power;
+      sentropy -= q * std::log2(q);
+    }
+    f[kSpectralEntropy] = sanitize(sentropy);
+    // Rolloff: smallest k with cumulative power >= 85%.
+    double cum = 0.0;
+    for (std::size_t k = 0; k < power.size(); ++k) {
+      cum += power[k];
+      if (cum >= 0.85 * total_power) {
+        f[kSpectralRolloff] =
+            sanitize(static_cast<double>(k) / power.size());
+        break;
+      }
+    }
+    // Thirds of the spectrum.
+    const std::size_t third = std::max<std::size_t>(1, power.size() / 3);
+    double low = 0.0, mid = 0.0, high = 0.0;
+    for (std::size_t k = 0; k < power.size(); ++k) {
+      if (k < third) low += power[k];
+      else if (k < 2 * third) mid += power[k];
+      else high += power[k];
+    }
+    f[kBandRatioLow] = sanitize(low / total_power);
+    f[kBandRatioMid] = sanitize(mid / total_power);
+    f[kBandRatioHigh] = sanitize(high / total_power);
+  }
+  return f;
+}
+
+std::vector<float> extract_segment_features(
+    const std::vector<std::vector<float>>& segment) {
+  std::vector<float> out;
+  out.reserve(segment.size() * kNumFeatures);
+  for (const auto& series : segment) {
+    const std::vector<float> f = extract_series_features(series);
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> extract_feature_matrix(
+    const MtsDataset& dataset, std::span<const SegmentRef> segments) {
+  std::vector<std::vector<float>> matrix(segments.size());
+  parallel_for(0, segments.size(), [&](std::size_t i) {
+    matrix[i] = extract_segment_features(segment_values(dataset, segments[i]));
+  });
+  return matrix;
+}
+
+void FeatureScaler::fit(const std::vector<std::vector<float>>& matrix) {
+  NS_REQUIRE(!matrix.empty(), "FeatureScaler::fit on empty matrix");
+  const std::size_t dim = matrix.front().size();
+  mean_.assign(dim, 0.0f);
+  stddev_.assign(dim, 1.0f);
+  const double inv_rows = 1.0 / static_cast<double>(matrix.size());
+  for (std::size_t d = 0; d < dim; ++d) {
+    double mu = 0.0;
+    for (const auto& row : matrix) {
+      NS_REQUIRE(row.size() == dim, "FeatureScaler: ragged matrix");
+      mu += row[d];
+    }
+    mu *= inv_rows;
+    double var = 0.0;
+    for (const auto& row : matrix) {
+      const double diff = row[d] - mu;
+      var += diff * diff;
+    }
+    var *= inv_rows;
+    mean_[d] = static_cast<float>(mu);
+    stddev_[d] = var > 1e-12 ? static_cast<float>(std::sqrt(var)) : 1.0f;
+  }
+}
+
+std::vector<float> FeatureScaler::transform(
+    const std::vector<float>& features) const {
+  NS_REQUIRE(fitted(), "FeatureScaler::transform before fit");
+  NS_REQUIRE(features.size() == mean_.size(),
+             "FeatureScaler: dimension mismatch");
+  std::vector<float> out(features.size());
+  for (std::size_t d = 0; d < features.size(); ++d)
+    out[d] = (features[d] - mean_[d]) / stddev_[d];
+  return out;
+}
+
+void FeatureScaler::transform_in_place(
+    std::vector<std::vector<float>>& matrix) const {
+  for (auto& row : matrix) row = transform(row);
+}
+
+void FeatureScaler::restore(std::vector<float> means,
+                            std::vector<float> stddevs) {
+  NS_REQUIRE(means.size() == stddevs.size(),
+             "FeatureScaler::restore: size mismatch");
+  mean_ = std::move(means);
+  stddev_ = std::move(stddevs);
+}
+
+}  // namespace ns

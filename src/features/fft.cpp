@@ -1,0 +1,59 @@
+#include "features/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+
+namespace ns {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  NS_REQUIRE(n > 0 && (n & (n - 1)) == 0,
+             "fft_inplace: size " << n << " is not a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterfly stages.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> power_spectrum(std::span<const float> series) {
+  if (series.size() < 2) return {0.0};
+  const double mu = mean(series);
+  const std::size_t n = next_pow2(series.size());
+  std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < series.size(); ++i)
+    buf[i] = {static_cast<double>(series[i]) - mu, 0.0};
+  fft_inplace(buf);
+  std::vector<double> power(n / 2 + 1);
+  for (std::size_t k = 0; k <= n / 2; ++k) power[k] = std::norm(buf[k]);
+  return power;
+}
+
+}  // namespace ns

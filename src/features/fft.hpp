@@ -1,0 +1,23 @@
+// Iterative radix-2 FFT and power-spectrum helper for spectral features.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ns {
+
+/// In-place iterative Cooley–Tukey FFT; data.size() must be a power of two.
+/// inverse=true computes the unscaled inverse transform (caller divides by N).
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// One-sided power spectrum of a real series: the input is mean-removed,
+/// zero-padded to the next power of two, transformed, and |X_k|^2 returned
+/// for k = 0 .. N/2. Series shorter than 2 samples yield a single zero bin.
+std::vector<double> power_spectrum(std::span<const float> series);
+
+}  // namespace ns

@@ -1,0 +1,187 @@
+#include "features/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+SymmetricEigen jacobi_eigen(std::vector<double> a, std::size_t n,
+                            std::size_t max_sweeps) {
+  NS_REQUIRE(a.size() == n * n, "jacobi_eigen: matrix size mismatch");
+  // V starts as identity; accumulates rotations (columns are eigenvectors).
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += a[i * n + j] * a[i * n + j];
+    if (off < 1e-18) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-15) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        // Accumulate rotation into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  SymmetricEigen out;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a[i * n + i];
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+  out.values.resize(n);
+  out.vectors.assign(n, std::vector<double>(n));
+  for (std::size_t r = 0; r < n; ++r) {
+    out.values[r] = diag[order[r]];
+    for (std::size_t k = 0; k < n; ++k)
+      out.vectors[r][k] = v[k * n + order[r]];
+  }
+  return out;
+}
+
+void Pca::fit(const std::vector<std::vector<float>>& matrix,
+              std::size_t components) {
+  NS_REQUIRE(!matrix.empty(), "Pca::fit on empty matrix");
+  const std::size_t rows = matrix.size();
+  const std::size_t dims = matrix.front().size();
+  NS_REQUIRE(components >= 1, "Pca::fit: need at least one component");
+
+  mean_.assign(dims, 0.0f);
+  for (const auto& row : matrix) {
+    NS_REQUIRE(row.size() == dims, "Pca::fit: ragged matrix");
+    for (std::size_t d = 0; d < dims; ++d) mean_[d] += row[d];
+  }
+  for (float& m : mean_) m /= static_cast<float>(rows);
+
+  // Centered data X (rows x dims), kept as doubles for the decomposition.
+  std::vector<std::vector<double>> centered(rows, std::vector<double>(dims));
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t d = 0; d < dims; ++d)
+      centered[r][d] = static_cast<double>(matrix[r][d]) - mean_[d];
+
+  const std::size_t keep =
+      std::min({components, rows > 1 ? rows - 1 : 1, dims});
+  components_.clear();
+
+  double total_variance = 0.0;
+  double kept_variance = 0.0;
+
+  if (rows <= dims) {
+    // Gram trick: eigen of G = X X^T (rows x rows); principal direction
+    // w_i = X^T u_i / sqrt(lambda_i).
+    std::vector<double> gram(rows * rows, 0.0);
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = i; j < rows; ++j) {
+        double dot = 0.0;
+        for (std::size_t d = 0; d < dims; ++d)
+          dot += centered[i][d] * centered[j][d];
+        gram[i * rows + j] = dot;
+        gram[j * rows + i] = dot;
+      }
+    const SymmetricEigen eig = jacobi_eigen(std::move(gram), rows);
+    for (double l : eig.values) total_variance += std::max(0.0, l);
+    for (std::size_t c = 0; c < keep; ++c) {
+      const double lambda = eig.values[c];
+      if (lambda <= 1e-12) break;
+      kept_variance += lambda;
+      std::vector<float> direction(dims, 0.0f);
+      const double inv_sqrt = 1.0 / std::sqrt(lambda);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double coeff = eig.vectors[c][r] * inv_sqrt;
+        for (std::size_t d = 0; d < dims; ++d)
+          direction[d] += static_cast<float>(coeff * centered[r][d]);
+      }
+      components_.push_back(std::move(direction));
+    }
+  } else {
+    // Covariance route (dims x dims).
+    std::vector<double> cov(dims * dims, 0.0);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t i = 0; i < dims; ++i)
+        for (std::size_t j = i; j < dims; ++j)
+          cov[i * dims + j] += centered[r][i] * centered[r][j];
+    for (std::size_t i = 0; i < dims; ++i)
+      for (std::size_t j = i; j < dims; ++j) {
+        cov[j * dims + i] = cov[i * dims + j];
+      }
+    const SymmetricEigen eig = jacobi_eigen(std::move(cov), dims);
+    for (double l : eig.values) total_variance += std::max(0.0, l);
+    for (std::size_t c = 0; c < keep; ++c) {
+      if (eig.values[c] <= 1e-12) break;
+      kept_variance += eig.values[c];
+      std::vector<float> direction(dims);
+      for (std::size_t d = 0; d < dims; ++d)
+        direction[d] = static_cast<float>(eig.vectors[c][d]);
+      components_.push_back(std::move(direction));
+    }
+  }
+  if (components_.empty()) {
+    // Degenerate data (all rows identical): a single arbitrary direction so
+    // transform() still produces a well-formed (all-zero) projection.
+    components_.emplace_back(dims, 0.0f);
+    components_[0][0] = 1.0f;
+  }
+  explained_ratio_ =
+      total_variance > 0.0 ? kept_variance / total_variance : 1.0;
+}
+
+std::vector<float> Pca::transform(const std::vector<float>& features) const {
+  NS_REQUIRE(fitted(), "Pca::transform before fit");
+  NS_REQUIRE(features.size() == mean_.size(), "Pca::transform: dim mismatch");
+  std::vector<float> out(components_.size(), 0.0f);
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < features.size(); ++d)
+      acc += (features[d] - mean_[d]) * components_[c][d];
+    out[c] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+void Pca::transform_in_place(std::vector<std::vector<float>>& matrix) const {
+  for (auto& row : matrix) row = transform(row);
+}
+
+void Pca::restore(std::vector<float> mean,
+                  std::vector<std::vector<float>> components) {
+  NS_REQUIRE(!components.empty(), "Pca::restore: no components");
+  for (const auto& c : components)
+    NS_REQUIRE(c.size() == mean.size(), "Pca::restore: dim mismatch");
+  mean_ = std::move(mean);
+  components_ = std::move(components);
+}
+
+}  // namespace ns

@@ -1,0 +1,99 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ns {
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream os(path);
+  NS_REQUIRE(os.good(), "write_csv: cannot open " << path);
+  const auto write_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << quote(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header.empty()) write_row(header);
+  for (const auto& row : rows) write_row(row);
+  NS_REQUIRE(os.good(), "write_csv: write failed for " << path);
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) throw ParseError("read_csv: cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_started = false;
+  char c;
+  while (is.get(c)) {
+    row_started = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (is.peek() == '"') {
+          field += '"';
+          is.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      if (!field.empty()) throw ParseError("read_csv: stray quote in " + path);
+      in_quotes = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+      row_started = false;
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  if (in_quotes) throw ParseError("read_csv: unterminated quote in " + path);
+  if (row_started) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+}  // namespace ns

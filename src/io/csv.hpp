@@ -1,0 +1,22 @@
+// Minimal CSV read/write (dataset export, label persistence, bench output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ns {
+
+/// Writes rows as CSV. `header` may be empty. Values containing commas,
+/// quotes or newlines are quoted per RFC 4180.
+void write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Reads a CSV file into rows of fields. Handles quoted fields and CRLF.
+/// Throws ns::ParseError on malformed quoting or unreadable files.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
+
+/// Formats a double with fixed precision (bench table cells).
+std::string format_double(double value, int precision = 3);
+
+}  // namespace ns

@@ -1,0 +1,166 @@
+#include "io/dataset_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <map>
+
+#include "common/error.hpp"
+#include "io/csv.hpp"
+
+namespace ns {
+namespace fs = std::filesystem;
+namespace {
+
+MetricCategory category_from_name(const std::string& name) {
+  if (name == "CPU") return MetricCategory::kCpu;
+  if (name == "Memory") return MetricCategory::kMemory;
+  if (name == "Filesystem") return MetricCategory::kFilesystem;
+  if (name == "Network") return MetricCategory::kNetwork;
+  if (name == "Process") return MetricCategory::kProcess;
+  if (name == "System") return MetricCategory::kSystem;
+  throw ParseError("unknown metric category: " + name);
+}
+
+}  // namespace
+
+void save_dataset(const MtsDataset& dataset, const std::string& directory) {
+  dataset.validate();
+  fs::create_directories(fs::path(directory) / "nodes");
+
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const MetricMeta& meta : dataset.metrics)
+      rows.push_back({meta.name, meta.semantic_group,
+                      metric_category_name(meta.category),
+                      std::to_string(meta.unit_id)});
+    write_csv((fs::path(directory) / "metrics.csv").string(),
+              {"name", "semantic_group", "category", "unit_id"}, rows);
+  }
+  for (const NodeSeries& node : dataset.nodes) {
+    std::vector<std::string> header{"timestamp"};
+    for (const MetricMeta& meta : dataset.metrics) header.push_back(meta.name);
+    std::vector<std::vector<std::string>> rows;
+    const std::size_t T = node.num_timestamps();
+    rows.reserve(T);
+    for (std::size_t t = 0; t < T; ++t) {
+      std::vector<std::string> row{std::to_string(t)};
+      for (std::size_t m = 0; m < node.num_metrics(); ++m) {
+        const float v = node.values[m][t];
+        row.push_back(std::isnan(v) ? std::string() : format_double(v, 6));
+      }
+      rows.push_back(std::move(row));
+    }
+    write_csv((fs::path(directory) / "nodes" / (node.node_name + ".csv"))
+                  .string(),
+              header, rows);
+  }
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t n = 0; n < dataset.jobs.size(); ++n)
+      for (const JobSpan& span : dataset.jobs[n])
+        rows.push_back({dataset.nodes[n].node_name,
+                        std::to_string(span.job_id),
+                        std::to_string(span.begin), std::to_string(span.end)});
+    write_csv((fs::path(directory) / "jobs.csv").string(),
+              {"node", "job_id", "begin", "end"}, rows);
+  }
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t n = 0; n < dataset.labels.size(); ++n)
+      for (std::size_t t = 0; t < dataset.labels[n].size(); ++t)
+        if (dataset.labels[n][t])
+          rows.push_back({dataset.nodes[n].node_name, std::to_string(t)});
+    write_csv((fs::path(directory) / "labels.csv").string(),
+              {"node", "timestamp"}, rows);
+  }
+  write_csv((fs::path(directory) / "meta.csv").string(), {"key", "value"},
+            {{"interval_seconds", format_double(dataset.interval_seconds, 3)}});
+}
+
+MtsDataset load_dataset(const std::string& directory) {
+  MtsDataset dataset;
+  const auto metric_rows =
+      read_csv((fs::path(directory) / "metrics.csv").string());
+  NS_REQUIRE(metric_rows.size() >= 2, "metrics.csv empty in " << directory);
+  for (std::size_t r = 1; r < metric_rows.size(); ++r) {
+    const auto& row = metric_rows[r];
+    NS_REQUIRE(row.size() == 4, "metrics.csv: bad row " << r);
+    MetricMeta meta;
+    meta.name = row[0];
+    meta.semantic_group = row[1];
+    meta.category = category_from_name(row[2]);
+    meta.unit_id = std::stoi(row[3]);
+    dataset.metrics.push_back(std::move(meta));
+  }
+  const std::size_t M = dataset.metrics.size();
+
+  std::vector<fs::path> node_files;
+  for (const auto& file : fs::directory_iterator(fs::path(directory) / "nodes"))
+    if (file.path().extension() == ".csv") node_files.push_back(file.path());
+  std::sort(node_files.begin(), node_files.end());
+  std::map<std::string, std::size_t> node_index;
+  for (const auto& path : node_files) {
+    const auto rows = read_csv(path.string());
+    NS_REQUIRE(rows.size() >= 2, "empty node file " << path.string());
+    NS_REQUIRE(rows[0].size() == M + 1,
+               "node file " << path.string() << " has " << rows[0].size() - 1
+                            << " metrics, expected " << M);
+    NodeSeries node;
+    node.node_name = path.stem().string();
+    node.values.assign(M, std::vector<float>(rows.size() - 1));
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+      NS_REQUIRE(rows[r].size() == M + 1,
+                 "node file " << path.string() << ": ragged row " << r);
+      for (std::size_t m = 0; m < M; ++m) {
+        const std::string& cell = rows[r][m + 1];
+        node.values[m][r - 1] =
+            cell.empty() ? kMissingValue : std::stof(cell);
+      }
+    }
+    node_index[node.node_name] = dataset.nodes.size();
+    dataset.nodes.push_back(std::move(node));
+  }
+  NS_REQUIRE(!dataset.nodes.empty(), "no node files in " << directory);
+  const std::size_t T = dataset.num_timestamps();
+
+  dataset.jobs.assign(dataset.nodes.size(), {});
+  const auto job_rows = read_csv((fs::path(directory) / "jobs.csv").string());
+  for (std::size_t r = 1; r < job_rows.size(); ++r) {
+    const auto& row = job_rows[r];
+    NS_REQUIRE(row.size() == 4, "jobs.csv: bad row " << r);
+    const auto it = node_index.find(row[0]);
+    NS_REQUIRE(it != node_index.end(), "jobs.csv: unknown node " << row[0]);
+    dataset.jobs[it->second].push_back(JobSpan{
+        std::stoll(row[1]), std::stoul(row[2]), std::stoul(row[3])});
+  }
+
+  dataset.labels.assign(dataset.nodes.size(),
+                        std::vector<std::uint8_t>(T, 0));
+  if (fs::exists(fs::path(directory) / "labels.csv")) {
+    const auto label_rows =
+        read_csv((fs::path(directory) / "labels.csv").string());
+    for (std::size_t r = 1; r < label_rows.size(); ++r) {
+      const auto& row = label_rows[r];
+      NS_REQUIRE(row.size() == 2, "labels.csv: bad row " << r);
+      const auto it = node_index.find(row[0]);
+      NS_REQUIRE(it != node_index.end(), "labels.csv: unknown node "
+                                             << row[0]);
+      const std::size_t t = std::stoul(row[1]);
+      NS_REQUIRE(t < T, "labels.csv: timestamp out of range");
+      dataset.labels[it->second][t] = 1;
+    }
+  }
+
+  if (fs::exists(fs::path(directory) / "meta.csv")) {
+    const auto meta_rows =
+        read_csv((fs::path(directory) / "meta.csv").string());
+    for (std::size_t r = 1; r < meta_rows.size(); ++r)
+      if (meta_rows[r].size() == 2 && meta_rows[r][0] == "interval_seconds")
+        dataset.interval_seconds = std::stod(meta_rows[r][1]);
+  }
+  dataset.validate();
+  return dataset;
+}
+
+}  // namespace ns

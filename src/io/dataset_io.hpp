@@ -1,0 +1,27 @@
+// MtsDataset import/export as a directory of CSV files — the on-disk format
+// a real deployment feeds NodeSentry with (Prometheus exports + sacct job
+// lists) and the labeling tool's node_data/ layout.
+//
+// Layout:
+//   <dir>/metrics.csv   name,semantic_group,category,unit_id
+//   <dir>/nodes/<node>.csv   timestamp,<metric_0>,...   (one row per step)
+//   <dir>/jobs.csv      node,job_id,begin,end
+//   <dir>/labels.csv    node,timestamp               (anomalous points only)
+//   <dir>/meta.csv      key,value                    (interval_seconds, ...)
+#pragma once
+
+#include <string>
+
+#include "ts/mts.hpp"
+
+namespace ns {
+
+/// Writes the dataset; creates the directory tree. Missing values (NaN)
+/// are written as empty fields.
+void save_dataset(const MtsDataset& dataset, const std::string& directory);
+
+/// Reads a dataset written by save_dataset (or assembled by hand in the
+/// same layout). Validates the result. Empty fields load as NaN.
+MtsDataset load_dataset(const std::string& directory);
+
+}  // namespace ns

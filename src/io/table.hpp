@@ -1,0 +1,25 @@
+// Aligned plain-text table printer for the benchmark harnesses, so bench
+// output mirrors the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ns {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with column alignment and a separator under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ns

@@ -1,0 +1,101 @@
+#include "labeling/cluster_adjust.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "cluster/distance.hpp"
+#include "common/error.hpp"
+
+namespace ns {
+
+ClusterAdjustment::ClusterAdjustment(std::vector<std::vector<float>> features,
+                                     std::vector<std::size_t> labels)
+    : features_(std::move(features)),
+      original_labels_(labels),
+      labels_(std::move(labels)) {
+  NS_REQUIRE(features_.size() == labels_.size(),
+             "ClusterAdjustment: features/labels size mismatch");
+}
+
+std::size_t ClusterAdjustment::num_clusters() const {
+  std::size_t k = 0;
+  for (std::size_t l : labels_) k = std::max(k, l + 1);
+  return k;
+}
+
+void ClusterAdjustment::move_segment(std::size_t segment,
+                                     std::size_t cluster) {
+  NS_REQUIRE(segment < labels_.size(), "move_segment: bad segment index");
+  NS_REQUIRE(cluster <= num_clusters(),
+             "move_segment: cluster index skips ids");
+  labels_[segment] = cluster;
+  compact_labels();
+  ++adjustments_;
+}
+
+void ClusterAdjustment::merge_clusters(std::size_t from, std::size_t into) {
+  NS_REQUIRE(from < num_clusters() && into < num_clusters() && from != into,
+             "merge_clusters: bad cluster ids");
+  for (std::size_t& l : labels_)
+    if (l == from) l = into;
+  compact_labels();
+  ++adjustments_;
+}
+
+std::vector<std::size_t> ClusterAdjustment::members(
+    std::size_t cluster) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels_.size(); ++i)
+    if (labels_[i] == cluster) out.push_back(i);
+  return out;
+}
+
+std::vector<float> ClusterAdjustment::centroid(std::size_t cluster) const {
+  const std::vector<std::size_t> idx = members(cluster);
+  NS_REQUIRE(!idx.empty(), "centroid of empty cluster " << cluster);
+  return centroid_of(features_, idx);
+}
+
+void ClusterAdjustment::compact_labels() {
+  std::vector<std::size_t> remap;
+  for (std::size_t& l : labels_) {
+    const auto it = std::find(remap.begin(), remap.end(), l);
+    if (it == remap.end()) {
+      remap.push_back(l);
+      l = remap.size() - 1;
+    } else {
+      l = static_cast<std::size_t>(it - remap.begin());
+    }
+  }
+}
+
+void ClusterAdjustment::save(const std::string& directory) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  const auto dump = [](const fs::path& path,
+                       const std::vector<std::size_t>& labels) {
+    std::ofstream os(path);
+    NS_REQUIRE(os.good(), "cannot write " << path.string());
+    for (std::size_t i = 0; i < labels.size(); ++i)
+      os << i << ' ' << labels[i] << '\n';
+  };
+  dump(fs::path(directory) / "cluster_result.txt", original_labels_);
+  dump(fs::path(directory) / "cluster_adjust.txt", labels_);
+}
+
+std::vector<std::size_t> ClusterAdjustment::load_adjusted(
+    const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::ifstream is(fs::path(directory) / "cluster_adjust.txt");
+  NS_REQUIRE(is.good(), "cannot read cluster_adjust.txt in " << directory);
+  std::vector<std::size_t> labels;
+  std::size_t index = 0, label = 0;
+  while (is >> index >> label) {
+    if (labels.size() <= index) labels.resize(index + 1, 0);
+    labels[index] = label;
+  }
+  return labels;
+}
+
+}  // namespace ns

@@ -1,0 +1,57 @@
+// Cluster-adjustment workflow of the labeling tool (artifact A2): operators
+// inspect automatic clustering results, move segments between clusters,
+// merge clusters, and persist the adjusted grouping; centroids are updated
+// after every adjustment so the detection pipeline can consume them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ns {
+
+class ClusterAdjustment {
+ public:
+  /// Starts from an automatic clustering result: per-segment features and
+  /// labels in [0, k).
+  ClusterAdjustment(std::vector<std::vector<float>> features,
+                    std::vector<std::size_t> labels);
+
+  std::size_t num_segments() const { return features_.size(); }
+  std::size_t num_clusters() const;
+  const std::vector<std::size_t>& labels() const { return labels_; }
+
+  /// Moves one segment to a (possibly brand-new) cluster.
+  void move_segment(std::size_t segment, std::size_t cluster);
+
+  /// Merges cluster `from` into cluster `into`; labels are compacted.
+  void merge_clusters(std::size_t from, std::size_t into);
+
+  /// Members of one cluster.
+  std::vector<std::size_t> members(std::size_t cluster) const;
+
+  /// Centroid of one cluster (recomputed from current membership).
+  std::vector<float> centroid(std::size_t cluster) const;
+
+  /// Number of user adjustments applied so far.
+  std::size_t adjustment_count() const { return adjustments_; }
+
+  /// Persists cluster_result.txt (the original automatic labels) and
+  /// cluster_adjust.txt (current labels) into `directory`, mirroring the
+  /// artifact's config_files layout.
+  void save(const std::string& directory) const;
+
+  /// Reloads the adjusted labels from a directory written by save();
+  /// features must be supplied by the caller (they are not persisted).
+  static std::vector<std::size_t> load_adjusted(const std::string& directory);
+
+ private:
+  void compact_labels();
+
+  std::vector<std::vector<float>> features_;
+  std::vector<std::size_t> original_labels_;
+  std::vector<std::size_t> labels_;
+  std::size_t adjustments_ = 0;
+};
+
+}  // namespace ns

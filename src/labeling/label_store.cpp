@@ -1,0 +1,132 @@
+#include "labeling/label_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "io/csv.hpp"
+
+namespace ns {
+
+LabelStore::NodeLabels& LabelStore::node_entry(const std::string& node) {
+  for (auto& entry : per_node_)
+    if (entry.node == node) return entry;
+  per_node_.push_back(NodeLabels{node, {}});
+  return per_node_.back();
+}
+
+const LabelStore::NodeLabels* LabelStore::find_node(
+    const std::string& node) const {
+  for (const auto& entry : per_node_)
+    if (entry.node == node) return &entry;
+  return nullptr;
+}
+
+void LabelStore::add_label(const std::string& node, std::size_t begin,
+                           std::size_t end, const std::string& tag) {
+  NS_REQUIRE(begin < end, "add_label: empty interval");
+  NodeLabels& entry = node_entry(node);
+  LabelInterval merged{begin, end, tag};
+  std::vector<LabelInterval> kept;
+  for (const LabelInterval& iv : entry.intervals) {
+    const bool touches = iv.tag == tag && iv.begin <= merged.end &&
+                         merged.begin <= iv.end;
+    if (touches) {
+      merged.begin = std::min(merged.begin, iv.begin);
+      merged.end = std::max(merged.end, iv.end);
+    } else {
+      kept.push_back(iv);
+    }
+  }
+  kept.push_back(merged);
+  std::sort(kept.begin(), kept.end(),
+            [](const LabelInterval& a, const LabelInterval& b) {
+              return a.begin < b.begin;
+            });
+  entry.intervals = std::move(kept);
+  history_.push_back(
+      AnnotationRecord{next_sequence_++, "label", node, begin, end, tag});
+}
+
+void LabelStore::cancel(const std::string& node, std::size_t begin,
+                        std::size_t end) {
+  NS_REQUIRE(begin < end, "cancel: empty interval");
+  NodeLabels& entry = node_entry(node);
+  std::vector<LabelInterval> kept;
+  for (const LabelInterval& iv : entry.intervals) {
+    if (iv.end <= begin || iv.begin >= end) {
+      kept.push_back(iv);
+      continue;
+    }
+    if (iv.begin < begin) kept.push_back({iv.begin, begin, iv.tag});
+    if (iv.end > end) kept.push_back({end, iv.end, iv.tag});
+  }
+  entry.intervals = std::move(kept);
+  history_.push_back(
+      AnnotationRecord{next_sequence_++, "cancel", node, begin, end, ""});
+}
+
+std::vector<LabelInterval> LabelStore::labels(const std::string& node) const {
+  const NodeLabels* entry = find_node(node);
+  return entry ? entry->intervals : std::vector<LabelInterval>{};
+}
+
+std::vector<std::string> LabelStore::nodes() const {
+  std::vector<std::string> out;
+  for (const auto& entry : per_node_)
+    if (!entry.intervals.empty()) out.push_back(entry.node);
+  return out;
+}
+
+std::vector<std::uint8_t> LabelStore::pointwise(const std::string& node,
+                                                std::size_t total) const {
+  std::vector<std::uint8_t> out(total, 0);
+  for (const LabelInterval& iv : labels(node))
+    for (std::size_t t = iv.begin; t < std::min(iv.end, total); ++t)
+      out[t] = 1;
+  return out;
+}
+
+void LabelStore::save(const std::string& directory) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(fs::path(directory) / "labels");
+  for (const auto& entry : per_node_) {
+    std::vector<std::vector<std::string>> rows;
+    for (const LabelInterval& iv : entry.intervals)
+      rows.push_back({std::to_string(iv.begin), std::to_string(iv.end),
+                      iv.tag});
+    write_csv((fs::path(directory) / "labels" / (entry.node + ".csv")).string(),
+              {"begin", "end", "tag"}, rows);
+  }
+  std::ofstream history(fs::path(directory) / "annotation_history.txt");
+  NS_REQUIRE(history.good(), "cannot write annotation history");
+  for (const AnnotationRecord& rec : history_)
+    history << rec.sequence << ' ' << rec.operation << ' ' << rec.node << ' '
+            << rec.begin << ' ' << rec.end << ' ' << rec.tag << '\n';
+}
+
+LabelStore LabelStore::load(const std::string& directory) {
+  namespace fs = std::filesystem;
+  LabelStore store;
+  const fs::path labels_dir = fs::path(directory) / "labels";
+  NS_REQUIRE(fs::exists(labels_dir),
+             "LabelStore::load: missing " << labels_dir.string());
+  std::vector<fs::path> files;
+  for (const auto& file : fs::directory_iterator(labels_dir))
+    if (file.path().extension() == ".csv") files.push_back(file.path());
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    const std::string node = path.stem().string();
+    const auto rows = read_csv(path.string());
+    for (std::size_t r = 1; r < rows.size(); ++r) {  // skip header
+      NS_REQUIRE(rows[r].size() >= 3, "malformed label row in "
+                                          << path.string());
+      store.add_label(node, std::stoul(rows[r][0]), std::stoul(rows[r][1]),
+                      rows[r][2]);
+    }
+  }
+  return store;
+}
+
+}  // namespace ns

@@ -1,0 +1,72 @@
+// Interval anomaly-label store with persistent annotation history — the
+// data model behind the paper's labeling tool (artifact A2, §4.2).
+//
+// Operators label (or cancel) [begin, end) anomaly intervals per node; every
+// operation is appended to an annotation history, labels can be exported as
+// per-node CSV files and converted to point-wise vectors for evaluation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ns {
+
+struct LabelInterval {
+  std::size_t begin = 0;  ///< timestamp index, inclusive
+  std::size_t end = 0;    ///< exclusive
+  std::string tag;        ///< free-form anomaly class ("memory", "cpu", ...)
+};
+
+struct AnnotationRecord {
+  std::size_t sequence = 0;
+  std::string operation;  ///< "label" | "cancel"
+  std::string node;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::string tag;
+};
+
+class LabelStore {
+ public:
+  /// Marks [begin, end) anomalous on `node`. Overlapping/adjacent intervals
+  /// with the same tag are merged.
+  void add_label(const std::string& node, std::size_t begin, std::size_t end,
+                 const std::string& tag = "anomaly");
+
+  /// Removes any labeled portion intersecting [begin, end) on `node`
+  /// (splitting partially covered intervals).
+  void cancel(const std::string& node, std::size_t begin, std::size_t end);
+
+  /// Sorted labels of one node (empty if none).
+  std::vector<LabelInterval> labels(const std::string& node) const;
+
+  std::vector<std::string> nodes() const;
+
+  /// Point-wise 0/1 vector of length `total` for evaluation.
+  std::vector<std::uint8_t> pointwise(const std::string& node,
+                                      std::size_t total) const;
+
+  const std::vector<AnnotationRecord>& history() const { return history_; }
+
+  /// Persists per-node CSVs into <directory>/labels/ plus
+  /// annotation_history.txt (mirrors the artifact's output layout).
+  void save(const std::string& directory) const;
+  /// Restores a store saved by save().
+  static LabelStore load(const std::string& directory);
+
+ private:
+  struct NodeLabels {
+    std::string node;
+    std::vector<LabelInterval> intervals;  // kept sorted, non-overlapping
+  };
+  NodeLabels& node_entry(const std::string& node);
+  const NodeLabels* find_node(const std::string& node) const;
+
+  std::vector<NodeLabels> per_node_;
+  std::vector<AnnotationRecord> history_;
+  std::size_t next_sequence_ = 0;
+};
+
+}  // namespace ns

@@ -1,0 +1,48 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t dim,
+                                               std::size_t heads, Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      out_proj_(dim, dim, rng) {
+  NS_REQUIRE(heads > 0 && dim % heads == 0,
+             "attention dim " << dim << " not divisible by heads " << heads);
+  wq_.reserve(heads);
+  wk_.reserve(heads);
+  wv_.reserve(heads);
+  for (std::size_t h = 0; h < heads; ++h) {
+    wq_.push_back(add_parameter(xavier_init(dim, head_dim_, rng)));
+    wk_.push_back(add_parameter(xavier_init(dim, head_dim_, rng)));
+    wv_.push_back(add_parameter(xavier_init(dim, head_dim_, rng)));
+  }
+  register_child(&out_proj_);
+}
+
+Var MultiHeadSelfAttention::forward(const Var& x) const {
+  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == dim_,
+             "attention input must be [T," << dim_ << "], got "
+                                           << shape_to_string(x.shape()));
+  const float inv_sqrt_dh =
+      1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Var> head_outputs;
+  head_outputs.reserve(heads_);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    Var q = vmatmul(x, wq_[h]);                       // [T, dh]
+    Var k = vmatmul(x, wk_[h]);                       // [T, dh]
+    Var v = vmatmul(x, wv_[h]);                       // [T, dh]
+    Var scores = vscale(vmatmul(q, vtranspose(k)), inv_sqrt_dh);  // [T, T]
+    Var attn = vsoftmax_rows(scores);
+    head_outputs.push_back(vmatmul(attn, v));         // [T, dh]
+  }
+  Var merged = vconcat_cols(head_outputs);            // [T, dim]
+  return out_proj_.forward(merged);
+}
+
+}  // namespace ns

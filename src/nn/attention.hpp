@@ -1,0 +1,30 @@
+// Multi-head self-attention over a token sequence [T, D].
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace ns {
+
+class MultiHeadSelfAttention : public Module {
+ public:
+  /// dim must be divisible by heads.
+  MultiHeadSelfAttention(std::size_t dim, std::size_t heads, Rng& rng);
+
+  /// x: [T, dim] -> [T, dim].
+  Var forward(const Var& x) const;
+
+  std::size_t heads() const { return heads_; }
+
+ private:
+  std::size_t dim_, heads_, head_dim_;
+  // Per-head projection matrices [dim, head_dim].
+  std::vector<Var> wq_, wk_, wv_;
+  Linear out_proj_;
+};
+
+}  // namespace ns

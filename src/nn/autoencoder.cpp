@@ -1,0 +1,74 @@
+#include "nn/autoencoder.hpp"
+
+#include "common/error.hpp"
+
+namespace ns {
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Rng& rng) {
+  NS_REQUIRE(dims.size() >= 2, "Mlp needs at least input and output dims");
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    register_child(layers_.back().get());
+  }
+}
+
+Var Mlp::forward(const Var& x) const {
+  Var h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    if (i + 1 < layers_.size()) h = vrelu(h);
+  }
+  return h;
+}
+
+DenseAutoencoder::DenseAutoencoder(std::size_t input, std::size_t hidden,
+                                   std::size_t bottleneck, Rng& rng)
+    : encoder_({input, hidden, bottleneck}, rng),
+      decoder_({bottleneck, hidden, input}, rng) {
+  register_child(&encoder_);
+  register_child(&decoder_);
+}
+
+Var DenseAutoencoder::forward(const Var& x) const {
+  return decoder_.forward(vrelu(encoder_.forward(x)));
+}
+
+VariationalAutoencoder::VariationalAutoencoder(std::size_t input,
+                                               std::size_t hidden,
+                                               std::size_t latent, Rng& rng)
+    : latent_(latent),
+      encoder_({input, hidden}, rng),
+      mu_head_(hidden, latent, rng),
+      logvar_head_(hidden, latent, rng),
+      decoder_({latent, hidden, input}, rng) {
+  register_child(&encoder_);
+  register_child(&mu_head_);
+  register_child(&logvar_head_);
+  register_child(&decoder_);
+}
+
+VariationalAutoencoder::Output VariationalAutoencoder::forward(
+    const Var& x, Rng& rng) const {
+  Var h = vrelu(encoder_.forward(x));
+  Var mu = mu_head_.forward(h);
+  Var logvar = logvar_head_.forward(h);
+  // z = mu + eps * exp(0.5 * logvar), eps ~ N(0, I) held constant.
+  const std::size_t rows = mu.shape()[0];
+  Tensor eps = Tensor::randn(Shape{rows, latent_}, rng);
+  Var std_dev = vexp(vscale(logvar, 0.5f));
+  Var z = vadd(mu, vmul(Var::constant(std::move(eps)), std_dev));
+  return {decoder_.forward(z), mu, logvar};
+}
+
+Var VariationalAutoencoder::loss(const Output& out, const Tensor& target,
+                                 float beta) {
+  Var recon = vmse_loss(out.reconstruction, target);
+  // KL(q || N(0,I)) = -0.5 * mean(1 + logvar - mu^2 - exp(logvar)).
+  Var kl_terms = vsub(vadd_scalar(out.logvar, 1.0f),
+                      vadd(vmul(out.mu, out.mu), vexp(out.logvar)));
+  Var kl = vscale(vmean(kl_terms), -0.5f);
+  return vadd(recon, vscale(kl, beta));
+}
+
+}  // namespace ns

@@ -1,0 +1,67 @@
+// Dense autoencoder and variational autoencoder (substrates for the ExaMon
+// and Prodigy baselines).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace ns {
+
+/// MLP with ReLU between layers; dims = {in, h1, ..., out}.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<std::size_t>& dims, Rng& rng);
+
+  /// Applies every layer; ReLU after all but the last.
+  Var forward(const Var& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+/// Symmetric dense autoencoder: in -> hidden -> bottleneck -> hidden -> in.
+class DenseAutoencoder : public Module {
+ public:
+  DenseAutoencoder(std::size_t input, std::size_t hidden,
+                   std::size_t bottleneck, Rng& rng);
+
+  Var forward(const Var& x) const;
+
+ private:
+  Mlp encoder_;
+  Mlp decoder_;
+};
+
+/// Variational autoencoder with Gaussian latent, reparameterization trick.
+class VariationalAutoencoder : public Module {
+ public:
+  VariationalAutoencoder(std::size_t input, std::size_t hidden,
+                         std::size_t latent, Rng& rng);
+
+  struct Output {
+    Var reconstruction;  ///< [T, input]
+    Var mu;              ///< [T, latent]
+    Var logvar;          ///< [T, latent]
+  };
+
+  /// rng supplies the reparameterization noise.
+  Output forward(const Var& x, Rng& rng) const;
+
+  /// ELBO-style loss: MSE(recon, x) + beta * KL(q(z|x) || N(0, I)).
+  static Var loss(const Output& out, const Tensor& target, float beta = 1e-3f);
+
+  std::size_t latent_size() const { return latent_; }
+
+ private:
+  std::size_t latent_;
+  Mlp encoder_;
+  Linear mu_head_;
+  Linear logvar_head_;
+  Mlp decoder_;
+};
+
+}  // namespace ns

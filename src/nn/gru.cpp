@@ -1,0 +1,64 @@
+#include "nn/gru.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+GRUCell::GRUCell(std::size_t input, std::size_t hidden, Rng& rng)
+    : input_(input),
+      hidden_(hidden),
+      wx_gates_(add_parameter(xavier_init(input, 2 * hidden, rng))),
+      wh_gates_(add_parameter(xavier_init(hidden, 2 * hidden, rng))),
+      b_gates_(add_parameter(Tensor(Shape{2 * hidden}))),
+      wx_cand_(add_parameter(xavier_init(input, hidden, rng))),
+      wh_cand_(add_parameter(xavier_init(hidden, hidden, rng))),
+      b_cand_(add_parameter(Tensor(Shape{hidden}))) {}
+
+Var GRUCell::initial_state(std::size_t batch) const {
+  return Var::constant(Tensor(Shape{batch, hidden_}));
+}
+
+Var GRUCell::step(const Var& x, const Var& h) const {
+  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == input_,
+             "GRU step input must be [B," << input_ << "]");
+  Var gates = vadd_rowvec(
+      vadd(vmatmul(x, wx_gates_), vmatmul(h, wh_gates_)), b_gates_);
+  const std::size_t H = hidden_;
+  Var r = vsigmoid(vslice_cols(gates, 0, H));
+  Var z = vsigmoid(vslice_cols(gates, H, 2 * H));
+  Var candidate = vtanh(vadd_rowvec(
+      vadd(vmatmul(x, wx_cand_), vmatmul(vmul(r, h), wh_cand_)), b_cand_));
+  // h' = (1 - z) * candidate + z * h = candidate + z * (h - candidate).
+  return vadd(candidate, vmul(z, vsub(h, candidate)));
+}
+
+GruEncoder::GruEncoder(std::size_t input, std::size_t hidden, Rng& rng)
+    : cell_(input, hidden, rng) {
+  register_child(&cell_);
+}
+
+Var GruEncoder::forward(const Var& x) const {
+  const std::size_t steps = x.shape()[0];
+  NS_REQUIRE(steps > 0, "GruEncoder needs at least one timestep");
+  Var h = cell_.initial_state(1);
+  std::vector<Var> outputs;
+  outputs.reserve(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    h = cell_.step(vslice_rows(x, t, t + 1), h);
+    outputs.push_back(h);
+  }
+  return vconcat_rows(outputs);
+}
+
+Var GruEncoder::encode(const Var& x) const {
+  const std::size_t steps = x.shape()[0];
+  NS_REQUIRE(steps > 0, "GruEncoder needs at least one timestep");
+  Var h = cell_.initial_state(1);
+  for (std::size_t t = 0; t < steps; ++t)
+    h = cell_.step(vslice_rows(x, t, t + 1), h);
+  return h;
+}
+
+}  // namespace ns

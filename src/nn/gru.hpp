@@ -1,0 +1,51 @@
+// GRU cell and sequence encoder — a lighter recurrent substrate than the
+// LSTM (fewer parameters per hidden unit), useful as a drop-in alternative
+// for per-node sequence baselines.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace ns {
+
+/// Gated Recurrent Unit. Fused gate layout [reset | update], candidate
+/// weights separate (candidate uses the reset-scaled hidden state).
+class GRUCell : public Module {
+ public:
+  GRUCell(std::size_t input, std::size_t hidden, Rng& rng);
+
+  /// One step: x is [B, input], h is [B, hidden]; returns the new hidden.
+  Var step(const Var& x, const Var& h) const;
+
+  /// Zero hidden state for batch size B.
+  Var initial_state(std::size_t batch) const;
+
+  std::size_t hidden_size() const { return hidden_; }
+
+ private:
+  std::size_t input_, hidden_;
+  Var wx_gates_;  // [input, 2*hidden]  (reset | update)
+  Var wh_gates_;  // [hidden, 2*hidden]
+  Var b_gates_;   // [2*hidden]
+  Var wx_cand_;   // [input, hidden]
+  Var wh_cand_;   // [hidden, hidden]
+  Var b_cand_;    // [hidden]
+};
+
+/// Unrolls a GRU over a [T, input] sequence (batch 1 per row) and returns
+/// the hidden state at every step as [T, hidden].
+class GruEncoder : public Module {
+ public:
+  GruEncoder(std::size_t input, std::size_t hidden, Rng& rng);
+
+  Var forward(const Var& x) const;
+  /// Final hidden state only, [1, hidden].
+  Var encode(const Var& x) const;
+
+ private:
+  GRUCell cell_;
+};
+
+}  // namespace ns

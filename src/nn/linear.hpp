@@ -1,0 +1,63 @@
+// Fully connected layers and the position-wise feed-forward block.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/module.hpp"
+
+namespace ns {
+
+/// y = x @ W + b, x is [T, in], y is [T, out].
+class Linear : public Module {
+ public:
+  Linear(std::size_t in, std::size_t out, Rng& rng)
+      : in_(in),
+        out_(out),
+        weight_(add_parameter(xavier_init(in, out, rng))),
+        bias_(add_parameter(Tensor(Shape{out}))) {}
+
+  Var forward(const Var& x) const {
+    return vadd_rowvec(vmatmul(x, weight_), bias_);
+  }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  Var weight_, bias_;
+};
+
+/// LayerNorm over the last dimension with learned gain/bias.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::size_t dim)
+      : gain_(add_parameter(Tensor::ones(Shape{dim}))),
+        bias_(add_parameter(Tensor(Shape{dim}))) {}
+
+  Var forward(const Var& x) const {
+    return vlayernorm_rows(x, gain_, bias_);
+  }
+
+ private:
+  Var gain_, bias_;
+};
+
+/// Transformer position-wise FFN: Linear -> GELU -> Linear.
+/// This is the dense block that the paper's MoE layer replaces (ablation C5
+/// swaps it back in).
+class FeedForward : public Module {
+ public:
+  FeedForward(std::size_t dim, std::size_t hidden, Rng& rng)
+      : fc1_(dim, hidden, rng), fc2_(hidden, dim, rng) {
+    register_child(&fc1_);
+    register_child(&fc2_);
+  }
+
+  Var forward(const Var& x) const { return fc2_.forward(vgelu(fc1_.forward(x))); }
+
+ private:
+  Linear fc1_, fc2_;
+};
+
+}  // namespace ns

@@ -1,0 +1,71 @@
+#include "nn/lstm.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+LSTMCell::LSTMCell(std::size_t input, std::size_t hidden, Rng& rng)
+    : input_(input),
+      hidden_(hidden),
+      wx_(add_parameter(xavier_init(input, 4 * hidden, rng))),
+      wh_(add_parameter(xavier_init(hidden, 4 * hidden, rng))),
+      b_(add_parameter(Tensor(Shape{4 * hidden}))) {
+  // Positive forget-gate bias: standard trick for gradient flow early on.
+  Tensor& bias = b_.mutable_value();
+  for (std::size_t j = hidden; j < 2 * hidden; ++j) bias.at(j) = 1.0f;
+}
+
+LSTMCell::State LSTMCell::initial_state(std::size_t batch) const {
+  return {Var::constant(Tensor(Shape{batch, hidden_})),
+          Var::constant(Tensor(Shape{batch, hidden_}))};
+}
+
+LSTMCell::State LSTMCell::step(const Var& x, const State& state) const {
+  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == input_,
+             "LSTM step input must be [B," << input_ << "]");
+  Var gates = vadd_rowvec(
+      vadd(vmatmul(x, wx_), vmatmul(state.h, wh_)), b_);  // [B, 4H]
+  const std::size_t H = hidden_;
+  Var i = vsigmoid(vslice_cols(gates, 0, H));
+  Var f = vsigmoid(vslice_cols(gates, H, 2 * H));
+  Var g = vtanh(vslice_cols(gates, 2 * H, 3 * H));
+  Var o = vsigmoid(vslice_cols(gates, 3 * H, 4 * H));
+  Var c = vadd(vmul(f, state.c), vmul(i, g));
+  Var h = vmul(o, vtanh(c));
+  return {h, c};
+}
+
+LstmAutoencoder::LstmAutoencoder(std::size_t input, std::size_t hidden,
+                                 Rng& rng)
+    : encoder_(input, hidden, rng),
+      decoder_(input, hidden, rng),
+      out_proj_(hidden, input, rng) {
+  register_child(&encoder_);
+  register_child(&decoder_);
+  register_child(&out_proj_);
+}
+
+Var LstmAutoencoder::forward(const Var& x) const {
+  const std::size_t steps = x.shape()[0];
+  NS_REQUIRE(steps > 0, "LstmAutoencoder needs at least one timestep");
+  // Encode the sequence; rows of x are timesteps (batch size 1 per step).
+  LSTMCell::State enc = encoder_.initial_state(1);
+  for (std::size_t t = 0; t < steps; ++t)
+    enc = encoder_.step(vslice_rows(x, t, t + 1), enc);
+  // Decode from the compressed state; feed back the previous reconstruction.
+  LSTMCell::State dec{enc.h, enc.c};
+  std::vector<Var> outputs;
+  outputs.reserve(steps);
+  Var prev = out_proj_.forward(dec.h);
+  outputs.push_back(prev);
+  for (std::size_t t = 1; t < steps; ++t) {
+    dec = decoder_.step(prev, dec);
+    prev = out_proj_.forward(dec.h);
+    outputs.push_back(prev);
+  }
+  return vconcat_rows(outputs);
+}
+
+}  // namespace ns

@@ -1,0 +1,56 @@
+// LSTM cell and sequence autoencoder (substrate for the RUAD baseline).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace ns {
+
+/// Single LSTM cell. Gate layout in the fused weight matrices is
+/// [input | forget | cell | output], each `hidden` wide.
+class LSTMCell : public Module {
+ public:
+  LSTMCell(std::size_t input, std::size_t hidden, Rng& rng);
+
+  struct State {
+    Var h;  ///< hidden state [B, hidden]
+    Var c;  ///< cell state   [B, hidden]
+  };
+
+  /// Zero state for batch size B.
+  State initial_state(std::size_t batch) const;
+
+  /// One step: x is [B, input].
+  State step(const Var& x, const State& state) const;
+
+  std::size_t hidden_size() const { return hidden_; }
+
+ private:
+  std::size_t input_, hidden_;
+  Var wx_;  // [input, 4*hidden]
+  Var wh_;  // [hidden, 4*hidden]
+  Var b_;   // [4*hidden]
+};
+
+/// Sequence-to-sequence LSTM autoencoder: encodes x [T, input] to the final
+/// hidden state, then decodes by unrolling a second LSTM from that state and
+/// projecting each step back to metric space. Trained with MSE
+/// reconstruction loss; the per-timestep reconstruction error is the anomaly
+/// score (as in RUAD).
+class LstmAutoencoder : public Module {
+ public:
+  LstmAutoencoder(std::size_t input, std::size_t hidden, Rng& rng);
+
+  /// Returns the reconstruction [T, input].
+  Var forward(const Var& x) const;
+
+ private:
+  LSTMCell encoder_;
+  LSTMCell decoder_;
+  Linear out_proj_;
+};
+
+}  // namespace ns

@@ -1,0 +1,61 @@
+#include "nn/module.hpp"
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace ns {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E534D31;  // "NSM1"
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  NS_REQUIRE(is.good(), "load_parameters: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void save_parameters(const Module& module, std::ostream& os) {
+  const auto params = module.parameters();
+  write_u32(os, kMagic);
+  write_u32(os, static_cast<std::uint32_t>(params.size()));
+  for (const Var& p : params) {
+    const Tensor& t = p.value();
+    write_u32(os, static_cast<std::uint32_t>(t.rank()));
+    for (std::size_t d = 0; d < t.rank(); ++d)
+      write_u32(os, static_cast<std::uint32_t>(t.size(d)));
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  NS_REQUIRE(os.good(), "save_parameters: stream write failed");
+}
+
+void load_parameters(Module& module, std::istream& is) {
+  auto params = module.parameters();
+  NS_REQUIRE(read_u32(is) == kMagic, "load_parameters: bad magic");
+  const std::uint32_t count = read_u32(is);
+  NS_REQUIRE(count == params.size(),
+             "load_parameters: parameter count mismatch (file " << count
+             << ", module " << params.size() << ")");
+  for (Var& p : params) {
+    Tensor& t = p.mutable_value();
+    const std::uint32_t rank = read_u32(is);
+    NS_REQUIRE(rank == t.rank(), "load_parameters: rank mismatch");
+    for (std::size_t d = 0; d < rank; ++d) {
+      const std::uint32_t dim = read_u32(is);
+      NS_REQUIRE(dim == t.size(d), "load_parameters: shape mismatch");
+    }
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    NS_REQUIRE(is.good(), "load_parameters: truncated tensor data");
+  }
+}
+
+}  // namespace ns

@@ -1,0 +1,87 @@
+#include "nn/moe.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+MoELayer::MoELayer(std::size_t dim, std::size_t hidden,
+                   std::size_t num_experts, std::size_t top_k, Rng& rng)
+    : dim_(dim),
+      top_k_(top_k),
+      gate_weight_(add_parameter(xavier_init(dim, num_experts, rng))) {
+  NS_REQUIRE(num_experts > 0, "MoE needs at least one expert");
+  NS_REQUIRE(top_k >= 1 && top_k <= num_experts,
+             "top_k " << top_k << " out of [1," << num_experts << "]");
+  experts_.reserve(num_experts);
+  for (std::size_t i = 0; i < num_experts; ++i) {
+    experts_.push_back(std::make_unique<FeedForward>(dim, hidden, rng));
+    register_child(experts_.back().get());
+  }
+}
+
+Var MoELayer::forward(const Var& x) const {
+  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == dim_,
+             "MoE input must be [T," << dim_ << "], got "
+                                     << shape_to_string(x.shape()));
+  const std::size_t tokens = x.shape()[0];
+  const std::size_t n_experts = experts_.size();
+
+  // Eq. 3: gate probabilities p_i(x) = softmax(W_r · x).
+  Var gate_logits = vmatmul(x, gate_weight_);      // [T, N]
+  Var gate_probs = vsoftmax_rows(gate_logits);     // [T, N]
+  last_gate_probs_ = gate_probs;
+
+  // Hard top-k routing mask (constant; selection is non-differentiable).
+  Tensor mask(Shape{tokens, n_experts});
+  last_load_.assign(n_experts, 0);
+  std::vector<std::size_t> order(n_experts);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    const float* row = gate_probs.value().data() + t * n_experts;
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + top_k_, order.end(),
+                      [row](std::size_t a, std::size_t b) {
+                        return row[a] > row[b];
+                      });
+    for (std::size_t k = 0; k < top_k_; ++k) {
+      mask.at(t, order[k]) = 1.0f;
+      last_load_[order[k]]++;
+    }
+  }
+
+  // Eq. 4: y = Σ_{i∈n} p_i(x) E_i(x). Every expert runs on the full token
+  // matrix (N is small); masked gate columns zero out unselected tokens and
+  // carry the gradient into both the gate and the expert.
+  Var output;
+  for (std::size_t i = 0; i < n_experts; ++i) {
+    Tensor col_mask(Shape{tokens, 1});
+    for (std::size_t t = 0; t < tokens; ++t)
+      col_mask.at(t, 0) = mask.at(t, i);
+    Var gate_col = vslice_cols(gate_probs, i, i + 1);  // [T, 1]
+    Var masked_gate = vmask(gate_col, col_mask);       // zero when unrouted
+    Var expert_out = experts_[i]->forward(x);          // [T, dim]
+    Var weighted = vcolwise_scale(expert_out, masked_gate);
+    output = output.defined() ? vadd(output, weighted) : weighted;
+  }
+  return output;
+}
+
+Var MoELayer::aux_load_balance_loss() const {
+  NS_REQUIRE(last_gate_probs_.defined(),
+             "aux_load_balance_loss before forward()");
+  const std::size_t n_experts = experts_.size();
+  const std::size_t tokens = last_gate_probs_.shape()[0];
+  Var loss;
+  for (std::size_t i = 0; i < n_experts; ++i) {
+    const float f_i = static_cast<float>(last_load_[i]) /
+                      (static_cast<float>(tokens) * top_k_);
+    Var p_i = vmean(vslice_cols(last_gate_probs_, i, i + 1));
+    Var term = vscale(p_i, f_i * static_cast<float>(n_experts));
+    loss = loss.defined() ? vadd(loss, term) : term;
+  }
+  return loss;
+}
+
+}  // namespace ns

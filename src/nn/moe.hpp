@@ -1,0 +1,52 @@
+// Sparse Mixture-of-Experts layer (paper §3.4, Eq. 3–4).
+//
+// Replaces the Transformer's dense FFN. A linear gate h(x) = W_r · x is
+// softmax-normalized over N experts (Eq. 3); the top-k experts per token are
+// selected and their outputs combined weighted by the (unrenormalized) gate
+// values, y = Σ_{i∈n} p_i(x) E_i(x) (Eq. 4). Gradients flow through both
+// the selected gate probabilities and the selected experts; the hard top-k
+// selection itself is non-differentiable, as in Switch Transformer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace ns {
+
+class MoELayer : public Module {
+ public:
+  /// num_experts FFN experts of width `hidden`; top_k experts per token.
+  MoELayer(std::size_t dim, std::size_t hidden, std::size_t num_experts,
+           std::size_t top_k, Rng& rng);
+
+  /// x: [T, dim] -> [T, dim].
+  Var forward(const Var& x) const;
+
+  /// Switch-style load-balancing auxiliary loss for the most recent
+  /// forward(): N * Σ_i f_i * P_i, where f_i is the fraction of tokens
+  /// routed to expert i and P_i the mean gate probability. Differentiable
+  /// through the gate. Must be called after forward().
+  Var aux_load_balance_loss() const;
+
+  /// Tokens routed to each expert in the most recent forward().
+  const std::vector<std::size_t>& last_expert_load() const {
+    return last_load_;
+  }
+
+  std::size_t num_experts() const { return experts_.size(); }
+  std::size_t top_k() const { return top_k_; }
+
+ private:
+  std::size_t dim_, top_k_;
+  Var gate_weight_;  // [dim, N] — the routing variable W_r
+  std::vector<std::unique_ptr<FeedForward>> experts_;
+  // State captured by forward() for aux loss / introspection.
+  mutable Var last_gate_probs_;
+  mutable std::vector<std::size_t> last_load_;
+};
+
+}  // namespace ns

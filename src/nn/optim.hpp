@@ -1,0 +1,90 @@
+// First-order optimizers over a module's parameter list.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/autograd.hpp"
+
+namespace ns {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently on the parameters.
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (Var& p : params_) p.zero_grad();
+  }
+
+ protected:
+  std::vector<Var> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float lr) : Optimizer(std::move(params)), lr_(lr) {}
+
+  void step() override {
+    for (Var& p : params_) {
+      float* w = p.mutable_value().data();
+      const float* g = p.grad().data();
+      for (std::size_t i = 0; i < p.value().numel(); ++i) w[i] -= lr_ * g[i];
+    }
+  }
+
+ private:
+  float lr_;
+};
+
+/// Adam (Kingma & Ba). Defaults match the paper's artifact (lr = 1.5e-4).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, float lr = 1.5e-4f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f)
+      : Optimizer(std::move(params)),
+        lr_(lr),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const Var& p : params_) {
+      m_.emplace_back(p.value().shape());
+      v_.emplace_back(p.value().shape());
+    }
+  }
+
+  void step() override {
+    ++t_;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+      float* w = params_[pi].mutable_value().data();
+      const float* g = params_[pi].grad().data();
+      float* m = m_[pi].data();
+      float* v = v_[pi].data();
+      for (std::size_t i = 0; i < params_[pi].value().numel(); ++i) {
+        m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+        v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+        const float mhat = m[i] / bc1;
+        const float vhat = v[i] / bc2;
+        w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    }
+  }
+
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace ns

@@ -1,0 +1,69 @@
+#include "nn/positional.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+Tensor sinusoidal_position_table(std::size_t max_len, std::size_t dim) {
+  Tensor table(Shape{max_len, dim});
+  for (std::size_t t = 0; t < max_len; ++t) {
+    for (std::size_t i = 0; i < dim; i += 2) {
+      const double angle =
+          static_cast<double>(t) /
+          std::pow(10000.0, static_cast<double>(i) / static_cast<double>(dim));
+      table.at(t, i) = static_cast<float>(std::sin(angle));
+      if (i + 1 < dim) table.at(t, i + 1) = static_cast<float>(std::cos(angle));
+    }
+  }
+  return table;
+}
+
+SegmentPositionalEncoding::SegmentPositionalEncoding(std::size_t dim,
+                                                     std::size_t max_len,
+                                                     std::size_t max_segments,
+                                                     bool use_segment_term,
+                                                     Rng& rng)
+    : dim_(dim),
+      max_len_(max_len),
+      max_segments_(max_segments),
+      use_segment_term_(use_segment_term),
+      sin_table_(sinusoidal_position_table(max_len, dim)),
+      segment_embedding_(
+          add_parameter(Tensor::randn(Shape{max_segments, dim}, rng, 0.02f))) {
+  NS_REQUIRE(max_len > 0 && max_segments > 0,
+             "positional encoding needs positive capacities");
+}
+
+Var SegmentPositionalEncoding::forward(
+    const Var& x, std::span<const std::size_t> offsets,
+    std::span<const std::size_t> segment_ids) const {
+  const std::size_t tokens = x.shape()[0];
+  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == dim_,
+             "positional encoding input must be [T," << dim_ << "]");
+  NS_REQUIRE(offsets.size() == tokens && segment_ids.size() == tokens,
+             "offsets/segment_ids must have one entry per token");
+
+  // Constant sinusoidal rows gathered per token.
+  Tensor pos(Shape{tokens, dim_});
+  for (std::size_t t = 0; t < tokens; ++t) {
+    const std::size_t off = std::min(offsets[t], max_len_ - 1);
+    std::copy_n(sin_table_.data() + off * dim_, dim_, pos.data() + t * dim_);
+  }
+  Var out = vadd(x, Var::constant(std::move(pos)));
+
+  if (use_segment_term_) {
+    // One-hot [T, S] @ embedding [S, dim] keeps the lookup differentiable
+    // with respect to the embedding table.
+    Tensor onehot(Shape{tokens, max_segments_});
+    for (std::size_t t = 0; t < tokens; ++t)
+      onehot.at(t, std::min(segment_ids[t], max_segments_ - 1)) = 1.0f;
+    out = vadd(out, vmatmul(Var::constant(std::move(onehot)),
+                            segment_embedding_));
+  }
+  return out;
+}
+
+}  // namespace ns

@@ -1,0 +1,46 @@
+// Positional encodings.
+//
+// The paper trains each cluster's shared model on the K segments nearest the
+// centroid, concatenated into one token stream; plain sinusoidal encoding
+// cannot tell segments apart, so §3.4 "enhances the positional encoding to
+// incorporate positional information within and between different segments".
+// We implement that as: sinusoidal(intra-segment offset) + learned
+// per-segment embedding. Ablation C4 disables the segment term.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "nn/module.hpp"
+
+namespace ns {
+
+/// Classic fixed sinusoidal table: row t, column 2i = sin(t / 10000^(2i/D)),
+/// column 2i+1 = cos(...).
+Tensor sinusoidal_position_table(std::size_t max_len, std::size_t dim);
+
+class SegmentPositionalEncoding : public Module {
+ public:
+  /// max_len bounds the intra-segment offset; max_segments bounds the
+  /// number of distinct segments per training stream (the paper's K).
+  SegmentPositionalEncoding(std::size_t dim, std::size_t max_len,
+                            std::size_t max_segments, bool use_segment_term,
+                            Rng& rng);
+
+  /// Adds positional information to x [T, dim]. offsets[t] is the token's
+  /// position within its segment (clamped to max_len-1); segment_ids[t]
+  /// identifies the segment (clamped to max_segments-1). Both spans must
+  /// have T entries.
+  Var forward(const Var& x, std::span<const std::size_t> offsets,
+              std::span<const std::size_t> segment_ids) const;
+
+  bool segment_term_enabled() const { return use_segment_term_; }
+
+ private:
+  std::size_t dim_, max_len_, max_segments_;
+  bool use_segment_term_;
+  Tensor sin_table_;       // [max_len, dim], constant
+  Var segment_embedding_;  // [max_segments, dim], learned
+};
+
+}  // namespace ns

@@ -1,0 +1,25 @@
+#include "nn/schedule.hpp"
+
+namespace ns {
+
+double clip_gradient_norm(std::vector<Var>& params, double max_norm) {
+  NS_REQUIRE(max_norm > 0.0, "clip_gradient_norm: max_norm must be positive");
+  double sq = 0.0;
+  for (const Var& p : params) {
+    if (!p.requires_grad()) continue;
+    for (float g : p.grad().flat()) sq += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Var& p : params) {
+      if (!p.requires_grad()) continue;
+      // Gradients live on the node; scale in place.
+      Tensor& g = const_cast<Tensor&>(p.grad());
+      for (float& x : g.flat()) x *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace ns

@@ -1,0 +1,83 @@
+// Learning-rate schedules and gradient utilities for the optimizers.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/autograd.hpp"
+
+namespace ns {
+
+/// Learning-rate schedule interface: maps a 0-based step index to a rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float rate(std::size_t step) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float rate(std::size_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Linear warmup to `peak` over `warmup_steps`, then cosine decay to
+/// `floor` at `total_steps` (clamped afterwards).
+class WarmupCosineLr : public LrSchedule {
+ public:
+  WarmupCosineLr(float peak, std::size_t warmup_steps,
+                 std::size_t total_steps, float floor = 0.0f)
+      : peak_(peak),
+        warmup_(warmup_steps),
+        total_(total_steps),
+        floor_(floor) {
+    NS_REQUIRE(total_steps > warmup_steps,
+               "cosine schedule needs total > warmup");
+  }
+
+  float rate(std::size_t step) const override {
+    if (warmup_ > 0 && step < warmup_)
+      return peak_ * static_cast<float>(step + 1) /
+             static_cast<float>(warmup_);
+    const std::size_t s = std::min(step, total_ - 1);
+    const double progress = static_cast<double>(s - warmup_) /
+                            static_cast<double>(total_ - warmup_);
+    const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+    return floor_ + (peak_ - floor_) * static_cast<float>(cosine);
+  }
+
+ private:
+  float peak_;
+  std::size_t warmup_, total_;
+  float floor_;
+};
+
+/// Step decay: rate = base * gamma^(step / period).
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(float base, float gamma, std::size_t period)
+      : base_(base), gamma_(gamma), period_(period) {
+    NS_REQUIRE(period > 0, "step decay needs a positive period");
+  }
+
+  float rate(std::size_t step) const override {
+    return base_ * std::pow(gamma_, static_cast<float>(step / period_));
+  }
+
+ private:
+  float base_, gamma_;
+  std::size_t period_;
+};
+
+/// Global-norm gradient clipping: scales every parameter's gradient so the
+/// joint L2 norm does not exceed `max_norm`. Returns the pre-clip norm.
+double clip_gradient_norm(std::vector<Var>& params, double max_norm);
+
+}  // namespace ns

@@ -1,0 +1,56 @@
+// End-to-end synthetic dataset builder: scheduler + workloads + metric
+// fan-out + fault injection -> a labeled MtsDataset (DESIGN.md §2).
+//
+// Presets d1_sim_config() / d2_sim_config() mirror the papers' D1/D2 at a
+// documented scale factor; deployment_sim_config() mirrors the §5.1
+// deployment study (mixed-phase LAMMPS-like load + injected faults).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/faults.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scheduler.hpp"
+#include "ts/mts.hpp"
+
+namespace ns {
+
+struct SimDatasetConfig {
+  std::string name = "sim";
+  std::uint64_t seed = 1;
+  SchedulerConfig scheduler;
+  MetricCatalogConfig catalog;
+  /// Fraction of the timeline reserved for training (paper: first 60%).
+  double train_fraction = 0.6;
+  /// Faults are injected only into the test region; this is the target
+  /// anomalous-point ratio there (paper D1: 0.16%, D2: 0.04%).
+  double anomaly_ratio = 0.0016;
+  std::size_t fault_min_duration = 8;
+  std::size_t fault_max_duration = 40;
+  /// Fraction of raw samples dropped (NaN) to exercise cleaning.
+  double missing_rate = 0.001;
+};
+
+struct SimDataset {
+  MtsDataset data;                 ///< raw (pre-preprocessing) dataset
+  std::vector<SchedJob> sched_jobs;
+  std::vector<FaultEvent> faults;
+  std::size_t train_end = 0;       ///< first test timestamp index
+  SimDatasetConfig config;
+};
+
+/// Builds the full synthetic dataset. Deterministic for a given config.
+SimDataset build_sim_dataset(const SimDatasetConfig& config);
+
+/// D1-scaled preset: node/duration counts shrunk by `scale` (1.0 = the
+/// bench default, itself ~1/40 of the paper's array; see EXPERIMENTS.md).
+SimDatasetConfig d1_sim_config(double scale = 1.0, std::uint64_t seed = 11);
+/// D2-scaled preset (smaller array, fewer metrics, lower anomaly ratio).
+SimDatasetConfig d2_sim_config(double scale = 1.0, std::uint64_t seed = 22);
+/// Deployment-study preset: mixed-phase dominated cluster, higher fault
+/// density, for the §5.1 latency/precision bench.
+SimDatasetConfig deployment_sim_config(std::uint64_t seed = 33);
+
+}  // namespace ns

@@ -1,0 +1,241 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ns {
+namespace {
+
+constexpr std::size_t idx(Signal s) { return static_cast<std::size_t>(s); }
+
+// Blends a signal toward `target` with strength w in [0, 1].
+void push(std::array<double, kNumSignals>& s, Signal sig, double target,
+          double w) {
+  double& v = s[idx(sig)];
+  v = (1.0 - w) * v + w * target;
+}
+
+}  // namespace
+
+const char* fault_name(FaultType type) {
+  switch (type) {
+    case FaultType::kCpuOverload: return "cpu_overload";
+    case FaultType::kMemoryLeak: return "memory_leak";
+    case FaultType::kMemoryExhaustion: return "memory_exhaustion";
+    case FaultType::kDiskFull: return "disk_full";
+    case FaultType::kNetworkCongestion: return "network_congestion";
+    case FaultType::kResourceContention: return "resource_contention";
+    case FaultType::kCacheThrash: return "cache_thrash";
+  }
+  return "?";
+}
+
+std::vector<FaultEvent> plan_faults(const FaultPlanConfig& config,
+                                    std::size_t num_nodes, Rng& rng) {
+  NS_REQUIRE(config.region_end > config.region_begin,
+             "plan_faults: empty region");
+  NS_REQUIRE(config.min_duration >= 1 &&
+                 config.max_duration >= config.min_duration,
+             "plan_faults: bad duration range");
+  const std::size_t region = config.region_end - config.region_begin;
+  const double budget_points =
+      config.target_ratio * static_cast<double>(region) *
+      static_cast<double>(num_nodes);
+
+  std::vector<FaultEvent> events;
+  // Track per-node occupied intervals to keep events disjoint.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> busy(num_nodes);
+  double spent = 0.0;
+  std::size_t attempts = 0;
+  while (spent + static_cast<double>(config.min_duration) / 2.0 <
+             budget_points &&
+         attempts < 10000) {
+    ++attempts;
+    FaultEvent ev;
+    ev.node = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_nodes) - 1));
+    const std::size_t duration = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.min_duration),
+        static_cast<std::int64_t>(config.max_duration)));
+    if (duration >= region) continue;
+    ev.begin = config.region_begin +
+               static_cast<std::size_t>(rng.uniform_int(
+                   0, static_cast<std::int64_t>(region - duration) - 1));
+    ev.end = ev.begin + duration;
+    ev.type = static_cast<FaultType>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kNumFaultTypes) - 1));
+    ev.magnitude = rng.uniform(config.min_magnitude, config.max_magnitude);
+    // Reject overlaps (with a small separation margin).
+    bool overlaps = false;
+    for (const auto& [b, e] : busy[ev.node])
+      if (ev.begin < e + 8 && b < ev.end + 8) {
+        overlaps = true;
+        break;
+      }
+    if (overlaps) continue;
+    busy[ev.node].emplace_back(ev.begin, ev.end);
+    spent += static_cast<double>(duration);
+    events.push_back(ev);
+  }
+  // Tiny regions can have a budget below half an event; still emit one so
+  // the test set is never anomaly-free.
+  if (events.empty() && budget_points > 0.0 &&
+      config.min_duration < region) {
+    FaultEvent ev;
+    ev.node = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_nodes) - 1));
+    ev.begin = config.region_begin +
+               static_cast<std::size_t>(rng.uniform_int(
+                   0, static_cast<std::int64_t>(region - config.min_duration) - 1));
+    ev.end = ev.begin + config.min_duration;
+    ev.type = static_cast<FaultType>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kNumFaultTypes) - 1));
+    ev.magnitude = rng.uniform(config.min_magnitude, config.max_magnitude);
+    events.push_back(ev);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.node != b.node ? a.node < b.node : a.begin < b.begin;
+            });
+  return events;
+}
+
+namespace {
+
+// Canonical node-level signatures of the workload archetypes (the phase
+// base levels of workload.cpp without job jitter). Faults impersonate one
+// of these, so every faulty token vector is a *globally valid* state and
+// only the job context reveals the anomaly.
+using Sig = std::array<double, kNumSignals>;
+
+Sig base_sig() {
+  Sig s;
+  s.fill(0.02);
+  s[idx(Signal::kDiskUsed)] = 0.4;
+  s[idx(Signal::kMemCache)] = 0.2;
+  return s;
+}
+
+Sig compute_sig() {
+  Sig s = base_sig();
+  s[idx(Signal::kCpuUser)] = 0.92;
+  s[idx(Signal::kLoad)] = 0.85;
+  s[idx(Signal::kProcsRunning)] = 0.7;
+  s[idx(Signal::kMemUsed)] = 0.45;
+  s[idx(Signal::kContextSwitches)] = 0.3;
+  return s;
+}
+
+Sig memory_sig() {
+  Sig s = base_sig();
+  s[idx(Signal::kCpuUser)] = 0.4;
+  s[idx(Signal::kLoad)] = 0.4;
+  s[idx(Signal::kMemUsed)] = 0.85;
+  s[idx(Signal::kPageFaults)] = 0.35;
+  s[idx(Signal::kMemCache)] = 0.65;
+  s[idx(Signal::kProcsRunning)] = 0.3;
+  return s;
+}
+
+Sig io_sig() {
+  Sig s = base_sig();
+  s[idx(Signal::kCpuUser)] = 0.2;
+  s[idx(Signal::kCpuSystem)] = 0.4;
+  s[idx(Signal::kDiskIo)] = 0.7;
+  s[idx(Signal::kDiskUsed)] = 0.72;
+  s[idx(Signal::kLoad)] = 0.3;
+  s[idx(Signal::kProcsRunning)] = 0.2;
+  return s;
+}
+
+Sig network_sig() {
+  Sig s = base_sig();
+  s[idx(Signal::kCpuUser)] = 0.42;
+  s[idx(Signal::kCpuSystem)] = 0.3;
+  s[idx(Signal::kNetRx)] = 0.75;
+  s[idx(Signal::kNetTx)] = 0.72;
+  s[idx(Signal::kContextSwitches)] = 0.58;
+  s[idx(Signal::kLoad)] = 0.5;
+  s[idx(Signal::kProcsRunning)] = 0.45;
+  return s;
+}
+
+Sig idle_sig() {
+  Sig s = base_sig();
+  s[idx(Signal::kCpuUser)] = 0.03;
+  s[idx(Signal::kProcsRunning)] = 0.05;
+  return s;
+}
+
+WorkloadType signature_type(FaultType fault) {
+  switch (fault) {
+    case FaultType::kCpuOverload: return WorkloadType::kComputeBound;
+    case FaultType::kMemoryLeak: return WorkloadType::kMemoryBound;
+    case FaultType::kMemoryExhaustion: return WorkloadType::kMemoryBound;
+    case FaultType::kDiskFull: return WorkloadType::kIoBound;
+    case FaultType::kNetworkCongestion: return WorkloadType::kComputeBound;
+    case FaultType::kResourceContention: return WorkloadType::kNetworkHeavy;
+    case FaultType::kCacheThrash: return WorkloadType::kMemoryBound;
+  }
+  return WorkloadType::kIdle;
+}
+
+Sig signature_of(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kComputeBound: return compute_sig();
+    case WorkloadType::kMemoryBound: return memory_sig();
+    case WorkloadType::kIoBound: return io_sig();
+    case WorkloadType::kNetworkHeavy: return network_sig();
+    case WorkloadType::kMixedPhase: return compute_sig();
+    case WorkloadType::kIdle: return idle_sig();
+  }
+  return idle_sig();
+}
+
+// Fallback impostor when the natural one coincides with the running job.
+WorkloadType fallback_type(FaultType fault) {
+  switch (fault) {
+    case FaultType::kCpuOverload: return WorkloadType::kNetworkHeavy;
+    case FaultType::kMemoryLeak: return WorkloadType::kIoBound;
+    case FaultType::kMemoryExhaustion: return WorkloadType::kIoBound;
+    case FaultType::kDiskFull: return WorkloadType::kIdle;
+    case FaultType::kNetworkCongestion: return WorkloadType::kIdle;
+    case FaultType::kResourceContention: return WorkloadType::kIoBound;
+    case FaultType::kCacheThrash: return WorkloadType::kNetworkHeavy;
+  }
+  return WorkloadType::kIdle;
+}
+
+}  // namespace
+
+std::array<double, kNumSignals> fault_signature(FaultType type,
+                                                WorkloadType running) {
+  WorkloadType impostor = signature_type(type);
+  // MixedPhase alternates compute and communication phases, so both the
+  // compute and the network signatures are legitimate sub-patterns of it.
+  const auto clashes_with = [&](WorkloadType candidate) {
+    if (candidate == running) return true;
+    return running == WorkloadType::kMixedPhase &&
+           (candidate == WorkloadType::kComputeBound ||
+            candidate == WorkloadType::kNetworkHeavy);
+  };
+  if (clashes_with(impostor)) impostor = fallback_type(type);
+  if (clashes_with(impostor)) impostor = WorkloadType::kIdle;
+  return signature_of(impostor);
+}
+
+void apply_fault(std::array<double, kNumSignals>& s, FaultType type,
+                 double progress, double magnitude, WorkloadType running) {
+  const double w = std::clamp(magnitude, 0.0, 1.0);
+  const Sig target = fault_signature(type, running);
+  // Memory leaks develop gradually; everything else switches promptly.
+  const double ramp = type == FaultType::kMemoryLeak
+                          ? std::clamp(progress * 1.4, 0.0, 1.0)
+                          : 1.0;
+  for (std::size_t i = 0; i < kNumSignals; ++i)
+    push(s, static_cast<Signal>(i), target[i], w * ramp);
+}
+
+}  // namespace ns

@@ -1,0 +1,72 @@
+// ChaosBlade-like fault injector (paper Table 1 & §5.1 deployment study).
+//
+// Faults are planned as (node, interval, type, magnitude) events and applied
+// to the node-level semantic signals before metric fan-out; the same events
+// define the ground-truth anomaly labels.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/workload.hpp"
+
+namespace ns {
+
+enum class FaultType : std::uint8_t {
+  kCpuOverload = 0,       // CPU level (Table 1)
+  kMemoryLeak,            // Memory level
+  kMemoryExhaustion,      // Memory level
+  kDiskFull,              // Disk level
+  kNetworkCongestion,     // Network level
+  kResourceContention,    // Kernel/OS level
+  kCacheThrash,           // CPU level (cache failure analogue)
+};
+inline constexpr std::size_t kNumFaultTypes = 7;
+
+const char* fault_name(FaultType type);
+
+struct FaultEvent {
+  std::size_t node = 0;
+  std::size_t begin = 0;  ///< timestamp index
+  std::size_t end = 0;    ///< exclusive
+  FaultType type = FaultType::kCpuOverload;
+  double magnitude = 1.0;  ///< 0..1 severity scale
+};
+
+struct FaultPlanConfig {
+  std::size_t region_begin = 0;  ///< inject only inside [begin, end)
+  std::size_t region_end = 0;
+  /// Target fraction of anomalous node-timestamps within the region
+  /// (paper D1: 0.16%, D2: 0.04%).
+  double target_ratio = 0.0016;
+  std::size_t min_duration = 8;
+  std::size_t max_duration = 40;
+  double min_magnitude = 0.85;
+  double max_magnitude = 1.0;
+};
+
+/// Plans non-overlapping fault events across `num_nodes` nodes whose total
+/// point count approximates target_ratio of the region.
+std::vector<FaultEvent> plan_faults(const FaultPlanConfig& config,
+                                    std::size_t num_nodes, Rng& rng);
+
+/// Applies one fault to a semantic signal sample. `progress` in [0,1) is the
+/// position within the event (used by ramping faults like memory leaks).
+/// `running` is the workload archetype the node is supposed to execute:
+/// faults drive the node toward the signature of a *different, globally
+/// valid* workload state (an "impostor"), so the fault is anomalous only
+/// relative to the job context — as with real resource stressors, whose
+/// levels jobs legitimately reach. The impostor is chosen to differ from
+/// `running` so the fault remains observable.
+void apply_fault(std::array<double, kNumSignals>& signals, FaultType type,
+                 double progress, double magnitude,
+                 WorkloadType running = WorkloadType::kIdle);
+
+/// The impostor signature used by apply_fault (exposed for tests).
+std::array<double, kNumSignals> fault_signature(FaultType type,
+                                                WorkloadType running);
+
+}  // namespace ns

@@ -1,0 +1,120 @@
+#include "sim/metrics.hpp"
+
+#include <set>
+
+namespace ns {
+namespace {
+
+struct SignalInfo {
+  Signal signal;
+  const char* raw_name;       // node-exporter style name
+  MetricCategory category;
+  enum class FanOut { kCore, kNic, kDisk, kNode } fan_out;
+};
+
+// Names loosely follow the examples in the paper's Table 3.
+const SignalInfo kSignalInfo[kNumSignals] = {
+    {Signal::kCpuUser, "cpu_seconds_user_total", MetricCategory::kCpu,
+     SignalInfo::FanOut::kCore},
+    {Signal::kCpuSystem, "cpu_seconds_system_total", MetricCategory::kCpu,
+     SignalInfo::FanOut::kCore},
+    {Signal::kLoad, "load1", MetricCategory::kCpu, SignalInfo::FanOut::kNode},
+    {Signal::kContextSwitches, "context_switches_total", MetricCategory::kCpu,
+     SignalInfo::FanOut::kCore},
+    {Signal::kMemUsed, "memory_active_bytes", MetricCategory::kMemory,
+     SignalInfo::FanOut::kNode},
+    {Signal::kMemCache, "memory_cached_bytes", MetricCategory::kMemory,
+     SignalInfo::FanOut::kNode},
+    {Signal::kPageFaults, "vmstat_pgmajfault", MetricCategory::kMemory,
+     SignalInfo::FanOut::kNode},
+    {Signal::kDiskIo, "disk_io_time_seconds_total", MetricCategory::kFilesystem,
+     SignalInfo::FanOut::kDisk},
+    {Signal::kDiskUsed, "filesystem_used_bytes", MetricCategory::kFilesystem,
+     SignalInfo::FanOut::kDisk},
+    {Signal::kNetRx, "network_receive_bytes_total", MetricCategory::kNetwork,
+     SignalInfo::FanOut::kNic},
+    {Signal::kNetTx, "network_transmit_bytes_total", MetricCategory::kNetwork,
+     SignalInfo::FanOut::kNic},
+    {Signal::kProcsRunning, "procs_running", MetricCategory::kProcess,
+     SignalInfo::FanOut::kNode},
+};
+
+}  // namespace
+
+std::vector<RawMetricSpec> build_metric_catalog(
+    const MetricCatalogConfig& config) {
+  std::vector<RawMetricSpec> catalog;
+  // Deterministic pseudo-random gains/offsets derived from position keep the
+  // catalog stable without threading an Rng through.
+  std::uint64_t h = 0x243F6A8885A308D3ull;
+  const auto next01 = [&h]() {
+    h = h * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  };
+
+  for (const SignalInfo& info : kSignalInfo) {
+    std::size_t units = 1;
+    switch (info.fan_out) {
+      case SignalInfo::FanOut::kCore: units = config.cores; break;
+      case SignalInfo::FanOut::kNic: units = config.nics; break;
+      case SignalInfo::FanOut::kDisk: units = config.disks; break;
+      case SignalInfo::FanOut::kNode: units = 1; break;
+    }
+    // Per-unit copies: same semantic group -> reduced by aggregation.
+    for (std::size_t u = 0; u < units; ++u) {
+      RawMetricSpec spec;
+      spec.kind = RawMetricKind::kUnitCopy;
+      spec.source = info.signal;
+      spec.meta.name = units == 1 ? std::string(info.raw_name)
+                                  : std::string(info.raw_name) + "{unit=\"" +
+                                        std::to_string(u) + "\"}";
+      spec.meta.semantic_group = info.raw_name;
+      spec.meta.category = info.category;
+      spec.meta.unit_id = units == 1 ? -1 : static_cast<int>(u);
+      spec.gain = 0.9 + 0.2 * next01();  // units see slightly different load
+      spec.unit_noise = 0.008 + 0.012 * next01();
+      catalog.push_back(std::move(spec));
+    }
+    // Derived near-duplicates: distinct semantic groups but r ~ 1 with the
+    // source -> removed by Pearson pruning.
+    for (std::size_t d = 0; d < config.derived_per_signal; ++d) {
+      RawMetricSpec spec;
+      spec.kind = RawMetricKind::kDerived;
+      spec.source = info.signal;
+      spec.meta.name =
+          std::string(info.raw_name) + "_derived" + std::to_string(d);
+      spec.meta.semantic_group = spec.meta.name;
+      spec.meta.category = info.category;
+      spec.gain = 0.5 + 2.0 * next01();
+      spec.offset = next01();
+      spec.unit_noise = 1e-4;  // nearly exact duplicates
+      catalog.push_back(std::move(spec));
+    }
+  }
+  // Constant bookkeeping metrics.
+  static const char* kConstantNames[] = {"system_uptime_flag", "timex_status",
+                                         "ksmd_run", "filefd_maximum",
+                                         "boot_epoch_parity", "hwmon_enabled"};
+  for (std::size_t c = 0; c < config.constant_metrics; ++c) {
+    RawMetricSpec spec;
+    spec.kind = RawMetricKind::kConstant;
+    spec.meta.name = c < std::size(kConstantNames)
+                         ? kConstantNames[c]
+                         : "constant_metric_" + std::to_string(c);
+    spec.meta.semantic_group = spec.meta.name;
+    spec.meta.category = MetricCategory::kSystem;
+    spec.constant_value = next01();
+    spec.unit_noise = 0.0;
+    catalog.push_back(std::move(spec));
+  }
+  return catalog;
+}
+
+std::size_t catalog_semantic_groups(
+    const std::vector<RawMetricSpec>& catalog) {
+  std::set<std::string> groups;
+  for (const auto& spec : catalog) groups.insert(spec.meta.semantic_group);
+  return groups.size();
+}
+
+}  // namespace ns

@@ -1,0 +1,51 @@
+// Raw monitoring-metric catalog and fan-out (paper Table 3).
+//
+// Node-level semantic signals are expanded into the high-dimensional raw
+// metric space a Prometheus node exporter would report: per-core/per-unit
+// copies of the same physical quantity (same semantic group -> aggregated
+// back in §3.2 reduction), redundant affine derivations (r >= 0.99 ->
+// dropped by correlation pruning) and near-constant bookkeeping metrics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+#include "ts/mts.hpp"
+
+namespace ns {
+
+enum class RawMetricKind : std::uint8_t {
+  kUnitCopy = 0,  ///< one hardware unit's view of a semantic signal
+  kDerived,       ///< affine near-duplicate of the node-level signal
+  kConstant,      ///< bookkeeping metric (uptime flags, ksmd_run, ...)
+};
+
+struct RawMetricSpec {
+  MetricMeta meta;
+  RawMetricKind kind = RawMetricKind::kUnitCopy;
+  Signal source = Signal::kCpuUser;  ///< ignored for kConstant
+  double gain = 1.0;
+  double offset = 0.0;
+  double unit_noise = 0.01;  ///< per-unit measurement noise (relative)
+  double constant_value = 0.0;
+};
+
+struct MetricCatalogConfig {
+  std::size_t cores = 8;              ///< per-core fan-out for CPU signals
+  std::size_t nics = 2;               ///< per-NIC fan-out for network signals
+  std::size_t disks = 2;              ///< per-device fan-out for disk signals
+  std::size_t derived_per_signal = 2; ///< redundant near-duplicates
+  std::size_t constant_metrics = 4;
+};
+
+/// Builds the raw metric catalog. Output order is stable for a given config.
+std::vector<RawMetricSpec> build_metric_catalog(
+    const MetricCatalogConfig& config);
+
+/// Number of distinct semantic groups in a catalog (the expected metric
+/// count after perfect reduction, plus constants which reduce to themselves).
+std::size_t catalog_semantic_groups(const std::vector<RawMetricSpec>& catalog);
+
+}  // namespace ns

@@ -1,0 +1,114 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "ts/preprocess.hpp"
+
+namespace ns {
+namespace {
+
+WorkloadType draw_workload(Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.30) return WorkloadType::kComputeBound;
+  if (u < 0.55) return WorkloadType::kMixedPhase;
+  if (u < 0.70) return WorkloadType::kMemoryBound;
+  if (u < 0.85) return WorkloadType::kIoBound;
+  return WorkloadType::kNetworkHeavy;
+}
+
+}  // namespace
+
+ScheduleResult generate_schedule(const SchedulerConfig& config, Rng& rng) {
+  NS_REQUIRE(config.num_nodes > 0 && config.total_timestamps > 0,
+             "scheduler: empty cluster or timeline");
+  std::vector<std::size_t> next_free(config.num_nodes, 0);
+  std::vector<std::vector<JobSpan>> scheduled(config.num_nodes);
+
+  ScheduleResult result;
+  std::int64_t next_job_id = 1;
+  const double mu = std::log(config.median_duration_steps);
+
+  for (;;) {
+    // Earliest time any node becomes free.
+    const std::size_t start =
+        *std::min_element(next_free.begin(), next_free.end());
+    if (start >= config.total_timestamps) break;
+
+    // Nodes available at `start`.
+    std::vector<std::size_t> eligible;
+    for (std::size_t n = 0; n < config.num_nodes; ++n)
+      if (next_free[n] <= start) eligible.push_back(n);
+
+    // Possibly give the first eligible node an idle break instead.
+    if (rng.bernoulli(config.idle_probability)) {
+      const std::size_t node = eligible[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(eligible.size()) - 1))];
+      const std::size_t gap = std::max<std::size_t>(
+          4, static_cast<std::size_t>(rng.exponential(
+                 1.0 / config.mean_idle_steps)));
+      next_free[node] = std::min(config.total_timestamps, start + gap);
+      continue;  // idle spans are filled in later by build_job_spans
+    }
+
+    // Job width: geometric decay, capped by availability.
+    std::size_t width = 1;
+    while (width < std::min(config.max_job_width, eligible.size()) &&
+           rng.bernoulli(config.multi_node_continue))
+      ++width;
+    // Random subset of eligible nodes (partial Fisher–Yates).
+    for (std::size_t i = 0; i < width; ++i) {
+      const std::size_t j = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(i),
+          static_cast<std::int64_t>(eligible.size()) - 1));
+      std::swap(eligible[i], eligible[j]);
+    }
+
+    // Lognormal duration.
+    const double draw = std::exp(mu + config.duration_sigma * rng.gaussian());
+    std::size_t duration = static_cast<std::size_t>(std::clamp(
+        draw, static_cast<double>(config.min_duration_steps),
+        static_cast<double>(config.max_duration_steps)));
+    const std::size_t end =
+        std::min(config.total_timestamps, start + duration);
+    if (end <= start + 1) {
+      // Timeline exhausted for these nodes; close them out.
+      for (std::size_t i = 0; i < width; ++i)
+        next_free[eligible[i]] = config.total_timestamps;
+      continue;
+    }
+
+    SchedJob job;
+    job.job_id = next_job_id++;
+    job.type = draw_workload(rng);
+    job.begin = start;
+    job.end = end;
+    for (std::size_t i = 0; i < width; ++i) {
+      job.nodes.push_back(eligible[i]);
+      next_free[eligible[i]] = end;
+      scheduled[eligible[i]].push_back(JobSpan{job.job_id, start, end});
+    }
+    std::sort(job.nodes.begin(), job.nodes.end());
+    result.jobs.push_back(std::move(job));
+  }
+
+  result.spans.resize(config.num_nodes);
+  for (std::size_t n = 0; n < config.num_nodes; ++n)
+    result.spans[n] =
+        build_job_spans(scheduled[n], config.total_timestamps,
+                        /*min_idle_length=*/4);
+  return result;
+}
+
+std::uint64_t job_plan_seed(std::uint64_t dataset_seed, std::int64_t job_id) {
+  // SplitMix-style hash combine; idle jobs (negative ids) also map stably.
+  std::uint64_t x = dataset_seed ^ (static_cast<std::uint64_t>(job_id) *
+                                    0x9E3779B97F4A7C15ull);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace ns

@@ -1,0 +1,61 @@
+// Slurm-like job scheduler producing sacct-style job records.
+//
+// Fills every node's timeline with multi-node jobs of random archetypes,
+// staggered start times, lognormal durations (~95% under a day, matching
+// the paper's Fig. 4) and occasional idle gaps. Deterministic given a seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/workload.hpp"
+#include "ts/mts.hpp"
+
+namespace ns {
+
+/// The sacct-equivalent record: which nodes ran which job, when.
+struct SchedJob {
+  std::int64_t job_id = 0;
+  WorkloadType type = WorkloadType::kIdle;
+  std::vector<std::size_t> nodes;
+  std::size_t begin = 0;  ///< timestamp index
+  std::size_t end = 0;    ///< exclusive
+
+  std::size_t duration() const { return end - begin; }
+};
+
+struct SchedulerConfig {
+  std::size_t num_nodes = 16;
+  std::size_t total_timestamps = 2880;  ///< e.g. 12 h at 15 s
+  /// Median job duration in steps (lognormal); the tail is capped at
+  /// max_duration_steps.
+  double median_duration_steps = 240.0;
+  double duration_sigma = 0.9;  ///< lognormal shape
+  std::size_t min_duration_steps = 8;
+  std::size_t max_duration_steps = 5000;
+  /// Geometric-ish job width: P(width > w) decays by this factor.
+  double multi_node_continue = 0.45;
+  std::size_t max_job_width = 8;
+  /// Probability a node takes an idle break before its next job.
+  double idle_probability = 0.25;
+  double mean_idle_steps = 60.0;
+};
+
+struct ScheduleResult {
+  std::vector<SchedJob> jobs;
+  /// Per-node complete span lists (jobs + idle fillers), ready for
+  /// MtsDataset::jobs.
+  std::vector<std::vector<JobSpan>> spans;
+};
+
+/// Generates a schedule. Workload types are drawn non-uniformly (compute
+/// and mixed-phase dominate, as on production systems).
+ScheduleResult generate_schedule(const SchedulerConfig& config, Rng& rng);
+
+/// Maps a scheduled job id to the job's deterministic plan seed (all nodes
+/// of the job derive the same WorkloadPlan from it).
+std::uint64_t job_plan_seed(std::uint64_t dataset_seed, std::int64_t job_id);
+
+}  // namespace ns

@@ -1,0 +1,221 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace ns {
+namespace {
+
+constexpr std::size_t idx(Signal s) { return static_cast<std::size_t>(s); }
+
+// Convenience builder for a phase with sparse signal levels.
+WorkloadPhase phase(std::initializer_list<std::pair<Signal, double>> levels,
+                    double wave_amp, double wave_period, double noise) {
+  WorkloadPhase p;
+  p.base.fill(0.02);  // quiescent floor for untouched signals
+  p.base[idx(Signal::kDiskUsed)] = 0.4;
+  p.base[idx(Signal::kMemCache)] = 0.2;
+  for (const auto& [signal, level] : levels) p.base[idx(signal)] = level;
+  p.wave_amplitude = wave_amp;
+  p.wave_period = wave_period;
+  p.noise = noise;
+  return p;
+}
+
+}  // namespace
+
+const char* signal_name(Signal signal) {
+  switch (signal) {
+    case Signal::kCpuUser: return "cpu_user";
+    case Signal::kCpuSystem: return "cpu_system";
+    case Signal::kLoad: return "load";
+    case Signal::kContextSwitches: return "context_switches";
+    case Signal::kMemUsed: return "mem_used";
+    case Signal::kMemCache: return "mem_cache";
+    case Signal::kPageFaults: return "page_faults";
+    case Signal::kDiskIo: return "disk_io";
+    case Signal::kDiskUsed: return "disk_used";
+    case Signal::kNetRx: return "net_rx";
+    case Signal::kNetTx: return "net_tx";
+    case Signal::kProcsRunning: return "procs_running";
+  }
+  return "?";
+}
+
+const char* workload_name(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kComputeBound: return "compute_bound";
+    case WorkloadType::kMemoryBound: return "memory_bound";
+    case WorkloadType::kIoBound: return "io_bound";
+    case WorkloadType::kNetworkHeavy: return "network_heavy";
+    case WorkloadType::kMixedPhase: return "mixed_phase";
+    case WorkloadType::kIdle: return "idle";
+  }
+  return "?";
+}
+
+WorkloadPlan make_workload_plan(WorkloadType type, Rng& job_rng) {
+  WorkloadPlan plan;
+  plan.type = type;
+  plan.wave_phase_shift = job_rng.uniform(0.0, 2.0 * std::numbers::pi);
+  // Jitter scales parameters slightly so distinct jobs of one archetype are
+  // similar-but-not-identical (what HAC must group together).
+  const double j = job_rng.uniform(0.9, 1.1);
+
+  switch (type) {
+    case WorkloadType::kComputeBound:
+      // Sub-pattern 1: full-tilt compute; sub-pattern 2: checkpoint dips.
+      plan.phases.push_back(phase({{Signal::kCpuUser, 0.92 * j},
+                                   {Signal::kLoad, 0.85 * j},
+                                   {Signal::kProcsRunning, 0.7},
+                                   {Signal::kMemUsed, 0.45 * j},
+                                   {Signal::kContextSwitches, 0.3}},
+                                  0.04, 90.0 * j, 0.02));
+      plan.phases.push_back(phase({{Signal::kCpuUser, 0.75 * j},
+                                   {Signal::kLoad, 0.7 * j},
+                                   {Signal::kProcsRunning, 0.7},
+                                   {Signal::kMemUsed, 0.45 * j},
+                                   {Signal::kDiskIo, 0.5},
+                                   {Signal::kContextSwitches, 0.35}},
+                                  0.12, 40.0 * j, 0.03));
+      plan.phase_ends = {job_rng.uniform(0.55, 0.8), 1.0};
+      break;
+    case WorkloadType::kMemoryBound: {
+      // Sub-pattern 1: allocation ramp; sub-pattern 2: steady working set
+      // with a pronounced slow page-fault sawtooth.
+      WorkloadPhase ramp = phase({{Signal::kCpuUser, 0.35 * j},
+                                  {Signal::kLoad, 0.35},
+                                  {Signal::kMemUsed, 0.25},
+                                  {Signal::kPageFaults, 0.7 * j},
+                                  {Signal::kMemCache, 0.6},
+                                  {Signal::kProcsRunning, 0.3}},
+                                 0.05, 100.0, 0.025);
+      ramp.slope[idx(Signal::kMemUsed)] = 0.55;  // per unit progress
+      plan.phases.push_back(ramp);
+      plan.phases.push_back(phase({{Signal::kCpuUser, 0.4 * j},
+                                   {Signal::kLoad, 0.4},
+                                   {Signal::kMemUsed, 0.85 * j},
+                                   {Signal::kPageFaults, 0.3},
+                                   {Signal::kMemCache, 0.65},
+                                   {Signal::kProcsRunning, 0.3}},
+                                  0.18, 140.0, 0.025));
+      plan.phase_ends = {job_rng.uniform(0.3, 0.5), 1.0};
+      break;
+    }
+    case WorkloadType::kIoBound:
+      plan.phases.push_back(phase({{Signal::kCpuUser, 0.15 * j},
+                                   {Signal::kCpuSystem, 0.5 * j},
+                                   {Signal::kDiskIo, 0.9 * j},
+                                   {Signal::kDiskUsed, 0.7},
+                                   {Signal::kLoad, 0.3},
+                                   {Signal::kProcsRunning, 0.2}},
+                                  0.35, 16.0 * j, 0.05));
+      plan.phases.push_back(phase({{Signal::kCpuUser, 0.25 * j},
+                                   {Signal::kCpuSystem, 0.3},
+                                   {Signal::kDiskIo, 0.45},
+                                   {Signal::kDiskUsed, 0.75},
+                                   {Signal::kLoad, 0.3},
+                                   {Signal::kProcsRunning, 0.2}},
+                                  0.15, 60.0, 0.03));
+      plan.phase_ends = {job_rng.uniform(0.4, 0.7), 1.0};
+      break;
+    case WorkloadType::kNetworkHeavy:
+      plan.phases.push_back(phase({{Signal::kCpuUser, 0.4 * j},
+                                   {Signal::kCpuSystem, 0.3},
+                                   {Signal::kNetRx, 0.8 * j},
+                                   {Signal::kNetTx, 0.75 * j},
+                                   {Signal::kContextSwitches, 0.6},
+                                   {Signal::kLoad, 0.5},
+                                   {Signal::kProcsRunning, 0.45}},
+                                  0.2, 25.0 * j, 0.05));
+      plan.phases.push_back(phase({{Signal::kCpuUser, 0.5 * j},
+                                   {Signal::kNetRx, 0.45},
+                                   {Signal::kNetTx, 0.4},
+                                   {Signal::kContextSwitches, 0.4},
+                                   {Signal::kLoad, 0.5},
+                                   {Signal::kProcsRunning, 0.45}},
+                                  0.08, 60.0, 0.03));
+      plan.phase_ends = {job_rng.uniform(0.45, 0.75), 1.0};
+      break;
+    case WorkloadType::kMixedPhase: {
+      // LAMMPS-like: compute phase <-> communication phase, repeated.
+      const WorkloadPhase compute = phase({{Signal::kCpuUser, 0.9 * j},
+                                           {Signal::kLoad, 0.8},
+                                           {Signal::kMemUsed, 0.55 * j},
+                                           {Signal::kProcsRunning, 0.65},
+                                           {Signal::kContextSwitches, 0.3}},
+                                          0.05, 50.0, 0.02);
+      const WorkloadPhase comm = phase({{Signal::kCpuUser, 0.45 * j},
+                                        {Signal::kCpuSystem, 0.3},
+                                        {Signal::kNetRx, 0.7 * j},
+                                        {Signal::kNetTx, 0.7 * j},
+                                        {Signal::kMemUsed, 0.55 * j},
+                                        {Signal::kLoad, 0.55},
+                                        {Signal::kProcsRunning, 0.65},
+                                        {Signal::kContextSwitches, 0.55}},
+                                       0.1, 20.0, 0.04);
+      const std::size_t cycles = 2 + static_cast<std::size_t>(
+          job_rng.uniform_int(0, 1));
+      double cursor = 0.0;
+      for (std::size_t c = 0; c < cycles; ++c) {
+        const double span = 1.0 / static_cast<double>(cycles);
+        plan.phases.push_back(compute);
+        cursor += span * job_rng.uniform(0.55, 0.7);
+        plan.phase_ends.push_back(cursor);
+        plan.phases.push_back(comm);
+        cursor = (c + 1 == cycles) ? 1.0
+                                   : span * static_cast<double>(c + 1);
+        plan.phase_ends.push_back(cursor);
+      }
+      break;
+    }
+    case WorkloadType::kIdle:
+      plan.phases.push_back(phase({{Signal::kCpuUser, 0.03},
+                                   {Signal::kLoad, 0.02},
+                                   {Signal::kProcsRunning, 0.05}},
+                                  0.01, 200.0, 0.01));
+      plan.phase_ends = {1.0};
+      break;
+  }
+  NS_CHECK(plan.phases.size() == plan.phase_ends.size(),
+           "workload plan phase/boundary mismatch");
+  return plan;
+}
+
+std::size_t phase_at(const WorkloadPlan& plan, double progress) {
+  for (std::size_t p = 0; p < plan.phase_ends.size(); ++p)
+    if (progress < plan.phase_ends[p]) return p;
+  return plan.phases.size() - 1;
+}
+
+std::array<double, kNumSignals> evaluate_plan(const WorkloadPlan& plan,
+                                              std::size_t t,
+                                              std::size_t length,
+                                              Rng& node_rng) {
+  NS_REQUIRE(length > 0 && t < length, "evaluate_plan: step out of range");
+  const double progress = static_cast<double>(t) / static_cast<double>(length);
+  const std::size_t p = phase_at(plan, progress);
+  const WorkloadPhase& ph = plan.phases[p];
+  // Progress within the current phase for slope terms.
+  const double phase_begin = p == 0 ? 0.0 : plan.phase_ends[p - 1];
+  const double phase_span = std::max(1e-9, plan.phase_ends[p] - phase_begin);
+  const double local = (progress - phase_begin) / phase_span;
+
+  const double wave =
+      std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                   ph.wave_period +
+               plan.wave_phase_shift);
+  std::array<double, kNumSignals> out{};
+  for (std::size_t s = 0; s < kNumSignals; ++s) {
+    double v = ph.base[s] + ph.slope[s] * local;
+    v *= 1.0 + ph.wave_amplitude * wave;
+    v += ph.noise * node_rng.gaussian();
+    out[s] = std::clamp(v, 0.0, 1.2);
+  }
+  return out;
+}
+
+}  // namespace ns

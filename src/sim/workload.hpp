@@ -1,0 +1,87 @@
+// Workload archetypes for the synthetic HPC cluster (DESIGN.md §2).
+//
+// Each archetype produces the node-level *semantic signals* (CPU, memory,
+// disk, network, process activity) of a job over time. Archetypes have
+// multiple phases so a single job exhibits distinct sub-patterns
+// (Characteristic 3 of the paper); every node running the same job shares
+// the job's phase schedule, which yields the cross-node pattern correlation
+// of Characteristic 2.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ns {
+
+/// Node-level semantic signals; raw monitoring metrics are fanned out from
+/// these by the MetricGenerator (per-core copies, redundant derivations).
+enum class Signal : std::size_t {
+  kCpuUser = 0,
+  kCpuSystem,
+  kLoad,
+  kContextSwitches,
+  kMemUsed,
+  kMemCache,
+  kPageFaults,
+  kDiskIo,
+  kDiskUsed,
+  kNetRx,
+  kNetTx,
+  kProcsRunning,
+};
+inline constexpr std::size_t kNumSignals = 12;
+
+const char* signal_name(Signal signal);
+
+enum class WorkloadType : std::uint8_t {
+  kComputeBound = 0,
+  kMemoryBound,
+  kIoBound,
+  kNetworkHeavy,
+  kMixedPhase,  ///< LAMMPS-like alternating compute/communication phases
+  kIdle,
+};
+inline constexpr std::size_t kNumWorkloadTypes = 6;
+
+const char* workload_name(WorkloadType type);
+
+/// One sub-pattern: per-signal base level plus waveform/noise parameters.
+struct WorkloadPhase {
+  std::array<double, kNumSignals> base{};   ///< mean level per signal
+  std::array<double, kNumSignals> slope{};  ///< drift per step (e.g. mem ramp)
+  double wave_amplitude = 0.0;  ///< relative sinusoid amplitude
+  double wave_period = 120.0;   ///< sinusoid period in steps
+  double noise = 0.02;          ///< relative Gaussian noise
+};
+
+/// A job's full semantic plan: phase parameters plus the fractional
+/// boundaries at which phases switch. All nodes of a job share one plan.
+struct WorkloadPlan {
+  WorkloadType type = WorkloadType::kIdle;
+  std::vector<WorkloadPhase> phases;
+  /// Cumulative phase-end fractions in (0, 1]; size == phases.size().
+  std::vector<double> phase_ends;
+  double wave_phase_shift = 0.0;  ///< job-specific waveform offset
+};
+
+/// Builds the plan for a job of the given type. `job_rng` must be seeded
+/// identically on every node of the job (derive it from the job id).
+WorkloadPlan make_workload_plan(WorkloadType type, Rng& job_rng);
+
+/// Phase index active at fraction `progress` in [0, 1) of the job.
+std::size_t phase_at(const WorkloadPlan& plan, double progress);
+
+/// Evaluates the semantic signal vector at step `t` of a job of length
+/// `length`. `node_rng` adds small per-node jitter on top of the shared
+/// plan. Values are clamped to [0, 1.2] (normalized utilization units).
+std::array<double, kNumSignals> evaluate_plan(const WorkloadPlan& plan,
+                                              std::size_t t,
+                                              std::size_t length,
+                                              Rng& node_rng);
+
+}  // namespace ns

@@ -1,0 +1,536 @@
+#include "tensor/autograd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace ns {
+
+using autograd_detail::Node;
+
+namespace {
+
+std::shared_ptr<Node> make_node(Tensor value,
+                                std::vector<std::shared_ptr<Node>> parents,
+                                std::function<void(Node&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  bool any_grad = false;
+  for (const auto& p : parents) any_grad = any_grad || p->requires_grad;
+  node->requires_grad = any_grad;
+  if (any_grad) {
+    node->parents = std::move(parents);
+    node->backward = std::move(backward);
+  }
+  return node;
+}
+
+void accumulate(Node& parent, const Tensor& delta) {
+  if (!parent.requires_grad) return;
+  Tensor& g = parent.ensure_grad();
+  NS_CHECK(g.numel() == delta.numel(), "gradient shape mismatch");
+  float* pg = g.data();
+  const float* pd = delta.data();
+  for (std::size_t i = 0; i < g.numel(); ++i) pg[i] += pd[i];
+}
+
+}  // namespace
+
+Var Var::leaf(Tensor value, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  return Var(std::move(node));
+}
+
+const Tensor& Var::grad() const {
+  NS_REQUIRE(node_ && node_->requires_grad, "grad() on non-grad Var");
+  node_->ensure_grad();
+  return node_->grad;
+}
+
+void Var::zero_grad() {
+  NS_REQUIRE(node_ != nullptr, "zero_grad on empty Var");
+  node_->ensure_grad().fill(0.0f);
+}
+
+void Var::backward() const {
+  NS_REQUIRE(node_ != nullptr, "backward on empty Var");
+  // Iterative post-order DFS to get a topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Seed and propagate in reverse topological order.
+  node_->ensure_grad().fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward && node->grad_alloc) node->backward(*node);
+  }
+}
+
+// ------------------------------------------------------------------ ops
+
+Var vadd(const Var& a, const Var& b) {
+  Tensor value = add(a.value(), b.value());
+  auto pa = a.node();
+  auto pb = b.node();
+  return Var(make_node(std::move(value), {pa, pb}, [pa, pb](Node& n) {
+    accumulate(*pa, n.grad);
+    accumulate(*pb, n.grad);
+  }));
+}
+
+Var vsub(const Var& a, const Var& b) {
+  Tensor value = sub(a.value(), b.value());
+  auto pa = a.node();
+  auto pb = b.node();
+  return Var(make_node(std::move(value), {pa, pb}, [pa, pb](Node& n) {
+    accumulate(*pa, n.grad);
+    accumulate(*pb, scale(n.grad, -1.0f));
+  }));
+}
+
+Var vmul(const Var& a, const Var& b) {
+  Tensor value = mul(a.value(), b.value());
+  auto pa = a.node();
+  auto pb = b.node();
+  return Var(make_node(std::move(value), {pa, pb}, [pa, pb](Node& n) {
+    accumulate(*pa, mul(n.grad, pb->value));
+    accumulate(*pb, mul(n.grad, pa->value));
+  }));
+}
+
+Var vscale(const Var& a, float s) {
+  auto pa = a.node();
+  return Var(make_node(scale(a.value(), s), {pa}, [pa, s](Node& n) {
+    accumulate(*pa, scale(n.grad, s));
+  }));
+}
+
+Var vadd_scalar(const Var& a, float s) {
+  auto pa = a.node();
+  return Var(make_node(add_scalar(a.value(), s), {pa}, [pa](Node& n) {
+    accumulate(*pa, n.grad);
+  }));
+}
+
+Var vmatmul(const Var& a, const Var& b) {
+  Tensor value = matmul(a.value(), b.value());
+  auto pa = a.node();
+  auto pb = b.node();
+  return Var(make_node(std::move(value), {pa, pb}, [pa, pb](Node& n) {
+    if (pa->requires_grad)
+      accumulate(*pa, matmul(n.grad, transpose2d(pb->value)));
+    if (pb->requires_grad)
+      accumulate(*pb, matmul(transpose2d(pa->value), n.grad));
+  }));
+}
+
+Var vtranspose(const Var& a) {
+  auto pa = a.node();
+  return Var(make_node(transpose2d(a.value()), {pa}, [pa](Node& n) {
+    accumulate(*pa, transpose2d(n.grad));
+  }));
+}
+
+Var vadd_rowvec(const Var& x, const Var& b) {
+  Tensor value = add_rowvec(x.value(), b.value());
+  auto px = x.node();
+  auto pb = b.node();
+  return Var(make_node(std::move(value), {px, pb}, [px, pb](Node& n) {
+    accumulate(*px, n.grad);
+    if (pb->requires_grad) {
+      const std::size_t rows = n.value.size(0), cols = n.value.size(1);
+      Tensor db(pb->value.shape());
+      for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+          db.data()[j] += n.grad.data()[i * cols + j];
+      accumulate(*pb, db);
+    }
+  }));
+}
+
+Var vcolwise_scale(const Var& x, const Var& s) {
+  Tensor value = colwise_scale(x.value(), s.value());
+  auto px = x.node();
+  auto ps = s.node();
+  return Var(make_node(std::move(value), {px, ps}, [px, ps](Node& n) {
+    const std::size_t rows = n.value.size(0), cols = n.value.size(1);
+    if (px->requires_grad) accumulate(*px, colwise_scale(n.grad, ps->value));
+    if (ps->requires_grad) {
+      Tensor ds(ps->value.shape());
+      for (std::size_t i = 0; i < rows; ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < cols; ++j)
+          sum += static_cast<double>(n.grad.data()[i * cols + j]) *
+                 px->value.data()[i * cols + j];
+        ds.data()[i] = static_cast<float>(sum);
+      }
+      accumulate(*ps, ds);
+    }
+  }));
+}
+
+Var vsoftmax_rows(const Var& x) {
+  Tensor value = softmax_rows(x.value());
+  auto px = x.node();
+  return Var(make_node(std::move(value), {px}, [px](Node& n) {
+    const std::size_t rows = n.value.size(0), cols = n.value.size(1);
+    Tensor dx(n.value.shape());
+    for (std::size_t i = 0; i < rows; ++i) {
+      const float* y = n.value.data() + i * cols;
+      const float* dy = n.grad.data() + i * cols;
+      double dot = 0.0;
+      for (std::size_t j = 0; j < cols; ++j)
+        dot += static_cast<double>(dy[j]) * y[j];
+      float* out = dx.data() + i * cols;
+      for (std::size_t j = 0; j < cols; ++j)
+        out[j] = y[j] * (dy[j] - static_cast<float>(dot));
+    }
+    accumulate(*px, dx);
+  }));
+}
+
+Var vlayernorm_rows(const Var& x, const Var& gain, const Var& bias,
+                    float eps) {
+  const Tensor& xv = x.value();
+  NS_REQUIRE(xv.rank() == 2, "layernorm expects 2-D input");
+  const std::size_t rows = xv.size(0), cols = xv.size(1);
+  NS_REQUIRE(gain.value().numel() == cols && bias.value().numel() == cols,
+             "layernorm gain/bias must have one entry per column");
+  // Cache xhat and inv_std for the backward pass.
+  auto xhat = std::make_shared<Tensor>(Shape{rows, cols});
+  auto inv_std = std::make_shared<Tensor>(Shape{rows});
+  Tensor value(Shape{rows, cols});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* in = xv.data() + i * cols;
+    double mu = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) mu += in[j];
+    mu /= static_cast<double>(cols);
+    double var = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double d = in[j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    const double istd = 1.0 / std::sqrt(var + eps);
+    inv_std->data()[i] = static_cast<float>(istd);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const float xh = static_cast<float>((in[j] - mu) * istd);
+      xhat->data()[i * cols + j] = xh;
+      value.data()[i * cols + j] =
+          xh * gain.value().data()[j] + bias.value().data()[j];
+    }
+  }
+  auto px = x.node();
+  auto pg = gain.node();
+  auto pb = bias.node();
+  return Var(make_node(
+      std::move(value), {px, pg, pb},
+      [px, pg, pb, xhat, inv_std, rows, cols](Node& n) {
+        Tensor dgain(pg->value.shape());
+        Tensor dbias(pb->value.shape());
+        Tensor dx(px->value.shape());
+        for (std::size_t i = 0; i < rows; ++i) {
+          const float* dy = n.grad.data() + i * cols;
+          const float* xh = xhat->data() + i * cols;
+          const float istd = inv_std->data()[i];
+          double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+          for (std::size_t j = 0; j < cols; ++j) {
+            const float dxh = dy[j] * pg->value.data()[j];
+            sum_dxhat += dxh;
+            sum_dxhat_xhat += static_cast<double>(dxh) * xh[j];
+            dgain.data()[j] += dy[j] * xh[j];
+            dbias.data()[j] += dy[j];
+          }
+          const double inv_cols = 1.0 / static_cast<double>(cols);
+          for (std::size_t j = 0; j < cols; ++j) {
+            const double dxh = static_cast<double>(dy[j]) * pg->value.data()[j];
+            dx.data()[i * cols + j] = static_cast<float>(
+                istd * (dxh - sum_dxhat * inv_cols -
+                        xh[j] * sum_dxhat_xhat * inv_cols));
+          }
+        }
+        accumulate(*px, dx);
+        accumulate(*pg, dgain);
+        accumulate(*pb, dbias);
+      }));
+}
+
+Var vrelu(const Var& a) {
+  Tensor value(a.value().shape());
+  for (std::size_t i = 0; i < value.numel(); ++i)
+    value.data()[i] = std::max(0.0f, a.value().data()[i]);
+  auto pa = a.node();
+  return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
+    Tensor dx(n.value.shape());
+    for (std::size_t i = 0; i < dx.numel(); ++i)
+      dx.data()[i] = pa->value.data()[i] > 0.0f ? n.grad.data()[i] : 0.0f;
+    accumulate(*pa, dx);
+  }));
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+}  // namespace
+
+Var vgelu(const Var& a) {
+  // tanh approximation of GELU; derivative computed analytically.
+  Tensor value(a.value().shape());
+  for (std::size_t i = 0; i < value.numel(); ++i) {
+    const float x = a.value().data()[i];
+    const float t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
+    value.data()[i] = 0.5f * x * (1.0f + t);
+  }
+  auto pa = a.node();
+  return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
+    Tensor dx(n.value.shape());
+    for (std::size_t i = 0; i < dx.numel(); ++i) {
+      const float x = pa->value.data()[i];
+      const float u = kGeluC * (x + kGeluA * x * x * x);
+      const float t = std::tanh(u);
+      const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+      const float dgelu = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      dx.data()[i] = n.grad.data()[i] * dgelu;
+    }
+    accumulate(*pa, dx);
+  }));
+}
+
+Var vtanh(const Var& a) {
+  Tensor value(a.value().shape());
+  for (std::size_t i = 0; i < value.numel(); ++i)
+    value.data()[i] = std::tanh(a.value().data()[i]);
+  auto pa = a.node();
+  return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
+    Tensor dx(n.value.shape());
+    for (std::size_t i = 0; i < dx.numel(); ++i) {
+      const float y = n.value.data()[i];
+      dx.data()[i] = n.grad.data()[i] * (1.0f - y * y);
+    }
+    accumulate(*pa, dx);
+  }));
+}
+
+Var vsigmoid(const Var& a) {
+  Tensor value(a.value().shape());
+  for (std::size_t i = 0; i < value.numel(); ++i) {
+    const float x = a.value().data()[i];
+    value.data()[i] = 1.0f / (1.0f + std::exp(-x));
+  }
+  auto pa = a.node();
+  return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
+    Tensor dx(n.value.shape());
+    for (std::size_t i = 0; i < dx.numel(); ++i) {
+      const float y = n.value.data()[i];
+      dx.data()[i] = n.grad.data()[i] * y * (1.0f - y);
+    }
+    accumulate(*pa, dx);
+  }));
+}
+
+Var vexp(const Var& a) {
+  Tensor value(a.value().shape());
+  for (std::size_t i = 0; i < value.numel(); ++i)
+    value.data()[i] = std::exp(a.value().data()[i]);
+  auto pa = a.node();
+  return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
+    accumulate(*pa, mul(n.grad, n.value));
+  }));
+}
+
+Var vsum(const Var& a) {
+  Tensor value(Shape{1});
+  value.data()[0] = static_cast<float>(sum_all(a.value()));
+  auto pa = a.node();
+  return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
+    accumulate(*pa, Tensor::full(pa->value.shape(), n.grad.data()[0]));
+  }));
+}
+
+Var vmean(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().numel());
+  Tensor value(Shape{1});
+  value.data()[0] = static_cast<float>(mean_all(a.value()));
+  auto pa = a.node();
+  return Var(make_node(std::move(value), {pa}, [pa, inv](Node& n) {
+    accumulate(*pa, Tensor::full(pa->value.shape(), n.grad.data()[0] * inv));
+  }));
+}
+
+Var vslice_cols(const Var& x, std::size_t c0, std::size_t c1) {
+  Tensor value = slice_cols(x.value(), c0, c1);
+  auto px = x.node();
+  return Var(make_node(std::move(value), {px}, [px, c0, c1](Node& n) {
+    const std::size_t rows = px->value.size(0), cols = px->value.size(1);
+    const std::size_t w = c1 - c0;
+    Tensor dx(px->value.shape());
+    for (std::size_t i = 0; i < rows; ++i)
+      std::copy_n(n.grad.data() + i * w, w, dx.data() + i * cols + c0);
+    accumulate(*px, dx);
+  }));
+}
+
+Var vslice_rows(const Var& x, std::size_t r0, std::size_t r1) {
+  Tensor value = slice_rows(x.value(), r0, r1);
+  auto px = x.node();
+  return Var(make_node(std::move(value), {px}, [px, r0, r1](Node& n) {
+    const std::size_t cols = px->value.size(1);
+    Tensor dx(px->value.shape());
+    std::copy_n(n.grad.data(), (r1 - r0) * cols, dx.data() + r0 * cols);
+    accumulate(*px, dx);
+  }));
+}
+
+Var vconcat_cols(std::span<const Var> parts) {
+  NS_REQUIRE(!parts.empty(), "vconcat_cols of zero Vars");
+  std::vector<Tensor> values;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::vector<std::size_t> widths;
+  values.reserve(parts.size());
+  for (const Var& p : parts) {
+    values.push_back(p.value());
+    parents.push_back(p.node());
+    widths.push_back(p.value().size(1));
+  }
+  Tensor value = concat_cols(values);
+  auto parent_list = parents;  // keep a copy for the lambda
+  return Var(make_node(
+      std::move(value), std::move(parents),
+      [parent_list, widths](Node& n) {
+        const std::size_t rows = n.value.size(0);
+        const std::size_t total = n.value.size(1);
+        std::size_t offset = 0;
+        for (std::size_t p = 0; p < parent_list.size(); ++p) {
+          const std::size_t w = widths[p];
+          if (parent_list[p]->requires_grad) {
+            Tensor dpart(Shape{rows, w});
+            for (std::size_t i = 0; i < rows; ++i)
+              std::copy_n(n.grad.data() + i * total + offset, w,
+                          dpart.data() + i * w);
+            accumulate(*parent_list[p], dpart);
+          }
+          offset += w;
+        }
+      }));
+}
+
+Var vconcat_rows(std::span<const Var> parts) {
+  NS_REQUIRE(!parts.empty(), "vconcat_rows of zero Vars");
+  std::vector<Tensor> values;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::vector<std::size_t> heights;
+  for (const Var& p : parts) {
+    values.push_back(p.value());
+    parents.push_back(p.node());
+    heights.push_back(p.value().size(0));
+  }
+  Tensor value = concat_rows(values);
+  auto parent_list = parents;
+  return Var(make_node(
+      std::move(value), std::move(parents),
+      [parent_list, heights](Node& n) {
+        const std::size_t cols = n.value.size(1);
+        std::size_t offset = 0;
+        for (std::size_t p = 0; p < parent_list.size(); ++p) {
+          const std::size_t h = heights[p];
+          if (parent_list[p]->requires_grad) {
+            Tensor dpart(Shape{h, cols});
+            std::copy_n(n.grad.data() + offset, h * cols, dpart.data());
+            accumulate(*parent_list[p], dpart);
+          }
+          offset += h * cols;
+        }
+      }));
+}
+
+Var vmask(const Var& x, const Tensor& mask) {
+  Tensor value = mul(x.value(), mask);
+  auto px = x.node();
+  auto mask_copy = std::make_shared<Tensor>(mask.clone());
+  return Var(make_node(std::move(value), {px}, [px, mask_copy](Node& n) {
+    accumulate(*px, mul(n.grad, *mask_copy));
+  }));
+}
+
+Var vdropout(const Var& x, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  NS_REQUIRE(p < 1.0f, "dropout rate must be < 1");
+  Tensor mask(x.value().shape());
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (std::size_t i = 0; i < mask.numel(); ++i)
+    mask.data()[i] = rng.bernoulli(p) ? 0.0f : keep_scale;
+  return vmask(x, mask);
+}
+
+Var vmse_loss(const Var& pred, const Tensor& target) {
+  NS_REQUIRE(pred.value().same_shape(target), "mse_loss shape mismatch");
+  const std::size_t n = target.numel();
+  Tensor value(Shape{1});
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = pred.value().data()[i] - target.data()[i];
+    acc += d * d;
+  }
+  value.data()[0] = static_cast<float>(acc / static_cast<double>(n));
+  auto pp = pred.node();
+  auto target_copy = std::make_shared<Tensor>(target.clone());
+  return Var(make_node(std::move(value), {pp}, [pp, target_copy, n](Node& nd) {
+    const float g = nd.grad.data()[0] * 2.0f / static_cast<float>(n);
+    Tensor dx(pp->value.shape());
+    for (std::size_t i = 0; i < n; ++i)
+      dx.data()[i] = g * (pp->value.data()[i] - target_copy->data()[i]);
+    accumulate(*pp, dx);
+  }));
+}
+
+Var vwmse_loss(const Var& pred, const Tensor& target, const Tensor& weights) {
+  NS_REQUIRE(pred.value().same_shape(target), "wmse_loss shape mismatch");
+  NS_REQUIRE(pred.value().rank() == 2, "wmse_loss expects [T, M] input");
+  const std::size_t rows = target.size(0), cols = target.size(1);
+  NS_REQUIRE(weights.numel() == cols,
+             "wmse_loss needs one weight per metric column");
+  Tensor value(Shape{1});
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double d =
+          pred.value().data()[i * cols + j] - target.data()[i * cols + j];
+      acc += weights.data()[j] * d * d;
+    }
+  const double denom = static_cast<double>(rows) * cols;
+  value.data()[0] = static_cast<float>(acc / denom);
+  auto pp = pred.node();
+  auto tgt = std::make_shared<Tensor>(target.clone());
+  auto w = std::make_shared<Tensor>(weights.clone());
+  return Var(make_node(
+      std::move(value), {pp}, [pp, tgt, w, rows, cols, denom](Node& nd) {
+        const float g = nd.grad.data()[0] * 2.0f / static_cast<float>(denom);
+        Tensor dx(pp->value.shape());
+        for (std::size_t i = 0; i < rows; ++i)
+          for (std::size_t j = 0; j < cols; ++j)
+            dx.data()[i * cols + j] =
+                g * w->data()[j] *
+                (pp->value.data()[i * cols + j] - tgt->data()[i * cols + j]);
+        accumulate(*pp, dx);
+      }));
+}
+
+}  // namespace ns

@@ -1,0 +1,298 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace ns {
+namespace {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ',';
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      storage_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+  NS_REQUIRE(data.size() == numel_,
+             "Tensor data size " << data.size() << " != numel for shape "
+                                 << shape_to_string(shape_));
+  storage_ = std::make_shared<std::vector<float>>(std::move(data));
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& x : t.flat()) x = static_cast<float>(rng.gaussian(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& x : t.flat()) x = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<float> values) {
+  const std::size_t n = values.size();
+  return Tensor(Shape{n}, std::move(values));
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  NS_REQUIRE(shape_numel(new_shape) == numel_,
+             "reshape " << shape_to_string(shape_) << " -> "
+                        << shape_to_string(new_shape) << " changes numel");
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.numel_ = numel_;
+  out.storage_ = storage_;  // share
+  return out;
+}
+
+Tensor Tensor::clone() const {
+  Tensor out;
+  out.shape_ = shape_;
+  out.numel_ = numel_;
+  out.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return out;
+}
+
+void Tensor::fill(float value) {
+  std::fill(storage_->begin(), storage_->end(), value);
+}
+
+// ---------------------------------------------------------------- free ops
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  NS_REQUIRE(a.same_shape(b), op << ": shape mismatch "
+                                 << shape_to_string(a.shape()) << " vs "
+                                 << shape_to_string(b.shape()));
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + pb[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    out.data()[i] = a.data()[i] - b.data()[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    out.data()[i] = a.data()[i] * b.data()[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out.data()[i] = a.data()[i] * s;
+  return out;
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out.data()[i] = a.data()[i] + s;
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  NS_REQUIRE(a.rank() == 2 && b.rank() == 2,
+             "matmul expects 2-D operands, got " << shape_to_string(a.shape())
+                                                 << " @ "
+                                                 << shape_to_string(b.shape()));
+  const std::size_t m = a.size(0), k = a.size(1), k2 = b.size(0),
+                    n = b.size(1);
+  NS_REQUIRE(k == k2, "matmul inner-dim mismatch " << k << " vs " << k2);
+  Tensor out(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order: streams B rows, accumulates into C rows (cache friendly).
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = po + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  NS_REQUIRE(a.rank() == 2, "transpose2d expects a 2-D tensor");
+  const std::size_t r = a.size(0), c = a.size(1);
+  Tensor out(Shape{c, r});
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) out.data()[j * r + i] = a.data()[i * c + j];
+  return out;
+}
+
+Tensor add_rowvec(const Tensor& x, const Tensor& b) {
+  NS_REQUIRE(x.rank() == 2, "add_rowvec expects 2-D x");
+  NS_REQUIRE(b.numel() == x.size(1),
+             "add_rowvec: vector length " << b.numel() << " != cols "
+                                          << x.size(1));
+  Tensor out(x.shape());
+  const std::size_t rows = x.size(0), cols = x.size(1);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      out.data()[i * cols + j] = x.data()[i * cols + j] + b.data()[j];
+  return out;
+}
+
+Tensor colwise_scale(const Tensor& x, const Tensor& s) {
+  NS_REQUIRE(x.rank() == 2, "colwise_scale expects 2-D x");
+  NS_REQUIRE(s.numel() == x.size(0),
+             "colwise_scale: scale length " << s.numel() << " != rows "
+                                            << x.size(0));
+  Tensor out(x.shape());
+  const std::size_t rows = x.size(0), cols = x.size(1);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float si = s.data()[i];
+    for (std::size_t j = 0; j < cols; ++j)
+      out.data()[i * cols + j] = x.data()[i * cols + j] * si;
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& x) {
+  NS_REQUIRE(x.rank() == 2, "softmax_rows expects a 2-D tensor");
+  const std::size_t rows = x.size(0), cols = x.size(1);
+  Tensor out(x.shape());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* in = x.data() + i * cols;
+    float* o = out.data() + i * cols;
+    float mx = in[0];
+    for (std::size_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      o[j] = std::exp(in[j] - mx);
+      denom += o[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < cols; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+Tensor slice_cols(const Tensor& x, std::size_t c0, std::size_t c1) {
+  NS_REQUIRE(x.rank() == 2, "slice_cols expects a 2-D tensor");
+  NS_REQUIRE(c0 < c1 && c1 <= x.size(1),
+             "slice_cols range [" << c0 << ',' << c1 << ") out of cols "
+                                  << x.size(1));
+  const std::size_t rows = x.size(0), cols = x.size(1), w = c1 - c0;
+  Tensor out(Shape{rows, w});
+  for (std::size_t i = 0; i < rows; ++i)
+    std::copy_n(x.data() + i * cols + c0, w, out.data() + i * w);
+  return out;
+}
+
+Tensor slice_rows(const Tensor& x, std::size_t r0, std::size_t r1) {
+  NS_REQUIRE(x.rank() == 2, "slice_rows expects a 2-D tensor");
+  NS_REQUIRE(r0 < r1 && r1 <= x.size(0),
+             "slice_rows range [" << r0 << ',' << r1 << ") out of rows "
+                                  << x.size(0));
+  const std::size_t cols = x.size(1);
+  Tensor out(Shape{r1 - r0, cols});
+  std::copy_n(x.data() + r0 * cols, (r1 - r0) * cols, out.data());
+  return out;
+}
+
+Tensor concat_cols(std::span<const Tensor> parts) {
+  NS_REQUIRE(!parts.empty(), "concat_cols of zero tensors");
+  const std::size_t rows = parts[0].size(0);
+  std::size_t total_cols = 0;
+  for (const Tensor& p : parts) {
+    NS_REQUIRE(p.rank() == 2 && p.size(0) == rows,
+               "concat_cols: row mismatch");
+    total_cols += p.size(1);
+  }
+  Tensor out(Shape{rows, total_cols});
+  std::size_t offset = 0;
+  for (const Tensor& p : parts) {
+    const std::size_t w = p.size(1);
+    for (std::size_t i = 0; i < rows; ++i)
+      std::copy_n(p.data() + i * w, w, out.data() + i * total_cols + offset);
+    offset += w;
+  }
+  return out;
+}
+
+Tensor concat_rows(std::span<const Tensor> parts) {
+  NS_REQUIRE(!parts.empty(), "concat_rows of zero tensors");
+  const std::size_t cols = parts[0].size(1);
+  std::size_t total_rows = 0;
+  for (const Tensor& p : parts) {
+    NS_REQUIRE(p.rank() == 2 && p.size(1) == cols,
+               "concat_rows: column mismatch");
+    total_rows += p.size(0);
+  }
+  Tensor out(Shape{total_rows, cols});
+  std::size_t offset = 0;
+  for (const Tensor& p : parts) {
+    std::copy_n(p.data(), p.numel(), out.data() + offset);
+    offset += p.numel();
+  }
+  return out;
+}
+
+double sum_all(const Tensor& a) {
+  double s = 0.0;
+  for (float x : a.flat()) s += x;
+  return s;
+}
+
+double mean_all(const Tensor& a) {
+  return a.numel() == 0 ? 0.0 : sum_all(a) / static_cast<double>(a.numel());
+}
+
+double max_abs(const Tensor& a) {
+  double m = 0.0;
+  for (float x : a.flat()) m = std::max(m, std::abs(static_cast<double>(x)));
+  return m;
+}
+
+}  // namespace ns

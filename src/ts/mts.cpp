@@ -1,0 +1,74 @@
+#include "ts/mts.hpp"
+
+#include <algorithm>
+
+namespace ns {
+
+const char* metric_category_name(MetricCategory category) {
+  switch (category) {
+    case MetricCategory::kCpu: return "CPU";
+    case MetricCategory::kMemory: return "Memory";
+    case MetricCategory::kFilesystem: return "Filesystem";
+    case MetricCategory::kNetwork: return "Network";
+    case MetricCategory::kProcess: return "Process";
+    case MetricCategory::kSystem: return "System";
+  }
+  return "?";
+}
+
+void MtsDataset::validate() const {
+  NS_REQUIRE(jobs.size() == nodes.size() || jobs.empty(),
+             "jobs list size " << jobs.size() << " != node count "
+                               << nodes.size());
+  NS_REQUIRE(labels.size() == nodes.size() || labels.empty(),
+             "labels size mismatch");
+  const std::size_t m = num_metrics();
+  const std::size_t t = num_timestamps();
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    NS_REQUIRE(nodes[n].num_metrics() == m,
+               "node " << n << " has " << nodes[n].num_metrics()
+                       << " metrics, expected " << m);
+    for (const auto& series : nodes[n].values)
+      NS_REQUIRE(series.size() == t,
+                 "node " << n << " metric series length mismatch");
+    if (!labels.empty())
+      NS_REQUIRE(labels[n].size() == t, "node " << n << " label length");
+    if (!jobs.empty()) {
+      std::size_t prev_end = 0;
+      for (const JobSpan& span : jobs[n]) {
+        NS_REQUIRE(span.begin < span.end && span.end <= t,
+                   "node " << n << " job span [" << span.begin << ','
+                           << span.end << ") out of range");
+        NS_REQUIRE(span.begin >= prev_end,
+                   "node " << n << " job spans overlap or are unsorted");
+        prev_end = span.end;
+      }
+    }
+  }
+}
+
+std::vector<SegmentRef> collect_segments(const MtsDataset& dataset,
+                                         std::size_t min_length) {
+  std::vector<SegmentRef> out;
+  for (std::size_t n = 0; n < dataset.jobs.size(); ++n)
+    for (std::size_t j = 0; j < dataset.jobs[n].size(); ++j)
+      if (dataset.jobs[n][j].length() >= min_length)
+        out.push_back(SegmentRef{n, j});
+  return out;
+}
+
+std::vector<std::vector<float>> segment_values(const MtsDataset& dataset,
+                                               const SegmentRef& ref) {
+  NS_REQUIRE(ref.node < dataset.nodes.size(), "segment node out of range");
+  NS_REQUIRE(ref.job_index < dataset.jobs[ref.node].size(),
+             "segment job index out of range");
+  const JobSpan& span = dataset.jobs[ref.node][ref.job_index];
+  const NodeSeries& series = dataset.nodes[ref.node];
+  std::vector<std::vector<float>> out(series.num_metrics());
+  for (std::size_t m = 0; m < series.num_metrics(); ++m)
+    out[m].assign(series.values[m].begin() + static_cast<std::ptrdiff_t>(span.begin),
+                  series.values[m].begin() + static_cast<std::ptrdiff_t>(span.end));
+  return out;
+}
+
+}  // namespace ns

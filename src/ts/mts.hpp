@@ -1,0 +1,98 @@
+// Core multivariate-time-series (MTS) data structures.
+//
+// The problem input (paper §2.3) is X ∈ R^{N×M×T}: N nodes, M metrics, T
+// timestamps, plus per-node job span lists from the scheduler (Slurm sacct).
+// Storage is metric-major per node so per-metric preprocessing and feature
+// extraction stream contiguously.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+/// Sentinel for missing observations (lost samples, collection gaps).
+inline constexpr float kMissingValue = std::numeric_limits<float>::quiet_NaN();
+
+/// Metric categories mirroring the paper's Table 3.
+enum class MetricCategory { kCpu, kMemory, kFilesystem, kNetwork, kProcess, kSystem };
+
+const char* metric_category_name(MetricCategory category);
+
+struct MetricMeta {
+  std::string name;
+  /// Metrics sharing a semantic group have the same physical meaning
+  /// (e.g. per-core copies of cpu_seconds_total) and are aggregated to node
+  /// level during reduction (§3.2).
+  std::string semantic_group;
+  MetricCategory category = MetricCategory::kSystem;
+  /// Hardware sub-unit index (core id, NIC id); -1 for node-level metrics.
+  int unit_id = -1;
+};
+
+/// One node's series: values[m][t].
+struct NodeSeries {
+  std::string node_name;
+  std::vector<std::vector<float>> values;
+
+  std::size_t num_metrics() const { return values.size(); }
+  std::size_t num_timestamps() const {
+    return values.empty() ? 0 : values.front().size();
+  }
+};
+
+/// A half-open index range [begin, end) of one node's series occupied by a
+/// single job (idle waiting is a special job with job_id < 0, per §1).
+struct JobSpan {
+  std::int64_t job_id = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t length() const { return end - begin; }
+  bool is_idle() const { return job_id < 0; }
+};
+
+/// Full dataset: aligned metric metadata, per-node series, per-node job
+/// lists, and (for evaluation only) per-node point-wise anomaly labels.
+struct MtsDataset {
+  std::vector<MetricMeta> metrics;
+  std::vector<NodeSeries> nodes;
+  std::vector<std::vector<JobSpan>> jobs;           // jobs[n]
+  std::vector<std::vector<std::uint8_t>> labels;    // labels[n][t], 1=anomaly
+  double interval_seconds = 15.0;                   // sampling period
+
+  std::size_t num_nodes() const { return nodes.size(); }
+  std::size_t num_metrics() const { return metrics.size(); }
+  std::size_t num_timestamps() const {
+    return nodes.empty() ? 0 : nodes.front().num_timestamps();
+  }
+  std::size_t total_points() const {
+    return num_nodes() * num_metrics() * num_timestamps();
+  }
+
+  /// Validates internal consistency (shapes, job spans in range and
+  /// non-overlapping, label lengths). Throws ns::InvalidArgument on issues.
+  void validate() const;
+};
+
+/// Identifies one job segment of one node (the clustering unit, §3.3).
+struct SegmentRef {
+  std::size_t node = 0;
+  std::size_t job_index = 0;  // index into dataset.jobs[node]
+
+  bool operator==(const SegmentRef&) const = default;
+};
+
+/// All job segments of a dataset with at least `min_length` samples.
+std::vector<SegmentRef> collect_segments(const MtsDataset& dataset,
+                                         std::size_t min_length = 4);
+
+/// Extracts segment values as [M][len] slices (copies).
+std::vector<std::vector<float>> segment_values(const MtsDataset& dataset,
+                                               const SegmentRef& ref);
+
+}  // namespace ns

@@ -1,0 +1,158 @@
+// Additional edge-case coverage for the core pipeline pieces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cluster_library.hpp"
+#include "core/nodesentry.hpp"
+#include "sim/dataset_builder.hpp"
+
+namespace ns {
+namespace {
+
+TEST(ClusterLibraryEdge, MatchOnEmptyLibraryThrows) {
+  ClusterLibrary library;
+  EXPECT_THROW(library.match({1.0f, 2.0f}, 2.0), InvalidArgument);
+}
+
+TEST(ClusterLibraryEdge, UnmatchedWhenFarBeyondRadius) {
+  ClusterLibrary library;
+  ClusterEntry entry;
+  entry.centroid = {0.0f, 0.0f};
+  entry.radius = 1.0;
+  library.clusters().push_back(std::move(entry));
+  const MatchResult near = library.match({0.5f, 0.5f}, 2.0);
+  EXPECT_TRUE(near.matched);
+  const MatchResult far = library.match({100.0f, 100.0f}, 2.0);
+  EXPECT_FALSE(far.matched);
+  EXPECT_EQ(far.cluster, 0u);  // still reports the nearest cluster
+}
+
+TEST(ClusterLibraryEdge, ZeroRadiusClusterStillMatchesItself) {
+  // A singleton cluster has radius 0; its own centroid must match.
+  ClusterLibrary library;
+  ClusterEntry entry;
+  entry.centroid = {3.0f};
+  entry.radius = 0.0;
+  library.clusters().push_back(std::move(entry));
+  EXPECT_TRUE(library.match({3.0f}, 2.5).matched);
+}
+
+TEST(ClusterLibraryEdge, NearestMemberPicksClosest) {
+  ClusterLibrary library;
+  ClusterEntry entry;
+  entry.centroid = {0.0f};
+  entry.member_features = {{0.0f}, {5.0f}, {10.0f}};
+  library.clusters().push_back(std::move(entry));
+  EXPECT_EQ(library.nearest_member(0, {6.0f}), 1u);
+  EXPECT_EQ(library.nearest_member(0, {-1.0f}), 0u);
+  EXPECT_THROW(library.nearest_member(5, {0.0f}), InvalidArgument);
+}
+
+TEST(ClusterLibraryEdge, ScaleWithoutFittedScalerIsIdentity) {
+  ClusterLibrary library;
+  const std::vector<float> raw{1.0f, 2.0f};
+  EXPECT_EQ(library.scale(raw), raw);
+}
+
+class ModelTokensTest : public ::testing::Test {
+ protected:
+  static MtsDataset two_metric_dataset() {
+    MtsDataset ds;
+    for (int m = 0; m < 2; ++m) {
+      MetricMeta meta;
+      meta.name = "m" + std::to_string(m);
+      ds.metrics.push_back(meta);
+    }
+    NodeSeries node;
+    node.node_name = "n";
+    node.values.assign(2, std::vector<float>(40));
+    for (std::size_t t = 0; t < 40; ++t) {
+      node.values[0][t] = t < 20 ? 10.0f : 14.0f;
+      node.values[1][t] = std::sin(0.4f * static_cast<float>(t));
+    }
+    ds.nodes.push_back(node);
+    ds.jobs.push_back({JobSpan{1, 0, 40}});
+    return ds;
+  }
+
+  static NodeSentryConfig tiny_config() {
+    NodeSentryConfig config;
+    config.model.d_model = 12;
+    config.model.num_heads = 2;
+    config.model.num_layers = 1;
+    config.train_epochs = 1;
+    config.match_period = 8;  // leading window = first 8 steps
+    return config;
+  }
+};
+
+TEST_F(ModelTokensTest, CenteringSubtractsLeadingWindowMean) {
+  NodeSentryConfig config = tiny_config();
+  config.center_tokens = true;
+  NodeSentry sentry(config);
+  MtsDataset ds = two_metric_dataset();
+  sentry.fit(ds, 40);
+  const Tensor tokens = sentry.model_tokens(CoreSegment{0, 0, 40, 1});
+  // Leading window of the processed data has mean ~0 after centering.
+  for (std::size_t m = 0; m < 2; ++m) {
+    double lead_mean = 0.0;
+    for (std::size_t t = 0; t < 8; ++t) lead_mean += tokens.at(t, m);
+    EXPECT_NEAR(lead_mean / 8.0, 0.0, 1e-4) << "metric " << m;
+  }
+}
+
+TEST_F(ModelTokensTest, CenteringDisabledKeepsValues) {
+  NodeSentryConfig config = tiny_config();
+  config.center_tokens = false;
+  NodeSentry sentry(config);
+  MtsDataset ds = two_metric_dataset();
+  sentry.fit(ds, 40);
+  const Tensor with_cap = sentry.model_tokens(CoreSegment{0, 0, 40, 1}, 16);
+  EXPECT_EQ(with_cap.size(0), 16u);
+  // Values equal the processed series directly.
+  EXPECT_FLOAT_EQ(with_cap.at(0, 0),
+                  sentry.processed().nodes[0].values[0][0]);
+}
+
+TEST(NodeSentryEdge, DetectBeforeFitThrows) {
+  NodeSentry sentry(NodeSentryConfig{});
+  EXPECT_THROW(sentry.detect(), InvalidArgument);
+}
+
+TEST(NodeSentryEdge, FitRejectsBadTrainEnd) {
+  SimDatasetConfig config = d2_sim_config(0.25, 77);
+  const SimDataset sim = build_sim_dataset(config);
+  NodeSentry sentry(NodeSentryConfig{});
+  EXPECT_THROW(sentry.fit(sim.data, 0), InvalidArgument);
+  EXPECT_THROW(sentry.fit(sim.data, sim.data.num_timestamps() + 5),
+               InvalidArgument);
+}
+
+TEST(NodeSentryEdge, DeterministicAcrossRuns) {
+  SimDatasetConfig sim_config = d2_sim_config(0.4, 88);
+  sim_config.anomaly_ratio = 0.02;
+  const SimDataset sim = build_sim_dataset(sim_config);
+  NodeSentryConfig config;
+  config.train_epochs = 2;
+  config.model.num_layers = 1;
+  config.model.d_model = 12;
+  config.model.num_heads = 2;
+  config.seed = 31337;
+  auto run_once = [&] {
+    NodeSentry sentry(config);
+    sentry.fit(sim.data, sim.train_end);
+    return sentry.detect();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (std::size_t n = 0; n < a.detections.size(); ++n) {
+    EXPECT_EQ(a.detections[n].predictions, b.detections[n].predictions);
+    for (std::size_t t = 0; t < a.detections[n].scores.size(); ++t)
+      ASSERT_EQ(a.detections[n].scores[t], b.detections[n].scores[t]);
+  }
+}
+
+}  // namespace
+}  // namespace ns

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "io/dataset_io.hpp"
+#include "sim/dataset_builder.hpp"
+
+namespace ns {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(DatasetIo, RoundTripSimulatedDataset) {
+  SimDatasetConfig config = d2_sim_config(0.25, 55);
+  config.anomaly_ratio = 0.02;
+  config.missing_rate = 0.005;
+  const SimDataset sim = build_sim_dataset(config);
+  const std::string dir = temp_dir("ns_dataset_io_rt");
+  save_dataset(sim.data, dir);
+  const MtsDataset loaded = load_dataset(dir);
+
+  ASSERT_EQ(loaded.num_nodes(), sim.data.num_nodes());
+  ASSERT_EQ(loaded.num_metrics(), sim.data.num_metrics());
+  ASSERT_EQ(loaded.num_timestamps(), sim.data.num_timestamps());
+  EXPECT_EQ(loaded.interval_seconds, sim.data.interval_seconds);
+
+  // Node files are loaded in sorted name order; map back by name.
+  for (std::size_t n = 0; n < loaded.num_nodes(); ++n) {
+    std::size_t src = loaded.num_nodes();
+    for (std::size_t k = 0; k < sim.data.num_nodes(); ++k)
+      if (sim.data.nodes[k].node_name == loaded.nodes[n].node_name) src = k;
+    ASSERT_LT(src, sim.data.num_nodes());
+    for (std::size_t m = 0; m < loaded.num_metrics(); ++m)
+      for (std::size_t t = 0; t < loaded.num_timestamps(); ++t) {
+        const float a = sim.data.nodes[src].values[m][t];
+        const float b = loaded.nodes[n].values[m][t];
+        if (std::isnan(a)) {
+          ASSERT_TRUE(std::isnan(b)) << n << ' ' << m << ' ' << t;
+        } else {
+          ASSERT_NEAR(a, b, 5e-6) << n << ' ' << m << ' ' << t;
+        }
+      }
+    EXPECT_EQ(loaded.jobs[n].size(), sim.data.jobs[src].size());
+    EXPECT_EQ(loaded.labels[n], sim.data.labels[src]);
+  }
+}
+
+TEST(DatasetIo, MetricMetadataPreserved) {
+  SimDatasetConfig config = d2_sim_config(0.25, 56);
+  const SimDataset sim = build_sim_dataset(config);
+  const std::string dir = temp_dir("ns_dataset_io_meta");
+  save_dataset(sim.data, dir);
+  const MtsDataset loaded = load_dataset(dir);
+  for (std::size_t m = 0; m < loaded.num_metrics(); ++m) {
+    EXPECT_EQ(loaded.metrics[m].name, sim.data.metrics[m].name);
+    EXPECT_EQ(loaded.metrics[m].semantic_group,
+              sim.data.metrics[m].semantic_group);
+    EXPECT_EQ(loaded.metrics[m].category, sim.data.metrics[m].category);
+    EXPECT_EQ(loaded.metrics[m].unit_id, sim.data.metrics[m].unit_id);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIo, MissingDirectoryThrows) {
+  EXPECT_THROW(load_dataset("/nonexistent/ns_nowhere"), std::exception);
+}
+
+TEST(DatasetIo, LoadedDatasetDrivesPipeline) {
+  // End-to-end: a loaded dataset must be usable downstream directly.
+  SimDatasetConfig config = d2_sim_config(0.25, 57);
+  const SimDataset sim = build_sim_dataset(config);
+  const std::string dir = temp_dir("ns_dataset_io_pipeline");
+  save_dataset(sim.data, dir);
+  const MtsDataset loaded = load_dataset(dir);
+  EXPECT_NO_THROW(loaded.validate());
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(temp_dir("ns_dataset_io_rt"));
+}
+
+}  // namespace
+}  // namespace ns

@@ -1,0 +1,84 @@
+// Determinism guarantees: every detector (and the simulator feeding them)
+// must be bit-reproducible for a fixed seed — the property that makes the
+// bench tables in EXPERIMENTS.md reproducible.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/examon.hpp"
+#include "baselines/isc20.hpp"
+#include "baselines/prodigy.hpp"
+#include "baselines/ruad.hpp"
+#include "sim/dataset_builder.hpp"
+#include "ts/preprocess.hpp"
+
+namespace ns {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimDatasetConfig config = d2_sim_config(0.35, 99);
+    config.anomaly_ratio = 0.02;
+    sim_ = new SimDataset(build_sim_dataset(config));
+    processed_ = new MtsDataset(preprocess(sim_->data, sim_->train_end).dataset);
+  }
+  static void TearDownTestSuite() {
+    delete processed_;
+    delete sim_;
+    processed_ = nullptr;
+    sim_ = nullptr;
+  }
+
+  static void expect_identical(Detector& detector) {
+    const auto a = detector.run(*processed_, sim_->train_end);
+    const auto b = detector.run(*processed_, sim_->train_end);
+    ASSERT_EQ(a.detections.size(), b.detections.size());
+    for (std::size_t n = 0; n < a.detections.size(); ++n) {
+      ASSERT_EQ(a.detections[n].predictions, b.detections[n].predictions);
+      for (std::size_t t = 0; t < a.detections[n].scores.size(); ++t)
+        ASSERT_EQ(a.detections[n].scores[t], b.detections[n].scores[t])
+            << detector.name() << " node " << n << " t " << t;
+    }
+  }
+
+  static SimDataset* sim_;
+  static MtsDataset* processed_;
+};
+
+SimDataset* DeterminismTest::sim_ = nullptr;
+MtsDataset* DeterminismTest::processed_ = nullptr;
+
+TEST_F(DeterminismTest, Isc20) {
+  Isc20Config config;
+  config.window = 40;
+  config.em_iterations = 15;
+  Isc20 detector(config);
+  expect_identical(detector);
+}
+
+TEST_F(DeterminismTest, Prodigy) {
+  ProdigyConfig config;
+  config.epochs = 1;
+  config.max_train_rows = 1024;
+  Prodigy detector(config);
+  expect_identical(detector);
+}
+
+TEST_F(DeterminismTest, Examon) {
+  ExamonConfig config;
+  config.epochs = 1;
+  Examon detector(config);
+  expect_identical(detector);
+}
+
+TEST_F(DeterminismTest, Ruad) {
+  RuadConfig config;
+  config.epochs = 1;
+  config.max_windows_per_node = 8;
+  Ruad detector(config);
+  expect_identical(detector);
+}
+
+}  // namespace
+}  // namespace ns

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/dtw.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ns {
+namespace {
+
+TEST(Dtw, IdenticalSeriesDistanceZero) {
+  const std::vector<float> a{1, 2, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(dtw_distance(a, a), 0.0);
+}
+
+TEST(Dtw, EqualsEuclideanForAlignedSeries) {
+  // Monotone series of equal length with small pointwise offset: the
+  // diagonal path is optimal, so DTW == pointwise L2.
+  const std::vector<float> a{0, 1, 2, 3, 4};
+  std::vector<float> b = a;
+  for (float& x : b) x += 0.1f;
+  EXPECT_NEAR(dtw_distance(a, b), std::sqrt(5 * 0.1 * 0.1), 1e-6);
+}
+
+TEST(Dtw, InvariantToTimeStretching) {
+  // The same ramp traversed at half speed: DTW should be ~0, while the
+  // pointwise distance of the truncated/resampled pair would be large.
+  const std::vector<float> fast{0, 1, 2, 3, 4};
+  const std::vector<float> slow{0, 0, 1, 1, 2, 2, 3, 3, 4, 4};
+  EXPECT_NEAR(dtw_distance(fast, slow), 0.0, 1e-9);
+}
+
+TEST(Dtw, SymmetricAndNonNegative) {
+  Rng rng(1);
+  std::vector<float> a(20), b(31);
+  for (float& x : a) x = static_cast<float>(rng.gaussian());
+  for (float& x : b) x = static_cast<float>(rng.gaussian());
+  const double ab = dtw_distance(a, b);
+  const double ba = dtw_distance(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GE(ab, 0.0);
+}
+
+TEST(Dtw, BandConstraintNeverBeatsUnconstrained) {
+  Rng rng(2);
+  std::vector<float> a(40), b(40);
+  for (float& x : a) x = static_cast<float>(rng.gaussian());
+  for (float& x : b) x = static_cast<float>(rng.gaussian());
+  const double unconstrained = dtw_distance(a, b, 0);
+  const double banded = dtw_distance(a, b, 3);
+  EXPECT_GE(banded + 1e-12, unconstrained);
+}
+
+TEST(Dtw, RejectsEmptySeries) {
+  const std::vector<float> a{1, 2};
+  EXPECT_THROW(dtw_distance(a, {}), InvalidArgument);
+}
+
+TEST(DtwMultivariate, MatchesUnivariateForSingleMetric) {
+  const std::vector<float> a{0, 1, 0, -1};
+  const std::vector<float> b{0, 0.5f, 1, 0.5f, 0, -1};
+  const double uni = dtw_distance(a, b);
+  const double multi = dtw_distance_multivariate({a}, {b});
+  EXPECT_NEAR(uni, multi, 1e-9);
+}
+
+TEST(DtwMultivariate, MetricCountMismatchRejected) {
+  const std::vector<std::vector<float>> a{{1, 2}, {3, 4}};
+  const std::vector<std::vector<float>> b{{1, 2}};
+  EXPECT_THROW(dtw_distance_multivariate(a, b), InvalidArgument);
+}
+
+TEST(DtwMatrix, SymmetricZeroDiagonal) {
+  Rng rng(3);
+  std::vector<std::vector<std::vector<float>>> segments;
+  for (int s = 0; s < 5; ++s) {
+    std::vector<std::vector<float>> seg(2);
+    const std::size_t len = 10 + 3 * static_cast<std::size_t>(s);
+    for (auto& series : seg) {
+      series.resize(len);
+      for (float& x : series) x = static_cast<float>(rng.gaussian());
+    }
+    segments.push_back(std::move(seg));
+  }
+  const auto matrix = dtw_distance_matrix(segments);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_EQ(matrix[i][i], 0.0);
+    for (std::size_t j = 0; j < segments.size(); ++j)
+      EXPECT_EQ(matrix[i][j], matrix[j][i]);
+  }
+}
+
+TEST(DtwMatrix, SimilarShapesCloserThanDifferent) {
+  // Two sinusoids of different length vs a ramp: the sinusoids must be
+  // mutually closer despite the length difference.
+  std::vector<std::vector<std::vector<float>>> segments(3);
+  std::vector<float> sine_a(40), sine_b(60), ramp(50);
+  for (std::size_t i = 0; i < sine_a.size(); ++i)
+    sine_a[i] = std::sin(2.0 * M_PI * i / 20.0);
+  for (std::size_t i = 0; i < sine_b.size(); ++i)
+    sine_b[i] = std::sin(2.0 * M_PI * i / 30.0);
+  for (std::size_t i = 0; i < ramp.size(); ++i)
+    ramp[i] = static_cast<float>(i) / 10.0f;
+  segments[0] = {sine_a};
+  segments[1] = {sine_b};
+  segments[2] = {ramp};
+  const auto matrix = dtw_distance_matrix(segments);
+  EXPECT_LT(matrix[0][1], matrix[0][2]);
+  EXPECT_LT(matrix[0][1], matrix[1][2]);
+}
+
+}  // namespace
+}  // namespace ns

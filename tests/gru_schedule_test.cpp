@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/gru.hpp"
+#include "nn/optim.hpp"
+#include "nn/schedule.hpp"
+
+namespace ns {
+namespace {
+
+TEST(Gru, StepShapes) {
+  Rng rng(1);
+  GRUCell cell(3, 5, rng);
+  Var h = cell.initial_state(2);
+  Var x = Var::constant(Tensor::randn(Shape{2, 3}, rng));
+  Var next = cell.step(x, h);
+  EXPECT_EQ(next.shape(), (Shape{2, 5}));
+}
+
+TEST(Gru, HiddenStaysBounded) {
+  // tanh candidate + convex gate update keeps |h| <= 1.
+  Rng rng(2);
+  GRUCell cell(2, 4, rng);
+  Var h = cell.initial_state(1);
+  for (int t = 0; t < 50; ++t) {
+    Var x = Var::constant(Tensor::randn(Shape{1, 2}, rng, 10.0f));
+    h = cell.step(x, h);
+    for (float v : h.value().flat()) {
+      EXPECT_LE(std::abs(v), 1.0f + 1e-5f);
+    }
+  }
+}
+
+TEST(Gru, EncoderOutputsPerStepHidden) {
+  Rng rng(3);
+  GruEncoder encoder(3, 6, rng);
+  Var x = Var::constant(Tensor::randn(Shape{7, 3}, rng));
+  Var all = encoder.forward(x);
+  EXPECT_EQ(all.shape(), (Shape{7, 6}));
+  Var last = encoder.encode(x);
+  EXPECT_EQ(last.shape(), (Shape{1, 6}));
+  // encode() equals the last row of forward().
+  for (std::size_t j = 0; j < 6; ++j)
+    EXPECT_FLOAT_EQ(last.value().at(0, j), all.value().at(6, j));
+}
+
+TEST(Gru, LearnsSequenceSummary) {
+  // Predict the mean of a short sequence from the final hidden state.
+  Rng rng(4);
+  GruEncoder encoder(1, 8, rng);
+  Linear head(8, 1, rng);
+  std::vector<Var> params = encoder.parameters();
+  const auto head_params = head.parameters();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  Adam opt(params, 1e-2f);
+  float last_loss = 1e9f;
+  for (int step = 0; step < 200; ++step) {
+    Rng data_rng(step);
+    Tensor seq(Shape{6, 1});
+    double mean = 0.0;
+    for (std::size_t t = 0; t < 6; ++t) {
+      seq.at(t, 0) = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+      mean += seq.at(t, 0) / 6.0;
+    }
+    Tensor target(Shape{1, 1}, {static_cast<float>(mean)});
+    opt.zero_grad();
+    Var pred = head.forward(encoder.encode(Var::constant(seq)));
+    Var loss = vmse_loss(pred, target);
+    loss.backward();
+    opt.step();
+    last_loss = loss.value().at(0);
+  }
+  EXPECT_LT(last_loss, 0.05f);
+}
+
+TEST(Schedule, ConstantIsConstant) {
+  ConstantLr lr(0.1f);
+  EXPECT_EQ(lr.rate(0), 0.1f);
+  EXPECT_EQ(lr.rate(1000), 0.1f);
+}
+
+TEST(Schedule, WarmupCosineShape) {
+  WarmupCosineLr lr(1.0f, 10, 110, 0.1f);
+  // Rises during warmup.
+  EXPECT_LT(lr.rate(0), lr.rate(5));
+  EXPECT_LT(lr.rate(5), lr.rate(9));
+  EXPECT_NEAR(lr.rate(9), 1.0f, 1e-6);
+  // Decays after warmup, approaching the floor.
+  EXPECT_GT(lr.rate(20), lr.rate(60));
+  EXPECT_GT(lr.rate(60), lr.rate(105));
+  EXPECT_NEAR(lr.rate(109), 0.1f, 0.01f);
+  // Clamped beyond total.
+  EXPECT_NEAR(lr.rate(10000), 0.1f, 0.01f);
+}
+
+TEST(Schedule, WarmupCosineRejectsBadRange) {
+  EXPECT_THROW(WarmupCosineLr(1.0f, 100, 50), InvalidArgument);
+}
+
+TEST(Schedule, StepDecay) {
+  StepDecayLr lr(1.0f, 0.5f, 10);
+  EXPECT_FLOAT_EQ(lr.rate(0), 1.0f);
+  EXPECT_FLOAT_EQ(lr.rate(9), 1.0f);
+  EXPECT_FLOAT_EQ(lr.rate(10), 0.5f);
+  EXPECT_FLOAT_EQ(lr.rate(25), 0.25f);
+}
+
+TEST(ClipGrad, ScalesDownLargeGradients) {
+  Var w = Var::leaf(Tensor(Shape{2}, {3.0f, 4.0f}), true);
+  Var loss = vscale(vsum(vmul(w, w)), 10.0f);  // grad = 20*w = (60, 80)
+  w.zero_grad();
+  loss.backward();
+  std::vector<Var> params{w};
+  const double norm = clip_gradient_norm(params, 10.0);
+  EXPECT_NEAR(norm, 100.0, 1e-3);  // sqrt(60^2+80^2)
+  double clipped = 0.0;
+  for (float g : w.grad().flat()) clipped += static_cast<double>(g) * g;
+  EXPECT_NEAR(std::sqrt(clipped), 10.0, 1e-3);
+}
+
+TEST(ClipGrad, SmallGradientsUntouched) {
+  Var w = Var::leaf(Tensor(Shape{1}, {1.0f}), true);
+  Var loss = vmul(w, w);
+  w.zero_grad();
+  loss.backward();
+  std::vector<Var> params{w};
+  clip_gradient_norm(params, 100.0);
+  EXPECT_NEAR(w.grad().at(0), 2.0f, 1e-5);
+}
+
+}  // namespace
+}  // namespace ns

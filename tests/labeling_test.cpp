@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "labeling/cluster_adjust.hpp"
+#include "labeling/label_store.hpp"
+#include "labeling/suggest.hpp"
+#include "sim/dataset_builder.hpp"
+#include "ts/preprocess.hpp"
+
+namespace ns {
+namespace {
+
+TEST(LabelStore, AddAndQuery) {
+  LabelStore store;
+  store.add_label("node-1", 10, 20, "memory");
+  const auto labels = store.labels("node-1");
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].begin, 10u);
+  EXPECT_EQ(labels[0].end, 20u);
+  EXPECT_EQ(labels[0].tag, "memory");
+  EXPECT_TRUE(store.labels("other").empty());
+}
+
+TEST(LabelStore, OverlappingSameTagMerges) {
+  LabelStore store;
+  store.add_label("n", 10, 20);
+  store.add_label("n", 15, 30);
+  store.add_label("n", 30, 35);  // adjacent also merges
+  const auto labels = store.labels("n");
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].begin, 10u);
+  EXPECT_EQ(labels[0].end, 35u);
+}
+
+TEST(LabelStore, DifferentTagsStaySeparate) {
+  LabelStore store;
+  store.add_label("n", 10, 20, "cpu");
+  store.add_label("n", 15, 25, "memory");
+  EXPECT_EQ(store.labels("n").size(), 2u);
+}
+
+TEST(LabelStore, CancelSplitsIntervals) {
+  LabelStore store;
+  store.add_label("n", 10, 30);
+  store.cancel("n", 15, 20);
+  const auto labels = store.labels("n");
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].begin, 10u);
+  EXPECT_EQ(labels[0].end, 15u);
+  EXPECT_EQ(labels[1].begin, 20u);
+  EXPECT_EQ(labels[1].end, 30u);
+}
+
+TEST(LabelStore, CancelEverything) {
+  LabelStore store;
+  store.add_label("n", 5, 10);
+  store.cancel("n", 0, 100);
+  EXPECT_TRUE(store.labels("n").empty());
+  EXPECT_TRUE(store.nodes().empty());
+}
+
+TEST(LabelStore, PointwiseConversion) {
+  LabelStore store;
+  store.add_label("n", 2, 4);
+  const auto points = store.pointwise("n", 6);
+  EXPECT_EQ(points, (std::vector<std::uint8_t>{0, 0, 1, 1, 0, 0}));
+}
+
+TEST(LabelStore, HistoryRecordsEveryOperation) {
+  LabelStore store;
+  store.add_label("a", 1, 2);
+  store.cancel("a", 1, 2);
+  store.add_label("b", 3, 9, "net");
+  ASSERT_EQ(store.history().size(), 3u);
+  EXPECT_EQ(store.history()[0].operation, "label");
+  EXPECT_EQ(store.history()[1].operation, "cancel");
+  EXPECT_EQ(store.history()[2].tag, "net");
+  EXPECT_EQ(store.history()[2].sequence, 2u);
+}
+
+TEST(LabelStore, SaveLoadRoundTrip) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ns_labels_test").string();
+  LabelStore store;
+  store.add_label("node-3", 100, 140, "disk");
+  store.add_label("node-7", 5, 9);
+  store.save(dir);
+  const LabelStore restored = LabelStore::load(dir);
+  ASSERT_EQ(restored.labels("node-3").size(), 1u);
+  EXPECT_EQ(restored.labels("node-3")[0].end, 140u);
+  EXPECT_EQ(restored.labels("node-7")[0].begin, 5u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LabelStore, RejectsEmptyIntervals) {
+  LabelStore store;
+  EXPECT_THROW(store.add_label("n", 5, 5), InvalidArgument);
+  EXPECT_THROW(store.cancel("n", 7, 3), InvalidArgument);
+}
+
+TEST(ClusterAdjust, MoveAndCompact) {
+  const std::vector<std::vector<float>> features{{0, 0}, {0, 1}, {5, 5}};
+  ClusterAdjustment adjust(features, {0, 0, 1});
+  EXPECT_EQ(adjust.num_clusters(), 2u);
+  adjust.move_segment(1, 2);  // new cluster
+  EXPECT_EQ(adjust.num_clusters(), 3u);
+  EXPECT_EQ(adjust.adjustment_count(), 1u);
+  EXPECT_EQ(adjust.members(0), (std::vector<std::size_t>{0}));
+}
+
+TEST(ClusterAdjust, MergeUpdatesCentroid) {
+  const std::vector<std::vector<float>> features{{0, 0}, {2, 2}, {10, 10}};
+  ClusterAdjustment adjust(features, {0, 1, 2});
+  adjust.merge_clusters(1, 0);
+  EXPECT_EQ(adjust.num_clusters(), 2u);
+  const auto c = adjust.centroid(0);
+  EXPECT_FLOAT_EQ(c[0], 1.0f);
+  EXPECT_FLOAT_EQ(c[1], 1.0f);
+}
+
+TEST(ClusterAdjust, SaveLoadAdjusted) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ns_cluster_adjust").string();
+  const std::vector<std::vector<float>> features{{0, 0}, {1, 1}, {2, 2}};
+  ClusterAdjustment adjust(features, {0, 1, 1});
+  adjust.move_segment(0, 1);
+  adjust.save(dir);
+  const auto labels = ClusterAdjustment::load_adjusted(dir);
+  EXPECT_EQ(labels, adjust.labels());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ClusterAdjust, InvalidOperationsRejected) {
+  ClusterAdjustment adjust({{0.0f}}, {0});
+  EXPECT_THROW(adjust.move_segment(5, 0), InvalidArgument);
+  EXPECT_THROW(adjust.merge_clusters(0, 0), InvalidArgument);
+}
+
+TEST(Suggest, FlagsToIntervalsMergesAndFilters) {
+  SuggestConfig config;
+  config.min_interval = 2;
+  config.merge_gap = 2;
+  const std::vector<std::uint8_t> flags{0, 1, 1, 0, 0, 1, 1, 0, 0, 0, 1};
+  const auto intervals = flags_to_intervals(flags, config);
+  // [1,3) and [5,7) merge (gap 2); trailing singleton dropped.
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].begin, 1u);
+  EXPECT_EQ(intervals[0].end, 7u);
+}
+
+TEST(Suggest, StatisticalFindsInjectedFault) {
+  SimDatasetConfig config = d2_sim_config(0.5, 31);
+  config.anomaly_ratio = 0.02;
+  const SimDataset sim = build_sim_dataset(config);
+  ASSERT_FALSE(sim.faults.empty());
+  const FaultEvent& ev = sim.faults.front();
+  // The suggester is designed to run after §3.2 preprocessing, where
+  // per-node standardization makes deviations comparable across metrics.
+  auto pre = preprocess(sim.data, sim.train_end);
+  SuggestConfig suggest_config;
+  suggest_config.k_sigma = 3.0;
+  const auto intervals = suggest_statistical(pre.dataset, ev.node,
+                                             sim.train_end, suggest_config);
+  bool overlaps = false;
+  for (const auto& iv : intervals)
+    overlaps = overlaps || (iv.begin < ev.end && ev.begin < iv.end);
+  EXPECT_TRUE(overlaps) << "no suggestion overlaps the injected fault";
+}
+
+TEST(Suggest, BoundsChecked) {
+  SimDatasetConfig config = d2_sim_config(0.25, 32);
+  const SimDataset sim = build_sim_dataset(config);
+  EXPECT_THROW(suggest_statistical(sim.data, 9999, sim.train_end),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ns

@@ -1,0 +1,448 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "nn/attention.hpp"
+#include "nn/autoencoder.hpp"
+#include "nn/linear.hpp"
+#include "nn/lstm.hpp"
+#include "nn/moe.hpp"
+#include "nn/module.hpp"
+#include "nn/optim.hpp"
+#include "nn/positional.hpp"
+#include "nn/transformer.hpp"
+
+namespace ns {
+namespace {
+
+TEST(Linear, ShapesAndBias) {
+  Rng rng(1);
+  Linear fc(3, 5, rng);
+  Var x = Var::constant(Tensor::ones(Shape{2, 3}));
+  Var y = fc.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5}));
+  EXPECT_EQ(fc.parameters().size(), 2u);
+  EXPECT_EQ(fc.parameter_count(), 3u * 5 + 5);
+}
+
+TEST(Linear, LearnsIdentityOnToyData) {
+  Rng rng(2);
+  Linear fc(2, 2, rng);
+  Adam opt(fc.parameters(), 0.05f);
+  Tensor input(Shape{4, 2}, {1, 0, 0, 1, 1, 1, 0.5f, -0.5f});
+  float final_loss = 1e9f;
+  for (int step = 0; step < 300; ++step) {
+    opt.zero_grad();
+    Var x = Var::constant(input);
+    Var loss = vmse_loss(fc.forward(x), input);
+    loss.backward();
+    opt.step();
+    final_loss = loss.value().at(0);
+  }
+  EXPECT_LT(final_loss, 1e-3f);
+}
+
+TEST(LayerNormLayer, NormalizesRows) {
+  Rng rng(3);
+  LayerNorm ln(8);
+  Var x = Var::constant(Tensor::randn(Shape{4, 8}, rng, 5.0f));
+  Var y = ln.forward(x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double mu = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) mu += y.value().at(i, j);
+    EXPECT_NEAR(mu / 8.0, 0.0, 1e-4);
+  }
+}
+
+TEST(FeedForward, OutputShapeMatchesInput) {
+  Rng rng(4);
+  FeedForward ffn(6, 12, rng);
+  Var x = Var::constant(Tensor::randn(Shape{3, 6}, rng));
+  EXPECT_EQ(ffn.forward(x).shape(), (Shape{3, 6}));
+}
+
+TEST(Attention, ShapeAndHeadCountValidation) {
+  Rng rng(5);
+  MultiHeadSelfAttention mha(12, 3, rng);
+  Var x = Var::constant(Tensor::randn(Shape{7, 12}, rng));
+  EXPECT_EQ(mha.forward(x).shape(), (Shape{7, 12}));
+  EXPECT_THROW(MultiHeadSelfAttention(10, 3, rng), InvalidArgument);
+}
+
+TEST(Attention, PermutationSensitivityThroughValues) {
+  // With identical tokens the attention output rows must be identical.
+  Rng rng(6);
+  MultiHeadSelfAttention mha(8, 2, rng);
+  Tensor same(Shape{4, 8});
+  for (std::size_t j = 0; j < 8; ++j)
+    for (std::size_t i = 0; i < 4; ++i) same.at(i, j) = 0.3f * (j + 1);
+  Var y = mha.forward(Var::constant(same));
+  for (std::size_t j = 0; j < 8; ++j)
+    for (std::size_t i = 1; i < 4; ++i)
+      EXPECT_NEAR(y.value().at(i, j), y.value().at(0, j), 1e-5);
+}
+
+TEST(Attention, GradientFlowsToAllParams) {
+  Rng rng(7);
+  MultiHeadSelfAttention mha(6, 2, rng);
+  Var x = Var::constant(Tensor::randn(Shape{5, 6}, rng));
+  Var loss = vmean(vmul(mha.forward(x), mha.forward(x)));
+  for (Var& p : mha.parameters()) p.zero_grad();
+  loss.backward();
+  for (const Var& p : mha.parameters()) {
+    EXPECT_GT(max_abs(p.grad()), 0.0) << "dead parameter";
+  }
+}
+
+TEST(MoE, GateProbsRouteTopK) {
+  Rng rng(8);
+  MoELayer moe(6, 12, 4, 2, rng);
+  Var x = Var::constant(Tensor::randn(Shape{10, 6}, rng));
+  Var y = moe.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{10, 6}));
+  const auto& load = moe.last_expert_load();
+  EXPECT_EQ(load.size(), 4u);
+  EXPECT_EQ(std::accumulate(load.begin(), load.end(), 0u), 10u * 2);
+}
+
+TEST(MoE, Top1RoutesEachTokenOnce) {
+  Rng rng(9);
+  MoELayer moe(4, 8, 3, 1, rng);
+  Var x = Var::constant(Tensor::randn(Shape{20, 4}, rng));
+  moe.forward(x);
+  const auto& load = moe.last_expert_load();
+  EXPECT_EQ(std::accumulate(load.begin(), load.end(), 0u), 20u);
+}
+
+TEST(MoE, InvalidTopKRejected) {
+  Rng rng(10);
+  EXPECT_THROW(MoELayer(4, 8, 3, 4, rng), InvalidArgument);
+  EXPECT_THROW(MoELayer(4, 8, 3, 0, rng), InvalidArgument);
+}
+
+TEST(MoE, AuxLossPositiveAndDifferentiable) {
+  Rng rng(11);
+  MoELayer moe(4, 8, 3, 1, rng);
+  Var x = Var::constant(Tensor::randn(Shape{12, 4}, rng));
+  moe.forward(x);
+  Var aux = moe.aux_load_balance_loss();
+  EXPECT_GT(aux.value().at(0), 0.0f);
+  for (Var& p : moe.parameters()) p.zero_grad();
+  aux.backward();
+  // The gate weight must receive gradient from the aux loss.
+  EXPECT_GT(max_abs(moe.parameters()[0].grad()), 0.0);
+}
+
+TEST(MoE, GradientReachesRoutedExpertsOnly) {
+  Rng rng(12);
+  MoELayer moe(4, 6, 2, 1, rng);
+  Var x = Var::constant(Tensor::randn(Shape{8, 4}, rng));
+  Var y = moe.forward(x);
+  for (Var& p : moe.parameters()) p.zero_grad();
+  vmean(vmul(y, y)).backward();
+  const auto& load = moe.last_expert_load();
+  // Parameters: [gate, expert0 fc1 w/b fc2 w/b, expert1 ...]
+  auto params = moe.parameters();
+  for (std::size_t e = 0; e < 2; ++e) {
+    const double g = max_abs(params[1 + e * 4].grad());
+    if (load[e] == 0) {
+      EXPECT_EQ(g, 0.0) << "unused expert got gradient";
+    } else {
+      EXPECT_GT(g, 0.0) << "used expert got no gradient";
+    }
+  }
+}
+
+TEST(Positional, SinusoidalTableRange) {
+  Tensor table = sinusoidal_position_table(50, 16);
+  EXPECT_EQ(table.shape(), (Shape{50, 16}));
+  for (float v : table.flat()) {
+    EXPECT_LE(v, 1.0f);
+    EXPECT_GE(v, -1.0f);
+  }
+  // Row 0 alternates sin(0)=0, cos(0)=1.
+  EXPECT_EQ(table.at(0, 0), 0.0f);
+  EXPECT_EQ(table.at(0, 1), 1.0f);
+}
+
+TEST(Positional, SegmentTermDistinguishesSegments) {
+  Rng rng(13);
+  SegmentPositionalEncoding pe(8, 64, 4, /*use_segment_term=*/true, rng);
+  Var x = Var::constant(Tensor(Shape{2, 8}));  // zero tokens
+  const std::vector<std::size_t> offsets{0, 0};
+  const std::vector<std::size_t> segments{0, 1};
+  Var y = pe.forward(x, offsets, segments);
+  // Same offset, different segment -> different encodings.
+  double diff = 0.0;
+  for (std::size_t j = 0; j < 8; ++j)
+    diff += std::abs(y.value().at(0, j) - y.value().at(1, j));
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Positional, DisabledSegmentTermIgnoresSegmentIds) {
+  Rng rng(14);
+  SegmentPositionalEncoding pe(8, 64, 4, /*use_segment_term=*/false, rng);
+  Var x = Var::constant(Tensor(Shape{2, 8}));
+  const std::vector<std::size_t> offsets{3, 3};
+  const std::vector<std::size_t> segments{0, 2};
+  Var y = pe.forward(x, offsets, segments);
+  for (std::size_t j = 0; j < 8; ++j)
+    EXPECT_EQ(y.value().at(0, j), y.value().at(1, j));
+}
+
+TEST(Positional, OffsetsClampedToCapacity) {
+  Rng rng(15);
+  SegmentPositionalEncoding pe(4, 8, 2, true, rng);
+  Var x = Var::constant(Tensor(Shape{1, 4}));
+  const std::vector<std::size_t> offsets{100};  // beyond max_len
+  const std::vector<std::size_t> segments{50};  // beyond max_segments
+  EXPECT_NO_THROW(pe.forward(x, offsets, segments));
+}
+
+TransformerConfig small_config(std::size_t input_dim = 5) {
+  TransformerConfig cfg;
+  cfg.input_dim = input_dim;
+  cfg.d_model = 12;
+  cfg.num_layers = 2;
+  cfg.num_heads = 3;
+  cfg.ffn_hidden = 16;
+  cfg.num_experts = 3;
+  cfg.top_k = 1;
+  cfg.max_position = 128;
+  cfg.max_segments = 8;
+  return cfg;
+}
+
+TEST(Transformer, ForwardShape) {
+  Rng rng(16);
+  TransformerReconstructor model(small_config(), rng);
+  Var x = Var::constant(Tensor::randn(Shape{10, 5}, rng));
+  Var y = model.forward(x, rng);
+  EXPECT_EQ(y.shape(), (Shape{10, 5}));
+}
+
+TEST(Transformer, TrainsToReconstructStaticPattern) {
+  Rng rng(17);
+  TransformerConfig cfg = small_config(4);
+  cfg.num_layers = 1;
+  TransformerReconstructor model(cfg, rng);
+  Adam opt(model.parameters(), 3e-3f);
+  // A fixed, smooth pattern the model should memorize.
+  Tensor pattern(Shape{12, 4});
+  for (std::size_t t = 0; t < 12; ++t)
+    for (std::size_t m = 0; m < 4; ++m)
+      pattern.at(t, m) = std::sin(0.3 * t + m);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 120; ++step) {
+    opt.zero_grad();
+    Var out = model.forward(Var::constant(pattern), rng);
+    Var loss = vmse_loss(out, pattern);
+    Var aux = model.aux_loss();
+    if (aux.defined()) loss = vadd(loss, aux);
+    loss.backward();
+    opt.step();
+    if (step == 0) first = loss.value().at(0);
+    last = loss.value().at(0);
+  }
+  EXPECT_LT(last, first * 0.25f) << "no training progress";
+}
+
+TEST(Transformer, MoEExpertLoadsReported) {
+  Rng rng(18);
+  TransformerReconstructor model(small_config(), rng);
+  Var x = Var::constant(Tensor::randn(Shape{9, 5}, rng));
+  model.forward(x, rng);
+  const auto loads = model.expert_loads();
+  EXPECT_EQ(loads.size(), 2u);  // one per layer
+  for (const auto& layer_load : loads)
+    EXPECT_EQ(std::accumulate(layer_load.begin(), layer_load.end(), 0u), 9u);
+}
+
+TEST(Transformer, DenseVariantHasNoAuxLoss) {
+  Rng rng(19);
+  TransformerConfig cfg = small_config();
+  cfg.use_moe = false;
+  TransformerReconstructor model(cfg, rng);
+  Var x = Var::constant(Tensor::randn(Shape{4, 5}, rng));
+  model.forward(x, rng);
+  EXPECT_FALSE(model.aux_loss().defined());
+  EXPECT_TRUE(model.expert_loads().empty());
+}
+
+TEST(Transformer, SegmentAwareForwardUsesMetadata) {
+  Rng rng(20);
+  TransformerReconstructor model(small_config(), rng);
+  Tensor x = Tensor::randn(Shape{6, 5}, rng);
+  const std::vector<std::size_t> offsets{0, 1, 2, 0, 1, 2};
+  const std::vector<std::size_t> segments{0, 0, 0, 1, 1, 1};
+  Var y1 = model.forward(Var::constant(x), offsets, segments, rng);
+  const std::vector<std::size_t> one_segment{0, 0, 0, 0, 0, 0};
+  const std::vector<std::size_t> seq_off{0, 1, 2, 3, 4, 5};
+  Var y2 = model.forward(Var::constant(x), seq_off, one_segment, rng);
+  // Different positional metadata must change the output.
+  double diff = 0.0;
+  for (std::size_t i = 0; i < y1.value().numel(); ++i)
+    diff += std::abs(y1.value().at(i) - y2.value().at(i));
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Lstm, CellStateShapes) {
+  Rng rng(21);
+  LSTMCell cell(3, 6, rng);
+  auto st = cell.initial_state(2);
+  Var x = Var::constant(Tensor::randn(Shape{2, 3}, rng));
+  auto next = cell.step(x, st);
+  EXPECT_EQ(next.h.shape(), (Shape{2, 6}));
+  EXPECT_EQ(next.c.shape(), (Shape{2, 6}));
+}
+
+TEST(Lstm, AutoencoderLearnsConstantSequence) {
+  Rng rng(22);
+  LstmAutoencoder ae(2, 8, rng);
+  Adam opt(ae.parameters(), 1e-2f);
+  Tensor seq(Shape{6, 2});
+  for (std::size_t t = 0; t < 6; ++t) {
+    seq.at(t, 0) = 0.5f;
+    seq.at(t, 1) = -0.25f;
+  }
+  float last = 1e9f;
+  for (int step = 0; step < 150; ++step) {
+    opt.zero_grad();
+    Var loss = vmse_loss(ae.forward(Var::constant(seq)), seq);
+    loss.backward();
+    opt.step();
+    last = loss.value().at(0);
+  }
+  EXPECT_LT(last, 0.01f);
+}
+
+TEST(DenseAE, ReconstructionImproves) {
+  Rng rng(23);
+  DenseAutoencoder ae(6, 10, 3, rng);
+  Adam opt(ae.parameters(), 5e-3f);
+  Tensor data = Tensor::randn(Shape{16, 6}, rng);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 150; ++step) {
+    opt.zero_grad();
+    Var loss = vmse_loss(ae.forward(Var::constant(data)), data);
+    loss.backward();
+    opt.step();
+    if (step == 0) first = loss.value().at(0);
+    last = loss.value().at(0);
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(Vae, OutputsAndLossFinite) {
+  Rng rng(24);
+  VariationalAutoencoder vae(5, 12, 3, rng);
+  Tensor data = Tensor::randn(Shape{8, 5}, rng);
+  auto out = vae.forward(Var::constant(data), rng);
+  EXPECT_EQ(out.reconstruction.shape(), (Shape{8, 5}));
+  EXPECT_EQ(out.mu.shape(), (Shape{8, 3}));
+  Var loss = VariationalAutoencoder::loss(out, data);
+  EXPECT_TRUE(std::isfinite(loss.value().at(0)));
+}
+
+TEST(Vae, TrainingReducesLoss) {
+  Rng rng(25);
+  VariationalAutoencoder vae(4, 16, 2, rng);
+  Adam opt(vae.parameters(), 5e-3f);
+  Tensor data(Shape{20, 4});
+  for (std::size_t i = 0; i < 20; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      data.at(i, j) = std::sin(0.5 * i) * (j + 1) * 0.2f;
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 200; ++step) {
+    opt.zero_grad();
+    auto out = vae.forward(Var::constant(data), rng);
+    Var loss = VariationalAutoencoder::loss(out, data);
+    loss.backward();
+    opt.step();
+    if (step == 0) first = loss.value().at(0);
+    last = loss.value().at(0);
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(Optim, SgdConvergesOnQuadratic) {
+  Var w = Var::leaf(Tensor(Shape{1}, {5.0f}), true);
+  Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    opt.zero_grad();
+    Var loss = vmul(w, w);
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.value().at(0), 0.0f, 1e-3f);
+}
+
+TEST(Optim, AdamConvergesOnQuadratic) {
+  Var w = Var::leaf(Tensor(Shape{2}, {3.0f, -4.0f}), true);
+  Adam opt({w}, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    opt.zero_grad();
+    Var loss = vmean(vmul(w, w));
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.value().at(0), 0.0f, 1e-2f);
+  EXPECT_NEAR(w.value().at(1), 0.0f, 1e-2f);
+}
+
+TEST(Serialize, RoundTripPreservesParameters) {
+  Rng rng(26);
+  TransformerReconstructor model(small_config(), rng);
+  std::stringstream buffer;
+  save_parameters(model, buffer);
+
+  Rng rng2(999);  // different init
+  TransformerReconstructor restored(small_config(), rng2);
+  load_parameters(restored, buffer);
+
+  auto a = model.parameters();
+  auto b = restored.parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < a[i].value().numel(); ++j)
+      EXPECT_EQ(a[i].value().at(j), b[i].value().at(j));
+}
+
+TEST(Serialize, MismatchedArchitectureRejected) {
+  Rng rng(27);
+  TransformerReconstructor model(small_config(), rng);
+  std::stringstream buffer;
+  save_parameters(model, buffer);
+  Rng rng2(28);
+  TransformerConfig other = small_config();
+  other.d_model = 24;
+  TransformerReconstructor different(other, rng2);
+  EXPECT_THROW(load_parameters(different, buffer), InvalidArgument);
+}
+
+TEST(Serialize, TruncatedStreamRejected) {
+  Rng rng(29);
+  Linear fc(4, 4, rng);
+  std::stringstream buffer;
+  save_parameters(fc, buffer);
+  std::string blob = buffer.str();
+  std::stringstream truncated(blob.substr(0, blob.size() / 2));
+  Rng rng2(30);
+  Linear fc2(4, 4, rng2);
+  EXPECT_THROW(load_parameters(fc2, truncated), InvalidArgument);
+}
+
+TEST(Module, SetTrainingPropagates) {
+  Rng rng(31);
+  TransformerReconstructor model(small_config(), rng);
+  model.set_training(false);
+  EXPECT_FALSE(model.training());
+  model.set_training(true);
+  EXPECT_TRUE(model.training());
+}
+
+}  // namespace
+}  // namespace ns

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "features/extract.hpp"
+#include "features/pca.hpp"
+
+namespace ns {
+namespace {
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  // diag(3, 1, 2) -> eigenvalues sorted descending.
+  std::vector<double> m{3, 0, 0, 0, 1, 0, 0, 0, 2};
+  const auto eig = jacobi_eigen(m, 3);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiEigen, KnownSymmetricMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1), (1,-1).
+  std::vector<double> m{2, 1, 1, 2};
+  const auto eig = jacobi_eigen(m, 2);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(eig.vectors[0][0]), std::abs(eig.vectors[0][1]), 1e-8);
+}
+
+TEST(JacobiEigen, ReconstructsMatrix) {
+  Rng rng(1);
+  const std::size_t n = 8;
+  std::vector<double> m(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      m[i * n + j] = rng.gaussian();
+      m[j * n + i] = m[i * n + j];
+    }
+  const auto original = m;
+  const auto eig = jacobi_eigen(m, n);
+  // A = sum_k lambda_k v_k v_k^T.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        acc += eig.values[k] * eig.vectors[k][i] * eig.vectors[k][j];
+      EXPECT_NEAR(acc, original[i * n + j], 1e-8);
+    }
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Data varies strongly along (1, 1)/sqrt(2), weakly along (1, -1).
+  Rng rng(2);
+  std::vector<std::vector<float>> data;
+  for (int i = 0; i < 200; ++i) {
+    const double major = rng.gaussian(0, 5.0);
+    const double minor = rng.gaussian(0, 0.2);
+    data.push_back({static_cast<float>(major + minor),
+                    static_cast<float>(major - minor)});
+  }
+  Pca pca;
+  pca.fit(data, 1);
+  ASSERT_EQ(pca.output_dim(), 1u);
+  const auto& dir = pca.components()[0];
+  EXPECT_NEAR(std::abs(dir[0]), std::abs(dir[1]), 0.05);
+  EXPECT_GT(pca.explained_variance_ratio(), 0.95);
+}
+
+TEST(Pca, GramTrickWhenFewerSamplesThanDims) {
+  // 5 samples in 40 dims: must use the Gram path and still give orthonormal
+  // components.
+  Rng rng(3);
+  std::vector<std::vector<float>> data(5, std::vector<float>(40));
+  for (auto& row : data)
+    for (float& x : row) x = static_cast<float>(rng.gaussian());
+  Pca pca;
+  pca.fit(data, 4);
+  ASSERT_LE(pca.output_dim(), 4u);
+  ASSERT_GE(pca.output_dim(), 1u);
+  for (std::size_t a = 0; a < pca.output_dim(); ++a) {
+    double norm = 0.0;
+    for (float x : pca.components()[a]) norm += static_cast<double>(x) * x;
+    EXPECT_NEAR(norm, 1.0, 1e-3) << "component " << a << " not unit";
+    for (std::size_t b = a + 1; b < pca.output_dim(); ++b) {
+      double dot = 0.0;
+      for (std::size_t d = 0; d < 40; ++d)
+        dot += static_cast<double>(pca.components()[a][d]) *
+               pca.components()[b][d];
+      EXPECT_NEAR(dot, 0.0, 1e-3) << "components " << a << "," << b;
+    }
+  }
+}
+
+TEST(Pca, TransformPreservesPairwiseDistanceWithFullRank) {
+  // With all components kept, PCA is a rotation: distances are preserved.
+  Rng rng(4);
+  std::vector<std::vector<float>> data(20, std::vector<float>(3));
+  for (auto& row : data)
+    for (float& x : row) x = static_cast<float>(rng.gaussian());
+  Pca pca;
+  pca.fit(data, 3);
+  auto projected = data;
+  pca.transform_in_place(projected);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      double da = 0.0, db = 0.0;
+      for (std::size_t d = 0; d < data[i].size(); ++d) {
+        const double diff = data[i][d] - data[j][d];
+        da += diff * diff;
+      }
+      for (std::size_t d = 0; d < projected[i].size(); ++d) {
+        const double diff = projected[i][d] - projected[j][d];
+        db += diff * diff;
+      }
+      EXPECT_NEAR(da, db, 1e-2 * std::max(1.0, da));
+    }
+}
+
+TEST(Pca, DegenerateIdenticalRows) {
+  std::vector<std::vector<float>> data(5, std::vector<float>{1.0f, 2.0f});
+  Pca pca;
+  pca.fit(data, 2);
+  const auto out = pca.transform(data[0]);
+  for (float x : out) EXPECT_NEAR(x, 0.0f, 1e-6);
+}
+
+TEST(Pca, RestoreRoundTrip) {
+  Rng rng(5);
+  std::vector<std::vector<float>> data(30, std::vector<float>(6));
+  for (auto& row : data)
+    for (float& x : row) x = static_cast<float>(rng.gaussian());
+  Pca pca;
+  pca.fit(data, 3);
+  Pca restored;
+  restored.restore(pca.mean(), pca.components());
+  const auto a = pca.transform(data[0]);
+  const auto b = restored.transform(data[0]);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Pca, ErrorsOnMisuse) {
+  Pca pca;
+  EXPECT_THROW(pca.transform({1.0f}), InvalidArgument);
+  EXPECT_THROW(pca.fit({}, 2), InvalidArgument);
+  std::vector<std::vector<float>> data{{1, 2}, {3, 4}};
+  pca.fit(data, 1);
+  EXPECT_THROW(pca.transform({1.0f, 2.0f, 3.0f}), InvalidArgument);
+}
+
+TEST(FeatureScaler, NormalizesColumns) {
+  std::vector<std::vector<float>> data{{0, 100}, {2, 300}, {4, 500}};
+  FeatureScaler scaler;
+  scaler.fit(data);
+  scaler.transform_in_place(data);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mu = 0.0;
+    for (const auto& row : data) mu += row[c];
+    EXPECT_NEAR(mu / 3.0, 0.0, 1e-5);
+  }
+}
+
+TEST(FeatureScaler, ZeroVarianceColumnMapsToZero) {
+  std::vector<std::vector<float>> data{{7, 1}, {7, 2}, {7, 3}};
+  FeatureScaler scaler;
+  scaler.fit(data);
+  const auto out = scaler.transform({7, 2});
+  EXPECT_EQ(out[0], 0.0f);
+}
+
+TEST(FeatureScaler, RestoreRoundTrip) {
+  std::vector<std::vector<float>> data{{1, 2}, {3, 4}, {5, 6}};
+  FeatureScaler scaler;
+  scaler.fit(data);
+  FeatureScaler restored;
+  restored.restore(scaler.means(), scaler.stddevs());
+  EXPECT_EQ(scaler.transform({2, 3}), restored.transform({2, 3}));
+}
+
+}  // namespace
+}  // namespace ns

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "sim/dataset_builder.hpp"
+#include "sim/faults.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/workload.hpp"
+
+namespace ns {
+namespace {
+
+constexpr std::size_t sidx(Signal s) { return static_cast<std::size_t>(s); }
+
+TEST(Workload, PlanIsDeterministicPerSeed) {
+  Rng a(5), b(5);
+  const auto plan_a = make_workload_plan(WorkloadType::kComputeBound, a);
+  const auto plan_b = make_workload_plan(WorkloadType::kComputeBound, b);
+  ASSERT_EQ(plan_a.phases.size(), plan_b.phases.size());
+  EXPECT_EQ(plan_a.phase_ends, plan_b.phase_ends);
+  for (std::size_t p = 0; p < plan_a.phases.size(); ++p)
+    EXPECT_EQ(plan_a.phases[p].base, plan_b.phases[p].base);
+}
+
+TEST(Workload, AllTypesHaveValidPhases) {
+  for (std::size_t ty = 0; ty < kNumWorkloadTypes; ++ty) {
+    Rng rng(ty + 1);
+    const auto plan =
+        make_workload_plan(static_cast<WorkloadType>(ty), rng);
+    ASSERT_FALSE(plan.phases.empty());
+    ASSERT_EQ(plan.phases.size(), plan.phase_ends.size());
+    EXPECT_NEAR(plan.phase_ends.back(), 1.0, 1e-9);
+    for (std::size_t p = 1; p < plan.phase_ends.size(); ++p)
+      EXPECT_GT(plan.phase_ends[p], plan.phase_ends[p - 1]);
+  }
+}
+
+TEST(Workload, MultiPhaseJobsShowSubPatternShift) {
+  Rng job_rng(7);
+  const auto plan = make_workload_plan(WorkloadType::kMemoryBound, job_rng);
+  ASSERT_GE(plan.phases.size(), 2u);
+  // Memory-bound: early phase has high page faults, late phase high memory.
+  Rng node_rng(8);
+  const std::size_t len = 400;
+  double early_mem = 0.0, late_mem = 0.0;
+  for (std::size_t t = 0; t < 50; ++t)
+    early_mem += evaluate_plan(plan, t, len, node_rng)[sidx(Signal::kMemUsed)];
+  for (std::size_t t = len - 50; t < len; ++t)
+    late_mem += evaluate_plan(plan, t, len, node_rng)[sidx(Signal::kMemUsed)];
+  EXPECT_GT(late_mem, early_mem * 1.3);
+}
+
+TEST(Workload, SameJobSeedSimilarAcrossNodes) {
+  // Two nodes running the same job (same plan) must produce correlated
+  // signals; a different job type must not.
+  Rng job_rng1(42), job_rng1b(42), job_rng2(43);
+  const auto plan_a = make_workload_plan(WorkloadType::kComputeBound, job_rng1);
+  const auto plan_a2 =
+      make_workload_plan(WorkloadType::kComputeBound, job_rng1b);
+  const auto plan_b = make_workload_plan(WorkloadType::kIoBound, job_rng2);
+  Rng node1(1), node2(2), node3(3);
+  const std::size_t len = 300;
+  double diff_same = 0.0, diff_other = 0.0;
+  for (std::size_t t = 0; t < len; ++t) {
+    const auto s1 = evaluate_plan(plan_a, t, len, node1);
+    const auto s2 = evaluate_plan(plan_a2, t, len, node2);
+    const auto s3 = evaluate_plan(plan_b, t, len, node3);
+    diff_same += std::abs(s1[sidx(Signal::kCpuUser)] - s2[sidx(Signal::kCpuUser)]);
+    diff_other += std::abs(s1[sidx(Signal::kCpuUser)] - s3[sidx(Signal::kCpuUser)]);
+  }
+  EXPECT_LT(diff_same, diff_other * 0.5);
+}
+
+TEST(Workload, IdleIsQuiet) {
+  Rng job_rng(9), node_rng(10);
+  const auto plan = make_workload_plan(WorkloadType::kIdle, job_rng);
+  for (std::size_t t = 0; t < 100; ++t) {
+    const auto s = evaluate_plan(plan, t, 100, node_rng);
+    EXPECT_LT(s[sidx(Signal::kCpuUser)], 0.15);
+    EXPECT_LT(s[sidx(Signal::kNetRx)], 0.15);
+  }
+}
+
+TEST(Workload, SignalsClampedToRange) {
+  Rng job_rng(11), node_rng(12);
+  const auto plan = make_workload_plan(WorkloadType::kNetworkHeavy, job_rng);
+  for (std::size_t t = 0; t < 500; ++t)
+    for (double v : evaluate_plan(plan, t, 500, node_rng)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.2);
+    }
+}
+
+TEST(Scheduler, TimelinesFullyCovered) {
+  SchedulerConfig config;
+  config.num_nodes = 12;
+  config.total_timestamps = 1000;
+  Rng rng(13);
+  const auto schedule = generate_schedule(config, rng);
+  ASSERT_EQ(schedule.spans.size(), 12u);
+  for (const auto& spans : schedule.spans) {
+    std::size_t cursor = 0;
+    for (const JobSpan& span : spans) {
+      EXPECT_EQ(span.begin, cursor);
+      cursor = span.end;
+    }
+    EXPECT_EQ(cursor, 1000u);
+  }
+}
+
+TEST(Scheduler, MultiNodeJobsExist) {
+  SchedulerConfig config;
+  config.num_nodes = 16;
+  config.total_timestamps = 2000;
+  Rng rng(14);
+  const auto schedule = generate_schedule(config, rng);
+  std::size_t multi = 0;
+  for (const auto& job : schedule.jobs)
+    if (job.nodes.size() > 1) ++multi;
+  EXPECT_GT(multi, 0u);
+  // And all jobs respect the width cap.
+  for (const auto& job : schedule.jobs)
+    EXPECT_LE(job.nodes.size(), config.max_job_width);
+}
+
+TEST(Scheduler, IdleSpansAppear) {
+  SchedulerConfig config;
+  config.num_nodes = 8;
+  config.total_timestamps = 1500;
+  config.idle_probability = 0.5;
+  Rng rng(15);
+  const auto schedule = generate_schedule(config, rng);
+  std::size_t idle = 0;
+  for (const auto& spans : schedule.spans)
+    for (const auto& span : spans)
+      if (span.is_idle()) ++idle;
+  EXPECT_GT(idle, 0u);
+}
+
+TEST(Scheduler, MostJobsShorterThanADay) {
+  // Fig. 4: ~95% of job segments < 1 day. At 15 s sampling a day is 5760
+  // steps; the default median (240) and sigma should keep the tail small.
+  SchedulerConfig config;
+  config.num_nodes = 16;
+  config.total_timestamps = 20000;
+  Rng rng(16);
+  const auto schedule = generate_schedule(config, rng);
+  ASSERT_GT(schedule.jobs.size(), 50u);
+  std::size_t under_day = 0;
+  for (const auto& job : schedule.jobs)
+    if (job.duration() < 5760) ++under_day;
+  const double fraction =
+      static_cast<double>(under_day) / schedule.jobs.size();
+  EXPECT_GT(fraction, 0.9);
+}
+
+TEST(Scheduler, DeterministicForSeed) {
+  SchedulerConfig config;
+  config.num_nodes = 6;
+  config.total_timestamps = 800;
+  Rng r1(17), r2(17);
+  const auto a = generate_schedule(config, r1);
+  const auto b = generate_schedule(config, r2);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].job_id, b.jobs[i].job_id);
+    EXPECT_EQ(a.jobs[i].begin, b.jobs[i].begin);
+    EXPECT_EQ(a.jobs[i].nodes, b.jobs[i].nodes);
+  }
+}
+
+TEST(MetricCatalog, FanOutCounts) {
+  MetricCatalogConfig config;
+  config.cores = 4;
+  config.nics = 2;
+  config.disks = 2;
+  config.derived_per_signal = 1;
+  config.constant_metrics = 3;
+  const auto catalog = build_metric_catalog(config);
+  // 3 core signals x4 + 2 nic x2 + 2 disk x2 + 5 node x1 = 12+4+4+5 = 25
+  // + 12 derived + 3 constants = 40.
+  EXPECT_EQ(catalog.size(), 40u);
+  // Semantic groups: 12 signals + 12 derived + 3 constants = 27.
+  EXPECT_EQ(catalog_semantic_groups(catalog), 27u);
+}
+
+TEST(MetricCatalog, StableOrder) {
+  MetricCatalogConfig config;
+  const auto a = build_metric_catalog(config);
+  const auto b = build_metric_catalog(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].meta.name, b[i].meta.name);
+    EXPECT_EQ(a[i].gain, b[i].gain);
+  }
+}
+
+TEST(Faults, PlanRespectsRegionAndBudget) {
+  FaultPlanConfig config;
+  config.region_begin = 1000;
+  config.region_end = 3000;
+  config.target_ratio = 0.01;
+  Rng rng(18);
+  const auto events = plan_faults(config, 10, rng);
+  ASSERT_FALSE(events.empty());
+  std::size_t points = 0;
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.begin, 1000u);
+    EXPECT_LE(ev.end, 3000u);
+    EXPECT_LT(ev.node, 10u);
+    points += ev.end - ev.begin;
+  }
+  const double ratio = static_cast<double>(points) / (2000.0 * 10.0);
+  EXPECT_NEAR(ratio, 0.01, 0.005);
+}
+
+TEST(Faults, EventsPerNodeDisjoint) {
+  FaultPlanConfig config;
+  config.region_begin = 0;
+  config.region_end = 5000;
+  config.target_ratio = 0.02;
+  Rng rng(19);
+  const auto events = plan_faults(config, 4, rng);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      if (events[i].node != events[j].node) continue;
+      const bool disjoint = events[i].end <= events[j].begin ||
+                            events[j].end <= events[i].begin;
+      EXPECT_TRUE(disjoint);
+    }
+}
+
+TEST(Faults, EachTypePerturbsSignals) {
+  for (std::size_t f = 0; f < kNumFaultTypes; ++f) {
+    Rng job_rng(20), node_rng(21);
+    const auto plan = make_workload_plan(WorkloadType::kComputeBound, job_rng);
+    auto base = evaluate_plan(plan, 10, 100, node_rng);
+    auto faulty = base;
+    apply_fault(faulty, static_cast<FaultType>(f), 0.9, 1.0);
+    double delta = 0.0;
+    for (std::size_t s = 0; s < kNumSignals; ++s)
+      delta += std::abs(faulty[s] - base[s]);
+    EXPECT_GT(delta, 0.1) << fault_name(static_cast<FaultType>(f));
+  }
+}
+
+TEST(Faults, MemoryLeakRampsWithProgress) {
+  std::array<double, kNumSignals> early{}, late{};
+  early.fill(0.3);
+  late.fill(0.3);
+  apply_fault(early, FaultType::kMemoryLeak, 0.05, 1.0);
+  apply_fault(late, FaultType::kMemoryLeak, 0.95, 1.0);
+  EXPECT_GT(late[sidx(Signal::kMemUsed)], early[sidx(Signal::kMemUsed)]);
+}
+
+TEST(DatasetBuilder, D1SimShapeAndLabels) {
+  SimDatasetConfig config = d1_sim_config(0.25);
+  const SimDataset ds = build_sim_dataset(config);
+  ds.data.validate();
+  EXPECT_EQ(ds.data.num_nodes(), config.scheduler.num_nodes);
+  EXPECT_GT(ds.data.num_metrics(), 30u);
+  EXPECT_GT(ds.sched_jobs.size(), 10u);
+  // Labels only in the test region.
+  for (std::size_t n = 0; n < ds.data.num_nodes(); ++n)
+    for (std::size_t t = 0; t < ds.train_end; ++t)
+      EXPECT_EQ(ds.data.labels[n][t], 0);
+  // And some labels exist.
+  std::size_t anomalies = 0;
+  for (const auto& labels : ds.data.labels)
+    for (auto l : labels) anomalies += l;
+  EXPECT_GT(anomalies, 0u);
+}
+
+TEST(DatasetBuilder, AnomalyRatioApproximatesTarget) {
+  SimDatasetConfig config = d1_sim_config(0.5);
+  config.anomaly_ratio = 0.002;
+  const SimDataset ds = build_sim_dataset(config);
+  std::size_t anomalies = 0, test_points = 0;
+  for (const auto& labels : ds.data.labels) {
+    for (std::size_t t = ds.train_end; t < labels.size(); ++t) {
+      anomalies += labels[t];
+      ++test_points;
+    }
+  }
+  const double ratio = static_cast<double>(anomalies) / test_points;
+  EXPECT_NEAR(ratio, 0.002, 0.0015);
+}
+
+TEST(DatasetBuilder, MissingValuesInjected) {
+  SimDatasetConfig config = d2_sim_config(0.5);
+  config.missing_rate = 0.01;
+  const SimDataset ds = build_sim_dataset(config);
+  std::size_t missing = 0;
+  for (const auto& node : ds.data.nodes)
+    for (const auto& series : node.values)
+      for (float v : series) missing += std::isnan(v) ? 1 : 0;
+  EXPECT_GT(missing, 0u);
+}
+
+TEST(DatasetBuilder, DeterministicForSeed) {
+  const SimDataset a = build_sim_dataset(d2_sim_config(0.25, 77));
+  const SimDataset b = build_sim_dataset(d2_sim_config(0.25, 77));
+  ASSERT_EQ(a.data.num_nodes(), b.data.num_nodes());
+  for (std::size_t n = 0; n < a.data.num_nodes(); ++n)
+    for (std::size_t m = 0; m < a.data.num_metrics(); ++m)
+      for (std::size_t t = 0; t < a.data.num_timestamps(); ++t) {
+        const float va = a.data.nodes[n].values[m][t];
+        const float vb = b.data.nodes[n].values[m][t];
+        if (std::isnan(va)) {
+          EXPECT_TRUE(std::isnan(vb));
+        } else {
+          ASSERT_EQ(va, vb) << n << ' ' << m << ' ' << t;
+        }
+      }
+}
+
+TEST(DatasetBuilder, SameJobNodesCorrelate) {
+  // Characteristic 2: nodes of one multi-node job show similar patterns.
+  SimDatasetConfig config = d1_sim_config(0.5);
+  config.missing_rate = 0.0;
+  const SimDataset ds = build_sim_dataset(config);
+  // Find a multi-node job of decent length.
+  const SchedJob* target = nullptr;
+  for (const auto& job : ds.sched_jobs)
+    if (job.nodes.size() >= 2 && job.duration() >= 60) {
+      target = &job;
+      break;
+    }
+  ASSERT_NE(target, nullptr);
+  // Compare the cpu_user metric (metric 0 is a per-core cpu copy).
+  const auto& n0 = ds.data.nodes[target->nodes[0]].values[0];
+  const auto& n1 = ds.data.nodes[target->nodes[1]].values[0];
+  double corr_num = 0.0, va = 0.0, vb = 0.0, ma = 0.0, mb = 0.0;
+  const std::size_t len = target->duration();
+  for (std::size_t t = target->begin; t < target->end; ++t) {
+    ma += n0[t];
+    mb += n1[t];
+  }
+  ma /= len;
+  mb /= len;
+  for (std::size_t t = target->begin; t < target->end; ++t) {
+    corr_num += (n0[t] - ma) * (n1[t] - mb);
+    va += (n0[t] - ma) * (n0[t] - ma);
+    vb += (n1[t] - mb) * (n1[t] - mb);
+  }
+  const double corr = corr_num / std::sqrt(va * vb);
+  EXPECT_GT(corr, 0.5);
+}
+
+TEST(DatasetBuilder, PresetsDiffer) {
+  const auto d1 = d1_sim_config();
+  const auto d2 = d2_sim_config();
+  EXPECT_GT(d1.scheduler.num_nodes, d2.scheduler.num_nodes);
+  EXPECT_GT(d1.anomaly_ratio, d2.anomaly_ratio);
+  const auto dep = deployment_sim_config();
+  EXPECT_GT(dep.anomaly_ratio, d2.anomaly_ratio);
+}
+
+}  // namespace
+}  // namespace ns

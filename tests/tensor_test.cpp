@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ns {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (float x : t.flat()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Tensor, ConstructFromData) {
+  Tensor t(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), InvalidArgument);
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor t(Shape{2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshape(Shape{3, 2});
+  r.at(0, 0) = 42.0f;
+  EXPECT_EQ(t.at(0, 0), 42.0f);
+  EXPECT_THROW(t.reshape(Shape{4, 2}), InvalidArgument);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t(Shape{2}, {1, 2});
+  Tensor c = t.clone();
+  c.at(0) = 9.0f;
+  EXPECT_EQ(t.at(0), 1.0f);
+}
+
+TEST(Tensor, RandnHasRoughlyUnitVariance) {
+  Rng rng(1);
+  Tensor t = Tensor::randn(Shape{10000}, rng);
+  double sum = 0.0, sq = 0.0;
+  for (float x : t.flat()) {
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / t.numel(), 0.0, 0.05);
+  EXPECT_NEAR(sq / t.numel(), 1.0, 0.05);
+}
+
+TEST(TensorOps, AddSubMul) {
+  Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b(Shape{2, 2}, {10, 20, 30, 40});
+  EXPECT_EQ(add(a, b).at(1, 1), 44.0f);
+  EXPECT_EQ(sub(b, a).at(0, 0), 9.0f);
+  EXPECT_EQ(mul(a, b).at(0, 1), 40.0f);
+  Tensor c(Shape{3});
+  EXPECT_THROW(add(a, c), InvalidArgument);
+}
+
+TEST(TensorOps, MatmulKnownValues) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(TensorOps, MatmulShapeErrors) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{2, 3});
+  EXPECT_THROW(matmul(a, b), InvalidArgument);
+}
+
+TEST(TensorOps, MatmulIdentity) {
+  Rng rng(2);
+  Tensor a = Tensor::randn(Shape{4, 4}, rng);
+  Tensor eye(Shape{4, 4});
+  for (std::size_t i = 0; i < 4; ++i) eye.at(i, i) = 1.0f;
+  Tensor c = matmul(a, eye);
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    EXPECT_FLOAT_EQ(c.at(i), a.at(i));
+}
+
+TEST(TensorOps, Transpose) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose2d(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at(0, 1), 4.0f);
+  EXPECT_EQ(t.at(2, 0), 3.0f);
+  // Double transpose is identity.
+  Tensor tt = transpose2d(t);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(tt.at(i), a.at(i));
+}
+
+TEST(TensorOps, AddRowvec) {
+  Tensor x(Shape{2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor b(Shape{3}, {10, 20, 30});
+  Tensor y = add_rowvec(x, b);
+  EXPECT_EQ(y.at(0, 2), 30.0f);
+  EXPECT_EQ(y.at(1, 0), 11.0f);
+}
+
+TEST(TensorOps, ColwiseScale) {
+  Tensor x(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor s(Shape{2}, {10, 100});
+  Tensor y = colwise_scale(x, s);
+  EXPECT_EQ(y.at(0, 1), 20.0f);
+  EXPECT_EQ(y.at(1, 0), 300.0f);
+}
+
+TEST(TensorOps, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor x = Tensor::randn(Shape{5, 7}, rng, 3.0f);
+  Tensor y = softmax_rows(x);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_GT(y.at(i, j), 0.0f);
+      row += y.at(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(TensorOps, SoftmaxNumericallyStableForLargeInputs) {
+  Tensor x(Shape{1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor y = softmax_rows(x);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(y.at(0, j), 1.0f / 3, 1e-6);
+}
+
+TEST(TensorOps, SliceAndConcatRoundTrip) {
+  Tensor x(Shape{2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor left = slice_cols(x, 0, 2);
+  Tensor right = slice_cols(x, 2, 4);
+  const std::vector<Tensor> parts{left, right};
+  Tensor back = concat_cols(parts);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(back.at(i), x.at(i));
+
+  Tensor top = slice_rows(x, 0, 1);
+  Tensor bottom = slice_rows(x, 1, 2);
+  const std::vector<Tensor> rows{top, bottom};
+  Tensor back2 = concat_rows(rows);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(back2.at(i), x.at(i));
+}
+
+TEST(TensorOps, SliceBoundsChecked) {
+  Tensor x(Shape{2, 4});
+  EXPECT_THROW(slice_cols(x, 2, 5), InvalidArgument);
+  EXPECT_THROW(slice_rows(x, 1, 1), InvalidArgument);
+}
+
+TEST(TensorOps, Reductions) {
+  Tensor x(Shape{2, 2}, {1, -2, 3, -4});
+  EXPECT_DOUBLE_EQ(sum_all(x), -2.0);
+  EXPECT_DOUBLE_EQ(mean_all(x), -0.5);
+  EXPECT_DOUBLE_EQ(max_abs(x), 4.0);
+}
+
+}  // namespace
+}  // namespace ns
