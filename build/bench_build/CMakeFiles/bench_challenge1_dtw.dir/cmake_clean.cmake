@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_challenge1_dtw"
+  "../bench/bench_challenge1_dtw.pdb"
+  "CMakeFiles/bench_challenge1_dtw.dir/bench_challenge1_dtw.cpp.o"
+  "CMakeFiles/bench_challenge1_dtw.dir/bench_challenge1_dtw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_challenge1_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

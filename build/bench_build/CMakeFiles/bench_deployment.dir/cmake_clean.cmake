@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_deployment"
+  "../bench/bench_deployment.pdb"
+  "CMakeFiles/bench_deployment.dir/bench_deployment.cpp.o"
+  "CMakeFiles/bench_deployment.dir/bench_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

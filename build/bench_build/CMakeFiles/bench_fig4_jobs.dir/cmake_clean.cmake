@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_jobs"
+  "../bench/bench_fig4_jobs.pdb"
+  "CMakeFiles/bench_fig4_jobs.dir/bench_fig4_jobs.cpp.o"
+  "CMakeFiles/bench_fig4_jobs.dir/bench_fig4_jobs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

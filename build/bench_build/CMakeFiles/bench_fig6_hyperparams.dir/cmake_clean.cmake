@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_hyperparams"
+  "../bench/bench_fig6_hyperparams.pdb"
+  "CMakeFiles/bench_fig6_hyperparams.dir/bench_fig6_hyperparams.cpp.o"
+  "CMakeFiles/bench_fig6_hyperparams.dir/bench_fig6_hyperparams.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

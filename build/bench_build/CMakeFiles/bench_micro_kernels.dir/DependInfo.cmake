@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_kernels.cpp" "bench_build/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o" "gcc" "bench_build/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ns_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/ns_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ns_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ns_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/ns_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

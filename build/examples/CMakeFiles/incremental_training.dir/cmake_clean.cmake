@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_training.dir/incremental_training.cpp.o"
+  "CMakeFiles/incremental_training.dir/incremental_training.cpp.o.d"
+  "incremental_training"
+  "incremental_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

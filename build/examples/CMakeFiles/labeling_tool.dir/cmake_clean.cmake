@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeling_tool.dir/labeling_tool.cpp.o"
+  "CMakeFiles/labeling_tool.dir/labeling_tool.cpp.o.d"
+  "labeling_tool"
+  "labeling_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeling_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

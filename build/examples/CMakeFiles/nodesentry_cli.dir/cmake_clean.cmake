@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodesentry_cli.dir/nodesentry_cli.cpp.o"
+  "CMakeFiles/nodesentry_cli.dir/nodesentry_cli.cpp.o.d"
+  "nodesentry_cli"
+  "nodesentry_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodesentry_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

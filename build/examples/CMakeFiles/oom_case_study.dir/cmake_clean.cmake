@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oom_case_study.dir/oom_case_study.cpp.o"
+  "CMakeFiles/oom_case_study.dir/oom_case_study.cpp.o.d"
+  "oom_case_study"
+  "oom_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oom_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/deephydra_lite.cpp" "src/baselines/CMakeFiles/ns_baselines.dir/deephydra_lite.cpp.o" "gcc" "src/baselines/CMakeFiles/ns_baselines.dir/deephydra_lite.cpp.o.d"
+  "/root/repo/src/baselines/detector.cpp" "src/baselines/CMakeFiles/ns_baselines.dir/detector.cpp.o" "gcc" "src/baselines/CMakeFiles/ns_baselines.dir/detector.cpp.o.d"
+  "/root/repo/src/baselines/examon.cpp" "src/baselines/CMakeFiles/ns_baselines.dir/examon.cpp.o" "gcc" "src/baselines/CMakeFiles/ns_baselines.dir/examon.cpp.o.d"
+  "/root/repo/src/baselines/isc20.cpp" "src/baselines/CMakeFiles/ns_baselines.dir/isc20.cpp.o" "gcc" "src/baselines/CMakeFiles/ns_baselines.dir/isc20.cpp.o.d"
+  "/root/repo/src/baselines/prodigy.cpp" "src/baselines/CMakeFiles/ns_baselines.dir/prodigy.cpp.o" "gcc" "src/baselines/CMakeFiles/ns_baselines.dir/prodigy.cpp.o.d"
+  "/root/repo/src/baselines/ruad.cpp" "src/baselines/CMakeFiles/ns_baselines.dir/ruad.cpp.o" "gcc" "src/baselines/CMakeFiles/ns_baselines.dir/ruad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ns_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ns_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ns_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ns_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/ns_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/ns_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

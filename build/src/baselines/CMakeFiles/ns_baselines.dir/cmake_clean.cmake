@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_baselines.dir/deephydra_lite.cpp.o"
+  "CMakeFiles/ns_baselines.dir/deephydra_lite.cpp.o.d"
+  "CMakeFiles/ns_baselines.dir/detector.cpp.o"
+  "CMakeFiles/ns_baselines.dir/detector.cpp.o.d"
+  "CMakeFiles/ns_baselines.dir/examon.cpp.o"
+  "CMakeFiles/ns_baselines.dir/examon.cpp.o.d"
+  "CMakeFiles/ns_baselines.dir/isc20.cpp.o"
+  "CMakeFiles/ns_baselines.dir/isc20.cpp.o.d"
+  "CMakeFiles/ns_baselines.dir/prodigy.cpp.o"
+  "CMakeFiles/ns_baselines.dir/prodigy.cpp.o.d"
+  "CMakeFiles/ns_baselines.dir/ruad.cpp.o"
+  "CMakeFiles/ns_baselines.dir/ruad.cpp.o.d"
+  "libns_baselines.a"
+  "libns_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

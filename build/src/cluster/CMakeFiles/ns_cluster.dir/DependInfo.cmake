@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/dbscan.cpp" "src/cluster/CMakeFiles/ns_cluster.dir/dbscan.cpp.o" "gcc" "src/cluster/CMakeFiles/ns_cluster.dir/dbscan.cpp.o.d"
+  "/root/repo/src/cluster/distance.cpp" "src/cluster/CMakeFiles/ns_cluster.dir/distance.cpp.o" "gcc" "src/cluster/CMakeFiles/ns_cluster.dir/distance.cpp.o.d"
+  "/root/repo/src/cluster/dtw.cpp" "src/cluster/CMakeFiles/ns_cluster.dir/dtw.cpp.o" "gcc" "src/cluster/CMakeFiles/ns_cluster.dir/dtw.cpp.o.d"
+  "/root/repo/src/cluster/gmm.cpp" "src/cluster/CMakeFiles/ns_cluster.dir/gmm.cpp.o" "gcc" "src/cluster/CMakeFiles/ns_cluster.dir/gmm.cpp.o.d"
+  "/root/repo/src/cluster/hac.cpp" "src/cluster/CMakeFiles/ns_cluster.dir/hac.cpp.o" "gcc" "src/cluster/CMakeFiles/ns_cluster.dir/hac.cpp.o.d"
+  "/root/repo/src/cluster/kmeans.cpp" "src/cluster/CMakeFiles/ns_cluster.dir/kmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/ns_cluster.dir/kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_cluster.dir/dbscan.cpp.o"
+  "CMakeFiles/ns_cluster.dir/dbscan.cpp.o.d"
+  "CMakeFiles/ns_cluster.dir/distance.cpp.o"
+  "CMakeFiles/ns_cluster.dir/distance.cpp.o.d"
+  "CMakeFiles/ns_cluster.dir/dtw.cpp.o"
+  "CMakeFiles/ns_cluster.dir/dtw.cpp.o.d"
+  "CMakeFiles/ns_cluster.dir/gmm.cpp.o"
+  "CMakeFiles/ns_cluster.dir/gmm.cpp.o.d"
+  "CMakeFiles/ns_cluster.dir/hac.cpp.o"
+  "CMakeFiles/ns_cluster.dir/hac.cpp.o.d"
+  "CMakeFiles/ns_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/ns_cluster.dir/kmeans.cpp.o.d"
+  "libns_cluster.a"
+  "libns_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_common.dir/log.cpp.o"
+  "CMakeFiles/ns_common.dir/log.cpp.o.d"
+  "CMakeFiles/ns_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/ns_common.dir/thread_pool.cpp.o.d"
+  "libns_common.a"
+  "libns_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

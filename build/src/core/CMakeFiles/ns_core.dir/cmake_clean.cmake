@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_core.dir/cluster_library.cpp.o"
+  "CMakeFiles/ns_core.dir/cluster_library.cpp.o.d"
+  "CMakeFiles/ns_core.dir/nodesentry.cpp.o"
+  "CMakeFiles/ns_core.dir/nodesentry.cpp.o.d"
+  "CMakeFiles/ns_core.dir/segments.cpp.o"
+  "CMakeFiles/ns_core.dir/segments.cpp.o.d"
+  "libns_core.a"
+  "libns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_eval.dir/metrics.cpp.o"
+  "CMakeFiles/ns_eval.dir/metrics.cpp.o.d"
+  "libns_eval.a"
+  "libns_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

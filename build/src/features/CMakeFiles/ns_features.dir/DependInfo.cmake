@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/extract.cpp" "src/features/CMakeFiles/ns_features.dir/extract.cpp.o" "gcc" "src/features/CMakeFiles/ns_features.dir/extract.cpp.o.d"
+  "/root/repo/src/features/fft.cpp" "src/features/CMakeFiles/ns_features.dir/fft.cpp.o" "gcc" "src/features/CMakeFiles/ns_features.dir/fft.cpp.o.d"
+  "/root/repo/src/features/pca.cpp" "src/features/CMakeFiles/ns_features.dir/pca.cpp.o" "gcc" "src/features/CMakeFiles/ns_features.dir/pca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/ns_ts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

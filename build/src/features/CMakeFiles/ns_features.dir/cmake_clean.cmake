@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_features.dir/extract.cpp.o"
+  "CMakeFiles/ns_features.dir/extract.cpp.o.d"
+  "CMakeFiles/ns_features.dir/fft.cpp.o"
+  "CMakeFiles/ns_features.dir/fft.cpp.o.d"
+  "CMakeFiles/ns_features.dir/pca.cpp.o"
+  "CMakeFiles/ns_features.dir/pca.cpp.o.d"
+  "libns_features.a"
+  "libns_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_io.dir/csv.cpp.o"
+  "CMakeFiles/ns_io.dir/csv.cpp.o.d"
+  "CMakeFiles/ns_io.dir/dataset_io.cpp.o"
+  "CMakeFiles/ns_io.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/ns_io.dir/table.cpp.o"
+  "CMakeFiles/ns_io.dir/table.cpp.o.d"
+  "libns_io.a"
+  "libns_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/labeling/cluster_adjust.cpp" "src/labeling/CMakeFiles/ns_labeling.dir/cluster_adjust.cpp.o" "gcc" "src/labeling/CMakeFiles/ns_labeling.dir/cluster_adjust.cpp.o.d"
+  "/root/repo/src/labeling/label_store.cpp" "src/labeling/CMakeFiles/ns_labeling.dir/label_store.cpp.o" "gcc" "src/labeling/CMakeFiles/ns_labeling.dir/label_store.cpp.o.d"
+  "/root/repo/src/labeling/suggest.cpp" "src/labeling/CMakeFiles/ns_labeling.dir/suggest.cpp.o" "gcc" "src/labeling/CMakeFiles/ns_labeling.dir/suggest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/ns_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ns_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ns_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ns_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/ns_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ns_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ns_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ns_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_labeling.dir/cluster_adjust.cpp.o"
+  "CMakeFiles/ns_labeling.dir/cluster_adjust.cpp.o.d"
+  "CMakeFiles/ns_labeling.dir/label_store.cpp.o"
+  "CMakeFiles/ns_labeling.dir/label_store.cpp.o.d"
+  "CMakeFiles/ns_labeling.dir/suggest.cpp.o"
+  "CMakeFiles/ns_labeling.dir/suggest.cpp.o.d"
+  "libns_labeling.a"
+  "libns_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/ns_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/ns_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/autoencoder.cpp" "src/nn/CMakeFiles/ns_nn.dir/autoencoder.cpp.o" "gcc" "src/nn/CMakeFiles/ns_nn.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/nn/gru.cpp" "src/nn/CMakeFiles/ns_nn.dir/gru.cpp.o" "gcc" "src/nn/CMakeFiles/ns_nn.dir/gru.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/ns_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/ns_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/ns_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/ns_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/moe.cpp" "src/nn/CMakeFiles/ns_nn.dir/moe.cpp.o" "gcc" "src/nn/CMakeFiles/ns_nn.dir/moe.cpp.o.d"
+  "/root/repo/src/nn/positional.cpp" "src/nn/CMakeFiles/ns_nn.dir/positional.cpp.o" "gcc" "src/nn/CMakeFiles/ns_nn.dir/positional.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/nn/CMakeFiles/ns_nn.dir/schedule.cpp.o" "gcc" "src/nn/CMakeFiles/ns_nn.dir/schedule.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "src/nn/CMakeFiles/ns_nn.dir/transformer.cpp.o" "gcc" "src/nn/CMakeFiles/ns_nn.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ns_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_nn.dir/attention.cpp.o"
+  "CMakeFiles/ns_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/ns_nn.dir/autoencoder.cpp.o"
+  "CMakeFiles/ns_nn.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/ns_nn.dir/gru.cpp.o"
+  "CMakeFiles/ns_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/ns_nn.dir/lstm.cpp.o"
+  "CMakeFiles/ns_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/ns_nn.dir/module.cpp.o"
+  "CMakeFiles/ns_nn.dir/module.cpp.o.d"
+  "CMakeFiles/ns_nn.dir/moe.cpp.o"
+  "CMakeFiles/ns_nn.dir/moe.cpp.o.d"
+  "CMakeFiles/ns_nn.dir/positional.cpp.o"
+  "CMakeFiles/ns_nn.dir/positional.cpp.o.d"
+  "CMakeFiles/ns_nn.dir/schedule.cpp.o"
+  "CMakeFiles/ns_nn.dir/schedule.cpp.o.d"
+  "CMakeFiles/ns_nn.dir/transformer.cpp.o"
+  "CMakeFiles/ns_nn.dir/transformer.cpp.o.d"
+  "libns_nn.a"
+  "libns_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

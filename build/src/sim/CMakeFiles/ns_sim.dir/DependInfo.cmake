@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dataset_builder.cpp" "src/sim/CMakeFiles/ns_sim.dir/dataset_builder.cpp.o" "gcc" "src/sim/CMakeFiles/ns_sim.dir/dataset_builder.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/ns_sim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/ns_sim.dir/faults.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/ns_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/ns_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/ns_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/ns_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/ns_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/ns_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/ns_ts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

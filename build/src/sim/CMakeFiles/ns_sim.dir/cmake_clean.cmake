@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_sim.dir/dataset_builder.cpp.o"
+  "CMakeFiles/ns_sim.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/ns_sim.dir/faults.cpp.o"
+  "CMakeFiles/ns_sim.dir/faults.cpp.o.d"
+  "CMakeFiles/ns_sim.dir/metrics.cpp.o"
+  "CMakeFiles/ns_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/ns_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/ns_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ns_sim.dir/workload.cpp.o"
+  "CMakeFiles/ns_sim.dir/workload.cpp.o.d"
+  "libns_sim.a"
+  "libns_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

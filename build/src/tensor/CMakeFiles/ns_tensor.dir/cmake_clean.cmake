@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_tensor.dir/autograd.cpp.o"
+  "CMakeFiles/ns_tensor.dir/autograd.cpp.o.d"
+  "CMakeFiles/ns_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/ns_tensor.dir/tensor.cpp.o.d"
+  "libns_tensor.a"
+  "libns_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_ts.dir/mts.cpp.o"
+  "CMakeFiles/ns_ts.dir/mts.cpp.o.d"
+  "CMakeFiles/ns_ts.dir/preprocess.cpp.o"
+  "CMakeFiles/ns_ts.dir/preprocess.cpp.o.d"
+  "libns_ts.a"
+  "libns_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_extra_test.cpp" "tests/CMakeFiles/core_extra_test.dir/core_extra_test.cpp.o" "gcc" "tests/CMakeFiles/core_extra_test.dir/core_extra_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/ns_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ns_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ns_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ns_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ns_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/ns_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gru_schedule_test.dir/gru_schedule_test.cpp.o"
+  "CMakeFiles/gru_schedule_test.dir/gru_schedule_test.cpp.o.d"
+  "gru_schedule_test"
+  "gru_schedule_test.pdb"
+  "gru_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gru_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/autograd_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/ts_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/labeling_test[1]_include.cmake")
+include("/root/repo/build/tests/pca_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/ablation_test[1]_include.cmake")
+include("/root/repo/build/tests/dtw_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_io_test[1]_include.cmake")
+include("/root/repo/build/tests/extended_features_test[1]_include.cmake")
+include("/root/repo/build/tests/gru_schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/detector_determinism_test[1]_include.cmake")
