@@ -1,11 +1,12 @@
 #include "core/cluster_library.hpp"
 
 #include <filesystem>
-#include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "cluster/distance.hpp"
 #include "common/error.hpp"
+#include "common/fileio.hpp"
 
 namespace ns {
 
@@ -25,6 +26,20 @@ MatchResult ClusterLibrary::match(const std::vector<float>& features,
       match_threshold_factor * std::max(clusters_[result.cluster].radius, 1e-9);
   result.matched = result.distance <= limit;
   return result;
+}
+
+std::vector<float> ClusterLibrary::scale_masked(
+    const std::vector<float>& raw_features,
+    const std::vector<std::uint8_t>& raw_valid) const {
+  if (raw_valid.empty()) return scale(raw_features);
+  NS_REQUIRE(raw_valid.size() == raw_features.size(),
+             "scale_masked: validity size mismatch");
+  std::vector<float> out =
+      scaler_.fitted() ? scaler_.transform(raw_features) : raw_features;
+  for (std::size_t d = 0; d < out.size(); ++d)
+    if (!raw_valid[d]) out[d] = 0.0f;  // z-scaled training mean
+  if (pca_.fitted()) out = pca_.transform(out);
+  return out;
 }
 
 std::size_t ClusterLibrary::nearest_member(
@@ -53,15 +68,28 @@ void write_floats(std::ostream& os, const std::vector<float>& xs) {
            static_cast<std::streamsize>(xs.size() * sizeof(float)));
 }
 
-std::vector<float> read_floats(std::istream& is) {
+std::vector<float> read_floats(std::istream& is, const char* what) {
   std::uint32_t n = 0;
   is.read(reinterpret_cast<char*>(&n), sizeof(n));
-  NS_REQUIRE(is.good(), "cluster library: truncated file");
+  if (!is.good())
+    throw ParseError(std::string("cluster library: truncated ") + what);
   std::vector<float> xs(n);
   is.read(reinterpret_cast<char*>(xs.data()),
           static_cast<std::streamsize>(n * sizeof(float)));
-  NS_REQUIRE(is.good(), "cluster library: truncated float block");
+  if (!is.good())
+    throw ParseError(std::string("cluster library: truncated ") + what);
   return xs;
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& out, const char* what) {
+  is.read(reinterpret_cast<char*>(&out), sizeof(out));
+  if (!is.good())
+    throw ParseError(std::string("cluster library: truncated ") + what);
+}
+
+std::string cluster_file(std::size_t c) {
+  return "cluster_" + std::to_string(c) + ".bin";
 }
 
 }  // namespace
@@ -70,13 +98,7 @@ void ClusterLibrary::save(const std::string& directory) const {
   namespace fs = std::filesystem;
   fs::create_directories(directory);
   {
-    std::ofstream index(fs::path(directory) / "index.txt");
-    NS_REQUIRE(index.good(), "cannot write cluster index in " << directory);
-    index << clusters_.size() << '\n';
-  }
-  {
-    std::ofstream os(fs::path(directory) / "scaler.bin", std::ios::binary);
-    NS_REQUIRE(os.good(), "cannot write feature scaler");
+    std::ostringstream os(std::ios::binary);
     write_floats(os, scaler_.means());
     write_floats(os, scaler_.stddevs());
     const std::uint32_t pca_rows = static_cast<std::uint32_t>(
@@ -86,13 +108,12 @@ void ClusterLibrary::save(const std::string& directory) const {
       write_floats(os, pca_.mean());
       for (const auto& row : pca_.components()) write_floats(os, row);
     }
+    write_framed_file((fs::path(directory) / "scaler.bin").string(),
+                      std::move(os).str());
   }
   for (std::size_t c = 0; c < clusters_.size(); ++c) {
     const ClusterEntry& entry = clusters_[c];
-    std::ofstream os(fs::path(directory) / ("cluster_" + std::to_string(c) +
-                                            ".bin"),
-                     std::ios::binary);
-    NS_REQUIRE(os.good(), "cannot write cluster file " << c);
+    std::ostringstream os(std::ios::binary);
     write_floats(os, entry.centroid);
     const double radius = entry.radius;
     os.write(reinterpret_cast<const char*>(&radius), sizeof(radius));
@@ -111,29 +132,42 @@ void ClusterLibrary::save(const std::string& directory) const {
     for (const auto& mf : entry.member_features) write_floats(os, mf);
     NS_REQUIRE(entry.model != nullptr, "cluster " << c << " has no model");
     save_parameters(*entry.model, os);
+    write_framed_file((fs::path(directory) / cluster_file(c)).string(),
+                      std::move(os).str());
   }
+  // The index commits the checkpoint: it is written last, so a crash at any
+  // earlier point leaves the previously-indexed set fully loadable.
+  std::ostringstream os(std::ios::binary);
+  const std::uint32_t count = static_cast<std::uint32_t>(clusters_.size());
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  write_framed_file((fs::path(directory) / "index.bin").string(),
+                    std::move(os).str());
 }
 
 void ClusterLibrary::load(const std::string& directory,
                           const TransformerConfig& model_config,
                           std::uint64_t seed) {
   namespace fs = std::filesystem;
-  std::ifstream index(fs::path(directory) / "index.txt");
-  NS_REQUIRE(index.good(), "cannot read cluster index in " << directory);
-  std::size_t count = 0;
-  index >> count;
+  std::uint32_t count = 0;
   {
-    std::ifstream is(fs::path(directory) / "scaler.bin", std::ios::binary);
-    NS_REQUIRE(is.good(), "cannot read feature scaler");
-    std::vector<float> means = read_floats(is);
-    std::vector<float> stds = read_floats(is);
+    std::istringstream is(
+        read_framed_file((fs::path(directory) / "index.bin").string()),
+        std::ios::binary);
+    read_pod(is, count, "index");
+  }
+  {
+    std::istringstream is(
+        read_framed_file((fs::path(directory) / "scaler.bin").string()),
+        std::ios::binary);
+    std::vector<float> means = read_floats(is, "scaler means");
+    std::vector<float> stds = read_floats(is, "scaler stddevs");
     if (!means.empty()) scaler_.restore(std::move(means), std::move(stds));
     std::uint32_t pca_rows = 0;
     is.read(reinterpret_cast<char*>(&pca_rows), sizeof(pca_rows));
     if (is.good() && pca_rows > 0) {
-      std::vector<float> pca_mean = read_floats(is);
+      std::vector<float> pca_mean = read_floats(is, "pca mean");
       std::vector<std::vector<float>> components(pca_rows);
-      for (auto& row : components) row = read_floats(is);
+      for (auto& row : components) row = read_floats(is, "pca row");
       pca_.restore(std::move(pca_mean), std::move(components));
     }
   }
@@ -141,23 +175,22 @@ void ClusterLibrary::load(const std::string& directory,
   clusters_.resize(count);
   Rng rng(seed);
   for (std::size_t c = 0; c < count; ++c) {
-    std::ifstream is(fs::path(directory) / ("cluster_" + std::to_string(c) +
-                                            ".bin"),
-                     std::ios::binary);
-    NS_REQUIRE(is.good(), "cannot read cluster file " << c);
+    std::istringstream is(
+        read_framed_file((fs::path(directory) / cluster_file(c)).string()),
+        std::ios::binary);
     ClusterEntry& entry = clusters_[c];
-    entry.centroid = read_floats(is);
-    is.read(reinterpret_cast<char*>(&entry.radius), sizeof(entry.radius));
-    is.read(reinterpret_cast<char*>(&entry.baseline_error),
-            sizeof(entry.baseline_error));
-    const std::vector<float> weights = read_floats(is);
+    entry.centroid = read_floats(is, "centroid");
+    read_pod(is, entry.radius, "radius");
+    read_pod(is, entry.baseline_error, "baseline error");
+    const std::vector<float> weights = read_floats(is, "metric weights");
     entry.metric_weights = Tensor::from_vector(weights);
-    entry.residual_scale = Tensor::from_vector(read_floats(is));
+    entry.residual_scale =
+        Tensor::from_vector(read_floats(is, "residual scale"));
     std::uint32_t member_count = 0;
-    is.read(reinterpret_cast<char*>(&member_count), sizeof(member_count));
-    NS_REQUIRE(is.good(), "cluster library: truncated member block");
+    read_pod(is, member_count, "member block");
     entry.member_features.resize(member_count);
-    for (auto& mf : entry.member_features) mf = read_floats(is);
+    for (auto& mf : entry.member_features)
+      mf = read_floats(is, "member features");
     entry.model =
         std::make_shared<TransformerReconstructor>(model_config, rng);
     load_parameters(*entry.model, is);

@@ -59,6 +59,15 @@ class ClusterLibrary {
     return out;
   }
 
+  /// Degraded-mode variant of scale(): raw feature dimensions flagged
+  /// invalid (dead metrics in the current window) are mean-imputed in the
+  /// z-scaled space (set to 0, the training mean) before PCA projection,
+  /// so matching falls back to the masked feature subset instead of
+  /// comparing against garbage. `raw_valid` is per raw dimension; an empty
+  /// vector behaves like scale().
+  std::vector<float> scale_masked(const std::vector<float>& raw_features,
+                                  const std::vector<std::uint8_t>& raw_valid) const;
+
   std::vector<ClusterEntry>& clusters() { return clusters_; }
   const std::vector<ClusterEntry>& clusters() const { return clusters_; }
   std::size_t size() const { return clusters_.size(); }
@@ -75,10 +84,14 @@ class ClusterLibrary {
                              const std::vector<float>& features) const;
 
   /// Serializes centroids, radii, weights and model parameters to a
-  /// directory (one file per cluster plus an index file).
+  /// directory (one framed file per cluster plus scaler and index files).
+  /// Every file carries a versioned header and a CRC32 and is published
+  /// atomically (tmp + fsync + rename); the index is written last, so a
+  /// crash mid-save leaves the previous checkpoint loadable.
   void save(const std::string& directory) const;
   /// Restores a library saved by save(). `model_config` must describe the
-  /// architecture used during training (input_dim included).
+  /// architecture used during training (input_dim included). Truncated or
+  /// corrupted files — any flipped byte — are rejected with ns::ParseError.
   void load(const std::string& directory, const TransformerConfig& model_config,
             std::uint64_t seed);
 

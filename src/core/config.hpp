@@ -5,9 +5,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "cluster/hac.hpp"
 #include "nn/transformer.hpp"
+#include "ts/quality.hpp"
 
 namespace ns {
 
@@ -16,6 +18,10 @@ struct NodeSentryConfig {
   double correlation_threshold = 0.99;
   double standardize_trim = 0.05;
   float standardize_clip = 5.0f;
+  /// Telemetry data-quality guard run ahead of cleaning: classifies
+  /// NaN/Inf bursts, stuck sensors, spikes, long gaps and dead metrics,
+  /// producing the validity mask that degrades scoring gracefully.
+  QualityConfig quality;
 
   // ---- segmentation
   std::size_t min_segment_length = 8;
@@ -111,6 +117,20 @@ struct NodeSentryConfig {
   /// benign pattern shift, and must not be learned.
   double finetune_ceiling = 10.0;
   std::size_t finetune_epochs = 4;
+
+  // ---- crash-safe checkpointing
+  /// When non-empty, fit() checkpoints the cluster library into this
+  /// directory as training progresses and incremental updates checkpoint
+  /// after spawning new clusters; a restart resumes from the last good
+  /// library via NodeSentry::restore(). Empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Clusters trained between mid-fit checkpoints (0 = checkpoint only
+  /// after the final cluster). Also the stride, in new clusters, between
+  /// checkpoints during incremental detection.
+  std::size_t checkpoint_every = 0;
+  /// Keep numbered step_<n> snapshots instead of overwriting one
+  /// directory (each snapshot is a complete, loadable library).
+  bool checkpoint_history = false;
 
   std::uint64_t seed = 1234;
 };

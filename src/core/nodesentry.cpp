@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <numeric>
 
 #include "cluster/distance.hpp"
@@ -53,20 +54,43 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
   Stopwatch total;
   train_end_ = train_end;
 
-  // ---- Preprocessing (§3.2)
+  // ---- Preprocessing (§3.2) behind the data-quality guard
   Stopwatch sw;
   PreprocessOutput pre =
       preprocess(raw, train_end, config_.correlation_threshold,
-                 config_.standardize_trim, config_.standardize_clip);
+                 config_.standardize_trim, config_.standardize_clip,
+                 config_.quality);
   processed_ = std::move(pre.dataset);
+  mask_ = std::move(pre.mask);
+  report.quality = std::move(pre.quality);
   report.preprocess_seconds = sw.elapsed_s();
   report.metrics_after_reduction = processed_.num_metrics();
+  if (!report.quality.clean())
+    NS_LOG_INFO("quality guard masked " << report.quality.points_invalid
+                                        << " of " << report.quality.points_total
+                                        << " raw points ("
+                                        << report.quality.events.size()
+                                        << " events)");
 
   // ---- Segmentation + feature extraction (§3.3)
   sw.restart();
   std::vector<CoreSegment> segments =
       training_segments(processed_, train_end, config_);
   NS_REQUIRE(!segments.empty(), "fit: no training segments");
+  if (!mask_.empty()) {
+    // Quality gate: a segment that is mostly masked would teach the shared
+    // model filler values; drop it from training.
+    std::vector<CoreSegment> usable;
+    usable.reserve(segments.size());
+    for (const CoreSegment& seg : segments)
+      if (mask_.segment_valid_fraction(seg.node, seg.begin, seg.end) >=
+          config_.quality.min_segment_valid_fraction)
+        usable.push_back(seg);
+    report.segments_dropped_quality = segments.size() - usable.size();
+    NS_REQUIRE(!usable.empty(),
+               "fit: no training segments with sufficient data quality");
+    segments = std::move(usable);
+  }
   Rng rng(config_.seed);
   if (config_.training_subsample < 1.0) {
     // Uniform random subset (Fig. 6a training-size sweep).
@@ -133,11 +157,29 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
   std::vector<std::size_t> nonempty;
   for (std::size_t c = 0; c < k; ++c)
     if (!members[c].empty()) nonempty.push_back(c);
-  parallel_for(0, nonempty.size(), [&](std::size_t idx) {
-    const std::size_t c = nonempty[idx];
-    library_.clusters()[c] = build_cluster(
-        segments, features, members[c], config_.seed + 1000 + c);
-  });
+  // Clusters are trained in waves so a checkpoint can be published after
+  // each wave: a crash mid-fit loses at most one wave of work, and the
+  // last checkpoint is always a complete, loadable library prefix.
+  const bool checkpointing = !config_.checkpoint_dir.empty();
+  const std::size_t wave =
+      checkpointing && config_.checkpoint_every > 0 ? config_.checkpoint_every
+                                                    : nonempty.size();
+  for (std::size_t base = 0; base < nonempty.size(); base += wave) {
+    const std::size_t stop = std::min(nonempty.size(), base + wave);
+    parallel_for(base, stop, [&](std::size_t idx) {
+      const std::size_t c = nonempty[idx];
+      library_.clusters()[c] = build_cluster(
+          segments, features, members[c], config_.seed + 1000 + c);
+    });
+    if (checkpointing) {
+      std::vector<const ClusterEntry*> trained;
+      trained.reserve(stop);
+      for (std::size_t i = 0; i < stop; ++i)
+        trained.push_back(&library_.clusters()[nonempty[i]]);
+      write_checkpoint(trained, stop);
+      ++report.checkpoints_written;
+    }
+  }
   // Drop empty clusters (possible under random assignment).
   auto& clusters = library_.clusters();
   clusters.erase(std::remove_if(clusters.begin(), clusters.end(),
@@ -152,6 +194,41 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
                                  << report.num_clusters << " clusters in "
                                  << report.total_seconds << " s");
   return report;
+}
+
+void NodeSentry::write_checkpoint(
+    const std::vector<const ClusterEntry*>& snapshot_clusters,
+    std::size_t step) const {
+  ClusterLibrary snapshot;
+  snapshot.scaler() = library_.scaler();
+  snapshot.pca() = library_.pca();
+  snapshot.clusters().reserve(snapshot_clusters.size());
+  for (const ClusterEntry* entry : snapshot_clusters)
+    snapshot.clusters().push_back(*entry);
+  std::string dir = config_.checkpoint_dir;
+  if (config_.checkpoint_history)
+    dir = (std::filesystem::path(dir) / ("step_" + std::to_string(step)))
+              .string();
+  snapshot.save(dir);
+}
+
+void NodeSentry::restore(const MtsDataset& raw, std::size_t train_end,
+                         const std::string& checkpoint_directory) {
+  NS_REQUIRE(train_end > 0 && train_end <= raw.num_timestamps(),
+             "restore: train_end out of range");
+  train_end_ = train_end;
+  PreprocessOutput pre =
+      preprocess(raw, train_end, config_.correlation_threshold,
+                 config_.standardize_trim, config_.standardize_clip,
+                 config_.quality);
+  processed_ = std::move(pre.dataset);
+  mask_ = std::move(pre.mask);
+  library_ = ClusterLibrary{};
+  library_.load(checkpoint_directory, model_config(), config_.seed);
+  NS_REQUIRE(!library_.empty(), "restore: checkpoint holds no clusters");
+  NS_LOG_INFO("NodeSentry restored " << library_.size()
+                                     << " clusters from "
+                                     << checkpoint_directory);
 }
 
 ClusterEntry NodeSentry::build_cluster(
@@ -334,11 +411,18 @@ std::vector<std::uint8_t> ksigma_flags(const std::vector<float>& scores,
                                        double min_score, double hard_score) {
   NS_REQUIRE(begin <= end && end <= scores.size(),
              "ksigma_flags: bad range");
+  NS_REQUIRE(window >= 1, "ksigma_flags: window must be >= 1");
   std::vector<std::uint8_t> flags(scores.size(), 0);
-  // Running sums over the trailing window of *previous* scores.
+  // Ring buffer of the last `window` *finite* scores with running sums. A
+  // NaN/Inf score (degraded telemetry) is neither flagged nor admitted to
+  // the statistics — one poisoned sample must not disable thresholding for
+  // an entire window length.
+  std::vector<float> ring(window, 0.0f);
   double sum = 0.0, sum_sq = 0.0;
-  std::size_t count = 0;
+  std::size_t count = 0, head = 0;
   for (std::size_t t = begin; t < end; ++t) {
+    const float score = scores[t];
+    if (!std::isfinite(score)) continue;
     if (count >= 8) {  // enough history for a stable estimate
       const double mu = sum / static_cast<double>(count);
       const double var =
@@ -346,20 +430,21 @@ std::vector<std::uint8_t> ksigma_flags(const std::vector<float>& scores,
       const double sigma = std::max(std::sqrt(var),
                                     sigma_floor_fraction * std::abs(mu)) +
                            1e-9;
-      if (scores[t] > mu + k_sigma * sigma && scores[t] >= min_score)
-        flags[t] = 1;
-      if (hard_score > 0.0 && scores[t] >= hard_score) flags[t] = 1;
+      if (score > mu + k_sigma * sigma && score >= min_score) flags[t] = 1;
+      if (hard_score > 0.0 && score >= hard_score) flags[t] = 1;
     }
     // Slide the window: add current, evict the oldest if full.
-    sum += scores[t];
-    sum_sq += static_cast<double>(scores[t]) * scores[t];
-    ++count;
-    if (count > window) {
-      const float old = scores[t - window];
+    if (count == window) {
+      const float old = ring[head];
       sum -= old;
       sum_sq -= static_cast<double>(old) * old;
-      --count;
+    } else {
+      ++count;
     }
+    ring[head] = score;
+    head = (head + 1) % window;
+    sum += score;
+    sum_sq += static_cast<double>(score) * score;
   }
   return flags;
 }
@@ -371,8 +456,15 @@ std::vector<float> causal_median_filter(const std::vector<float>& scores,
   std::vector<float> window;
   for (std::size_t t = 0; t < scores.size(); ++t) {
     const std::size_t begin = t + 1 >= width ? t + 1 - width : 0;
-    window.assign(scores.begin() + static_cast<std::ptrdiff_t>(begin),
-                  scores.begin() + static_cast<std::ptrdiff_t>(t) + 1);
+    window.clear();
+    // Non-finite samples would make nth_element's ordering (and thus the
+    // "median") meaningless; the median is taken over finite samples only.
+    for (std::size_t i = begin; i <= t; ++i)
+      if (std::isfinite(scores[i])) window.push_back(scores[i]);
+    if (window.empty()) {
+      out[t] = scores[t];
+      continue;
+    }
     std::nth_element(window.begin(), window.begin() + window.size() / 2,
                      window.end());
     out[t] = window[window.size() / 2];
@@ -397,10 +489,13 @@ NodeSentry::DetectReport NodeSentry::detect() {
       test_segments(processed_, train_end_, config_);
   Rng rng(config_.seed ^ 0xDE7EC7);
   double match_seconds = 0.0;
+  const bool have_mask = !mask_.empty();
+  std::size_t clusters_since_checkpoint = 0;
 
   // Normalized mean reconstruction error of a window under a cluster's
   // model (capped at one detection chunk) — the trigger for targeted
-  // incremental fine-tuning.
+  // incremental fine-tuning. Masked (invalid) cells carry no weight; the
+  // error renormalizes over the alive metrics.
   const auto window_error = [&](const ClusterEntry& entry,
                                 const CoreSegment& window,
                                 std::size_t segment_id) {
@@ -411,24 +506,68 @@ NodeSentry::DetectReport NodeSentry::detect() {
     const std::vector<std::size_t> seg_ids(tokens.size(0), segment_id);
     const Var out = entry.model->forward(Var::constant(tokens), offsets,
                                          seg_ids, rng);
-    double err = 0.0;
+    double err = 0.0, weight = 0.0;
     for (std::size_t t = 0; t < tokens.size(0); ++t)
       for (std::size_t m = 0; m < M; ++m) {
+        if (have_mask && !mask_.valid(window.node, m, window.begin + t))
+          continue;
         const double d = out.value().at(t, m) - tokens.at(t, m);
         err += entry.metric_weights.at(m) * d * d /
                entry.residual_scale.at(m);
+        weight += entry.metric_weights.at(m);
       }
-    return err / static_cast<double>(tokens.size(0)) /
-           static_cast<double>(M) / entry.baseline_error;
+    if (weight <= 0.0) return 0.0;
+    return have_mask
+               ? err / weight / entry.baseline_error
+               : err / static_cast<double>(tokens.size(0)) /
+                     static_cast<double>(M) / entry.baseline_error;
   };
 
   for (const CoreSegment& seg : segments) {
+    // ---- Data-quality gate: a mostly-masked segment cannot be scored
+    // honestly — flag it kInsufficientData (scores stay 0) instead of
+    // matching garbage against the library.
+    if (have_mask) {
+      const double vf =
+          mask_.segment_valid_fraction(seg.node, seg.begin, seg.end);
+      if (vf < config_.quality.min_segment_valid_fraction) {
+        report.outcomes.push_back(
+            SegmentOutcome{seg, SegmentStatus::kInsufficientData, vf});
+        ++report.segments_insufficient;
+        continue;
+      }
+      report.outcomes.push_back(
+          SegmentOutcome{seg, SegmentStatus::kScored, vf});
+    }
+
     // ---- Pattern matching on the short window after the transition.
     Stopwatch match_sw;
     CoreSegment window = seg;
     window.end = std::min(seg.end, seg.begin + config_.match_period);
+    // Metrics dead within the matching window are excluded from the
+    // feature distance (their feature blocks are mean-imputed), so a
+    // dying sensor degrades the match instead of dominating it.
+    std::vector<std::uint8_t> feature_valid;
+    if (have_mask) {
+      const std::size_t fpm = features_per_metric();
+      for (std::size_t m = 0; m < M; ++m) {
+        const bool alive =
+            mask_.valid_fraction(seg.node, m, window.begin, window.end) >=
+            config_.quality.min_metric_valid_fraction;
+        if (!alive && feature_valid.empty())
+          feature_valid.assign(M * fpm, 1);
+        if (!alive)
+          std::fill(feature_valid.begin() +
+                        static_cast<std::ptrdiff_t>(m * fpm),
+                    feature_valid.begin() +
+                        static_cast<std::ptrdiff_t>((m + 1) * fpm),
+                    static_cast<std::uint8_t>(0));
+      }
+    }
     const std::vector<float> feats =
-        library_.scale(segment_features(window));
+        feature_valid.empty()
+            ? library_.scale(segment_features(window))
+            : library_.scale_masked(segment_features(window), feature_valid);
     const MatchResult match =
         library_.match(feats, config_.match_threshold_factor);
     match_seconds += match_sw.elapsed_s();
@@ -475,6 +614,9 @@ NodeSentry::DetectReport NodeSentry::detect() {
             for (std::size_t t = 0; t < tokens.size(0); ++t) {
               double e = 0.0;
               for (std::size_t m = 0; m < M; ++m) {
+                if (have_mask &&
+                    !mask_.valid(window.node, m, window.begin + t))
+                  continue;
                 const double d = probe.value().at(t, m) - tokens.at(t, m);
                 e += entry.metric_weights.at(m) * d * d /
                      entry.residual_scale.at(m);
@@ -514,10 +656,15 @@ NodeSentry::DetectReport NodeSentry::detect() {
               // loss (sqrt(w_m) folded into a constant [T, M] mask).
               Tensor weight_mask(Shape{stop - start, M});
               for (std::size_t t = 0; t < stop - start; ++t)
-                for (std::size_t m = 0; m < M; ++m)
+                for (std::size_t m = 0; m < M; ++m) {
+                  const bool cell_valid =
+                      !have_mask ||
+                      mask_.valid(window.node, m, window.begin + start + t);
                   weight_mask.at(t, m) =
-                      token_weight[start + t] *
-                      std::sqrt(entry.metric_weights.at(m));
+                      cell_valid ? token_weight[start + t] *
+                                       std::sqrt(entry.metric_weights.at(m))
+                                 : 0.0f;
+                }
               Var diff = vsub(
                   out, Var::constant(slice_rows(tokens, start, stop)));
               Var masked = vmask(diff, weight_mask);
@@ -561,6 +708,18 @@ NodeSentry::DetectReport NodeSentry::detect() {
         library_.clusters().push_back(std::move(entry));
         cluster_index = library_.size() - 1;
         ++report.incremental_new_clusters;
+        // Checkpoint the grown library so a crash mid-detection resumes
+        // with the incrementally-learned patterns intact.
+        if (!config_.checkpoint_dir.empty() &&
+            ++clusters_since_checkpoint >=
+                std::max<std::size_t>(config_.checkpoint_every, 1)) {
+          std::vector<const ClusterEntry*> all;
+          all.reserve(library_.size());
+          for (const ClusterEntry& e : library_.clusters())
+            all.push_back(&e);
+          write_checkpoint(all, library_.size());
+          clusters_since_checkpoint = 0;
+        }
       }
     }
 
@@ -583,14 +742,33 @@ NodeSentry::DetectReport NodeSentry::detect() {
       const Var out = entry.model->forward(Var::constant(chunk), offsets,
                                            seg_ids, rng);
       for (std::size_t t = 0; t < stop - start; ++t) {
+        const std::size_t abs_t = seg.begin + start + t;
         double err = 0.0;
+        if (!have_mask) {
+          for (std::size_t m = 0; m < M; ++m) {
+            const double d = out.value().at(t, m) - chunk.at(t, m);
+            err += entry.metric_weights.at(m) * d * d /
+                   entry.residual_scale.at(m);
+          }
+          scores[abs_t] = static_cast<float>(
+              err / static_cast<double>(M) / entry.baseline_error);
+          ++report.scored_points;
+          continue;
+        }
+        // Degraded mode: the weighted error renormalizes over the metrics
+        // alive at this timestamp, so a masked sensor shrinks the evidence
+        // base instead of injecting filler residuals into the score.
+        double weight = 0.0;
         for (std::size_t m = 0; m < M; ++m) {
+          if (!mask_.valid(seg.node, m, abs_t)) continue;
           const double d = out.value().at(t, m) - chunk.at(t, m);
           err += entry.metric_weights.at(m) * d * d /
                  entry.residual_scale.at(m);
+          weight += entry.metric_weights.at(m);
         }
-        scores[seg.begin + start + t] = static_cast<float>(
-            err / static_cast<double>(M) / entry.baseline_error);
+        if (weight <= 0.0) continue;  // fully-dead timestamp: score stays 0
+        scores[abs_t] =
+            static_cast<float>(err / weight / entry.baseline_error);
         ++report.scored_points;
       }
     }

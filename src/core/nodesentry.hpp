@@ -28,6 +28,20 @@
 
 namespace ns {
 
+/// Outcome of one test segment during online detection.
+enum class SegmentStatus : std::uint8_t {
+  kScored = 0,
+  /// Too little valid telemetry (per the quality mask) to score honestly;
+  /// the segment's points keep score 0 instead of garbage.
+  kInsufficientData = 1,
+};
+
+struct SegmentOutcome {
+  CoreSegment segment;
+  SegmentStatus status = SegmentStatus::kScored;
+  double valid_fraction = 1.0;
+};
+
 class NodeSentry {
  public:
   explicit NodeSentry(NodeSentryConfig config) : config_(std::move(config)) {}
@@ -42,11 +56,24 @@ class NodeSentry {
     std::size_t num_clusters = 0;
     std::size_t metrics_after_reduction = 0;
     double silhouette = 0.0;
+    QualityReport quality;  ///< data-quality guard findings on the raw data
+    /// Training segments dropped for falling under the quality gate.
+    std::size_t segments_dropped_quality = 0;
+    std::size_t checkpoints_written = 0;
   };
 
   /// Trains the full pipeline on raw data; the standardizer is fitted on
-  /// [0, train_end) only.
+  /// [0, train_end) only. With config.checkpoint_dir set, the cluster
+  /// library is checkpointed as training progresses (see config).
   FitReport fit(const MtsDataset& raw, std::size_t train_end);
+
+  /// Resumes from a checkpoint written during a previous fit()/detect():
+  /// re-runs the (deterministic) preprocessing on the same raw data and
+  /// loads the checkpointed library, after which detect() behaves as if
+  /// fit() had produced those clusters. Throws ns::ParseError when the
+  /// checkpoint is truncated or corrupted.
+  void restore(const MtsDataset& raw, std::size_t train_end,
+               const std::string& checkpoint_directory);
 
   struct DetectReport {
     /// Per node, aligned to the full timeline (zeros before train_end).
@@ -56,8 +83,13 @@ class NodeSentry {
     std::size_t scored_points = 0;
     std::size_t segments_matched = 0;
     std::size_t segments_unmatched = 0;
+    /// Segments skipped as kInsufficientData (degraded telemetry).
+    std::size_t segments_insufficient = 0;
     std::size_t incremental_new_clusters = 0;
     std::size_t incremental_finetunes = 0;
+    /// Per-segment status, in scoring order (only populated when the
+    /// quality guard produced a mask).
+    std::vector<SegmentOutcome> outcomes;
   };
 
   /// Runs online detection over the test region of the fitted dataset.
@@ -69,6 +101,9 @@ class NodeSentry {
   const ClusterLibrary& library() const { return library_; }
   ClusterLibrary& mutable_library() { return library_; }
   const MtsDataset& processed() const { return processed_; }
+  /// Validity mask over the processed dataset (empty when the quality
+  /// guard is disabled — treat as all-valid).
+  const ValidityMask& mask() const { return mask_; }
   std::size_t train_end() const { return train_end_; }
   const NodeSentryConfig& config() const { return config_; }
   /// Silhouette-optimal k found during fit (before forced_k overrides).
@@ -95,17 +130,26 @@ class NodeSentry {
                              const std::vector<std::size_t>& member_indices,
                              std::uint64_t seed);
   TransformerConfig model_config() const;
+  /// Saves a consistent snapshot of `snapshot_clusters` (library order)
+  /// into the configured checkpoint directory; `step` names the history
+  /// subdirectory when checkpoint_history is on.
+  void write_checkpoint(const std::vector<const ClusterEntry*>& snapshot_clusters,
+                        std::size_t step) const;
 
   NodeSentryConfig config_;
   MtsDataset processed_;
   std::size_t train_end_ = 0;
   ClusterLibrary library_;
+  ValidityMask mask_;
   std::size_t auto_k_ = 0;
 };
 
 /// Sliding k-sigma dynamic threshold (§3.5): a point is anomalous when its
 /// score exceeds mean + k * stddev of the previous `window` scores.
 /// Returns per-point flags for [begin, end) of `scores` (zeros elsewhere).
+/// Non-finite scores are never flagged and never enter the window
+/// statistics (a NaN burst must not poison the threshold); `window` must
+/// be >= 1.
 std::vector<std::uint8_t> ksigma_flags(const std::vector<float>& scores,
                                        std::size_t begin, std::size_t end,
                                        std::size_t window, double k_sigma,
@@ -114,7 +158,9 @@ std::vector<std::uint8_t> ksigma_flags(const std::vector<float>& scores,
                                        double hard_score = 0.0);
 
 /// Causal median filter: out[t] = median(scores[t-w+1 .. t]) (clipped at the
-/// front). Width 1 returns the input unchanged.
+/// front). Width 1 returns the input unchanged. Non-finite samples are
+/// excluded from each window's median; a window with no finite sample
+/// passes its input through unchanged.
 std::vector<float> causal_median_filter(const std::vector<float>& scores,
                                         std::size_t width);
 

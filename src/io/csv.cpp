@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fileio.hpp"
 
 namespace ns {
 namespace {
@@ -23,68 +24,108 @@ std::string quote(const std::string& field) {
   return out;
 }
 
+std::string at(const std::string& path, std::size_t line, std::size_t col) {
+  return path + ":" + std::to_string(line) + ":" + std::to_string(col);
+}
+
 }  // namespace
+
+std::string csv_to_string(const std::vector<std::string>& header,
+                          const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  const auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += quote(row[i]);
+    }
+    out += '\n';
+  };
+  if (!header.empty()) write_row(header);
+  for (const auto& row : rows) write_row(row);
+  return out;
+}
 
 void write_csv(const std::string& path,
                const std::vector<std::string>& header,
                const std::vector<std::vector<std::string>>& rows) {
-  std::ofstream os(path);
-  NS_REQUIRE(os.good(), "write_csv: cannot open " << path);
-  const auto write_row = [&os](const std::vector<std::string>& row) {
-    for (std::size_t i = 0; i < row.size(); ++i) {
-      if (i) os << ',';
-      os << quote(row[i]);
-    }
-    os << '\n';
-  };
-  if (!header.empty()) write_row(header);
-  for (const auto& row : rows) write_row(row);
-  NS_REQUIRE(os.good(), "write_csv: write failed for " << path);
+  write_file_atomic(path, csv_to_string(header, rows));
 }
 
 std::vector<std::vector<std::string>> read_csv(const std::string& path) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   if (!is.good()) throw ParseError("read_csv: cannot open " + path);
   std::vector<std::vector<std::string>> rows;
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
   bool row_started = false;
+  std::size_t line = 1, col = 0;       // 1-based position of the last char
+  std::size_t quote_line = 0, quote_col = 0;  // where the open quote was
+  std::size_t expected_fields = 0;     // field count of the first row
+  const auto end_row = [&](std::size_t row_line) {
+    row.push_back(std::move(field));
+    field.clear();
+    // A lone empty field is a blank line (e.g. trailing newline), not data.
+    if (row.size() == 1 && row[0].empty()) {
+      row.clear();
+      return;
+    }
+    if (expected_fields == 0) {
+      expected_fields = row.size();
+    } else if (row.size() != expected_fields) {
+      throw ParseError("read_csv: " + at(path, row_line, 1) + ": row has " +
+                       std::to_string(row.size()) + " fields, expected " +
+                       std::to_string(expected_fields));
+    }
+    rows.push_back(std::move(row));
+    row.clear();
+  };
   char c;
   while (is.get(c)) {
-    row_started = true;
+    ++col;
     if (in_quotes) {
       if (c == '"') {
         if (is.peek() == '"') {
           field += '"';
           is.get();
+          ++col;
         } else {
           in_quotes = false;
         }
       } else {
         field += c;
+        if (c == '\n') {
+          ++line;
+          col = 0;
+        }
       }
     } else if (c == '"') {
-      if (!field.empty()) throw ParseError("read_csv: stray quote in " + path);
+      if (!field.empty())
+        throw ParseError("read_csv: " + at(path, line, col) +
+                         ": stray quote inside unquoted field");
       in_quotes = true;
+      quote_line = line;
+      quote_col = col;
     } else if (c == ',') {
       row.push_back(std::move(field));
       field.clear();
+      row_started = true;
     } else if (c == '\n') {
-      row.push_back(std::move(field));
+      if (row_started || !field.empty()) end_row(line);
       field.clear();
-      rows.push_back(std::move(row));
       row.clear();
       row_started = false;
+      ++line;
+      col = 0;
     } else if (c != '\r') {
       field += c;
+      row_started = true;
     }
   }
-  if (in_quotes) throw ParseError("read_csv: unterminated quote in " + path);
-  if (row_started) {
-    row.push_back(std::move(field));
-    rows.push_back(std::move(row));
-  }
+  if (in_quotes)
+    throw ParseError("read_csv: " + at(path, quote_line, quote_col) +
+                     ": unterminated quote");
+  if (row_started || !field.empty()) end_row(line);
   return rows;
 }
 

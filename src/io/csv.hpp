@@ -6,14 +6,23 @@
 
 namespace ns {
 
-/// Writes rows as CSV. `header` may be empty. Values containing commas,
-/// quotes or newlines are quoted per RFC 4180.
+/// Renders rows as one CSV string. `header` may be empty. Values containing
+/// commas, quotes or newlines are quoted per RFC 4180. Exposed so callers
+/// can checksum or frame the exact bytes that write_csv would publish.
+std::string csv_to_string(const std::vector<std::string>& header,
+                          const std::vector<std::vector<std::string>>& rows);
+
+/// Writes rows as CSV, atomically: the content is staged in a temporary
+/// file and renamed into place, so a crash mid-write never leaves a
+/// truncated file at `path`.
 void write_csv(const std::string& path,
                const std::vector<std::string>& header,
                const std::vector<std::vector<std::string>>& rows);
 
-/// Reads a CSV file into rows of fields. Handles quoted fields and CRLF.
-/// Throws ns::ParseError on malformed quoting or unreadable files.
+/// Reads a CSV file into rows of fields. Handles quoted fields and CRLF;
+/// fully blank lines are skipped. Throws ns::ParseError — with 1-based
+/// line:column context — on malformed quoting, and rejects rows whose
+/// field count differs from the first row's (a truncated or torn write).
 std::vector<std::vector<std::string>> read_csv(const std::string& path);
 
 /// Formats a double with fixed precision (bench table cells).

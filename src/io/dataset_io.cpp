@@ -4,8 +4,10 @@
 #include <cmath>
 #include <filesystem>
 #include <map>
+#include <type_traits>
 
 #include "common/error.hpp"
+#include "common/fileio.hpp"
 #include "io/csv.hpp"
 
 namespace ns {
@@ -22,11 +24,63 @@ MetricCategory category_from_name(const std::string& name) {
   throw ParseError("unknown metric category: " + name);
 }
 
+/// Numeric field parser that turns std::sto* failures (and trailing
+/// garbage) into ns::ParseError with file/row context instead of
+/// std::invalid_argument escaping to the caller.
+template <typename T>
+T parse_number(const std::string& cell, const std::string& file,
+               std::size_t row) {
+  std::size_t pos = 0;
+  try {
+    T value;
+    if constexpr (std::is_same_v<T, float>) {
+      value = std::stof(cell, &pos);
+    } else if constexpr (std::is_same_v<T, double>) {
+      value = std::stod(cell, &pos);
+    } else if constexpr (std::is_same_v<T, long long>) {
+      value = std::stoll(cell, &pos);
+    } else if constexpr (std::is_same_v<T, int>) {
+      value = std::stoi(cell, &pos);
+    } else {
+      value = static_cast<T>(std::stoull(cell, &pos));
+    }
+    if (pos != cell.size()) throw std::invalid_argument("trailing garbage");
+    return value;
+  } catch (const std::exception&) {
+    throw ParseError(file + ": row " + std::to_string(row) +
+                     ": bad numeric field '" + cell + "'");
+  }
+}
+
+constexpr const char* kFormatVersion = "1";
+
+std::string crc_hex(std::uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[crc & 0xF];
+    crc >>= 4;
+  }
+  return out;
+}
+
+/// Renders, checksums and atomically writes one CSV, recording its
+/// directory-relative path + CRC32 in the manifest.
+void write_tracked(const std::string& directory, const std::string& relative,
+                   const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows,
+                   std::vector<std::vector<std::string>>& manifest) {
+  const std::string content = csv_to_string(header, rows);
+  manifest.push_back({relative, crc_hex(crc32(content))});
+  write_file_atomic((fs::path(directory) / relative).string(), content);
+}
+
 }  // namespace
 
 void save_dataset(const MtsDataset& dataset, const std::string& directory) {
   dataset.validate();
   fs::create_directories(fs::path(directory) / "nodes");
+  std::vector<std::vector<std::string>> manifest;
 
   {
     std::vector<std::vector<std::string>> rows;
@@ -34,8 +88,9 @@ void save_dataset(const MtsDataset& dataset, const std::string& directory) {
       rows.push_back({meta.name, meta.semantic_group,
                       metric_category_name(meta.category),
                       std::to_string(meta.unit_id)});
-    write_csv((fs::path(directory) / "metrics.csv").string(),
-              {"name", "semantic_group", "category", "unit_id"}, rows);
+    write_tracked(directory, "metrics.csv",
+                  {"name", "semantic_group", "category", "unit_id"}, rows,
+                  manifest);
   }
   for (const NodeSeries& node : dataset.nodes) {
     std::vector<std::string> header{"timestamp"};
@@ -51,9 +106,8 @@ void save_dataset(const MtsDataset& dataset, const std::string& directory) {
       }
       rows.push_back(std::move(row));
     }
-    write_csv((fs::path(directory) / "nodes" / (node.node_name + ".csv"))
-                  .string(),
-              header, rows);
+    write_tracked(directory, "nodes/" + node.node_name + ".csv", header, rows,
+                  manifest);
   }
   {
     std::vector<std::vector<std::string>> rows;
@@ -62,8 +116,8 @@ void save_dataset(const MtsDataset& dataset, const std::string& directory) {
         rows.push_back({dataset.nodes[n].node_name,
                         std::to_string(span.job_id),
                         std::to_string(span.begin), std::to_string(span.end)});
-    write_csv((fs::path(directory) / "jobs.csv").string(),
-              {"node", "job_id", "begin", "end"}, rows);
+    write_tracked(directory, "jobs.csv", {"node", "job_id", "begin", "end"},
+                  rows, manifest);
   }
   {
     std::vector<std::vector<std::string>> rows;
@@ -71,14 +125,48 @@ void save_dataset(const MtsDataset& dataset, const std::string& directory) {
       for (std::size_t t = 0; t < dataset.labels[n].size(); ++t)
         if (dataset.labels[n][t])
           rows.push_back({dataset.nodes[n].node_name, std::to_string(t)});
-    write_csv((fs::path(directory) / "labels.csv").string(),
-              {"node", "timestamp"}, rows);
+    write_tracked(directory, "labels.csv", {"node", "timestamp"}, rows,
+                  manifest);
   }
-  write_csv((fs::path(directory) / "meta.csv").string(), {"key", "value"},
-            {{"interval_seconds", format_double(dataset.interval_seconds, 3)}});
+  write_tracked(
+      directory, "meta.csv", {"key", "value"},
+      {{"interval_seconds", format_double(dataset.interval_seconds, 3)},
+       {"format_version", kFormatVersion}},
+      manifest);
+  // The manifest commits the save: it is written last, so a crash earlier
+  // leaves no checksums.csv and the partial tree is detectable.
+  write_csv((fs::path(directory) / "checksums.csv").string(), {"file", "crc32"},
+            manifest);
 }
 
+namespace {
+
+/// Verifies every file listed in checksums.csv (when present) against its
+/// recorded CRC32 before any field of the dataset is parsed, so torn or
+/// bit-flipped files surface as ParseError instead of garbage data.
+void verify_checksums(const std::string& directory) {
+  const fs::path manifest_path = fs::path(directory) / "checksums.csv";
+  if (!fs::exists(manifest_path)) return;  // pre-manifest datasets load as-is
+  const auto rows = read_csv(manifest_path.string());
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    NS_REQUIRE(row.size() == 2, "checksums.csv: bad row " << r);
+    const fs::path file = fs::path(directory) / row[0];
+    if (!fs::exists(file))
+      throw ParseError("dataset: missing file listed in checksums.csv: " +
+                       row[0]);
+    const std::string content = read_file(file.string());
+    const std::string actual = crc_hex(crc32(content));
+    if (actual != row[1])
+      throw ParseError("dataset: checksum mismatch for " + row[0] +
+                       " (expected " + row[1] + ", got " + actual + ")");
+  }
+}
+
+}  // namespace
+
 MtsDataset load_dataset(const std::string& directory) {
+  verify_checksums(directory);
   MtsDataset dataset;
   const auto metric_rows =
       read_csv((fs::path(directory) / "metrics.csv").string());
@@ -90,7 +178,7 @@ MtsDataset load_dataset(const std::string& directory) {
     meta.name = row[0];
     meta.semantic_group = row[1];
     meta.category = category_from_name(row[2]);
-    meta.unit_id = std::stoi(row[3]);
+    meta.unit_id = parse_number<int>(row[3], "metrics.csv", r);
     dataset.metrics.push_back(std::move(meta));
   }
   const std::size_t M = dataset.metrics.size();
@@ -115,7 +203,8 @@ MtsDataset load_dataset(const std::string& directory) {
       for (std::size_t m = 0; m < M; ++m) {
         const std::string& cell = rows[r][m + 1];
         node.values[m][r - 1] =
-            cell.empty() ? kMissingValue : std::stof(cell);
+            cell.empty() ? kMissingValue
+                         : parse_number<float>(cell, path.string(), r);
       }
     }
     node_index[node.node_name] = dataset.nodes.size();
@@ -131,8 +220,10 @@ MtsDataset load_dataset(const std::string& directory) {
     NS_REQUIRE(row.size() == 4, "jobs.csv: bad row " << r);
     const auto it = node_index.find(row[0]);
     NS_REQUIRE(it != node_index.end(), "jobs.csv: unknown node " << row[0]);
-    dataset.jobs[it->second].push_back(JobSpan{
-        std::stoll(row[1]), std::stoul(row[2]), std::stoul(row[3])});
+    dataset.jobs[it->second].push_back(
+        JobSpan{parse_number<long long>(row[1], "jobs.csv", r),
+                parse_number<std::size_t>(row[2], "jobs.csv", r),
+                parse_number<std::size_t>(row[3], "jobs.csv", r)});
   }
 
   dataset.labels.assign(dataset.nodes.size(),
@@ -146,7 +237,7 @@ MtsDataset load_dataset(const std::string& directory) {
       const auto it = node_index.find(row[0]);
       NS_REQUIRE(it != node_index.end(), "labels.csv: unknown node "
                                              << row[0]);
-      const std::size_t t = std::stoul(row[1]);
+      const std::size_t t = parse_number<std::size_t>(row[1], "labels.csv", r);
       NS_REQUIRE(t < T, "labels.csv: timestamp out of range");
       dataset.labels[it->second][t] = 1;
     }
@@ -157,7 +248,8 @@ MtsDataset load_dataset(const std::string& directory) {
         read_csv((fs::path(directory) / "meta.csv").string());
     for (std::size_t r = 1; r < meta_rows.size(); ++r)
       if (meta_rows[r].size() == 2 && meta_rows[r][0] == "interval_seconds")
-        dataset.interval_seconds = std::stod(meta_rows[r][1]);
+        dataset.interval_seconds =
+            parse_number<double>(meta_rows[r][1], "meta.csv", r);
   }
   dataset.validate();
   return dataset;

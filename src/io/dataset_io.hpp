@@ -7,7 +7,8 @@
 //   <dir>/nodes/<node>.csv   timestamp,<metric_0>,...   (one row per step)
 //   <dir>/jobs.csv      node,job_id,begin,end
 //   <dir>/labels.csv    node,timestamp               (anomalous points only)
-//   <dir>/meta.csv      key,value                    (interval_seconds, ...)
+//   <dir>/meta.csv      key,value        (interval_seconds, format_version)
+//   <dir>/checksums.csv file,crc32       (integrity manifest, written last)
 #pragma once
 
 #include <string>
@@ -17,11 +18,16 @@
 namespace ns {
 
 /// Writes the dataset; creates the directory tree. Missing values (NaN)
-/// are written as empty fields.
+/// are written as empty fields. Every file is written atomically and its
+/// CRC32 recorded in checksums.csv, which is written last so a crash
+/// mid-save leaves a detectably-incomplete tree.
 void save_dataset(const MtsDataset& dataset, const std::string& directory);
 
 /// Reads a dataset written by save_dataset (or assembled by hand in the
-/// same layout). Validates the result. Empty fields load as NaN.
+/// same layout). Validates the result. Empty fields load as NaN. When a
+/// checksums.csv manifest is present, every listed file is verified
+/// against its CRC32 first — corruption or truncation raises
+/// ns::ParseError instead of loading garbage.
 MtsDataset load_dataset(const std::string& directory);
 
 }  // namespace ns

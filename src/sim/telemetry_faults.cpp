@@ -1,0 +1,129 @@
+#include "sim/telemetry_faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+const char* telemetry_fault_name(TelemetryFaultType type) {
+  switch (type) {
+    case TelemetryFaultType::kNanBurst: return "nan_burst";
+    case TelemetryFaultType::kInfSpike: return "inf_spike";
+    case TelemetryFaultType::kStuckSensor: return "stuck_sensor";
+    case TelemetryFaultType::kExtremeSpike: return "extreme_spike";
+    case TelemetryFaultType::kMetricOutage: return "metric_outage";
+    case TelemetryFaultType::kNodeDropout: return "node_dropout";
+  }
+  return "unknown";
+}
+
+std::vector<TelemetryFaultEvent> plan_telemetry_faults(
+    const TelemetryFaultPlanConfig& config, std::size_t num_nodes,
+    std::size_t num_metrics, Rng& rng) {
+  NS_REQUIRE(config.region_end > config.region_begin,
+             "plan_telemetry_faults: empty region");
+  NS_REQUIRE(num_nodes > 0 && num_metrics > 0,
+             "plan_telemetry_faults: empty dataset");
+  NS_REQUIRE(config.min_duration > 0 &&
+                 config.max_duration >= config.min_duration,
+             "plan_telemetry_faults: bad duration range");
+  const std::size_t region = config.region_end - config.region_begin;
+  std::vector<TelemetryFaultEvent> events;
+  for (std::size_t ti = 0; ti < kNumTelemetryFaultTypes; ++ti) {
+    const auto type = static_cast<TelemetryFaultType>(ti);
+    for (std::size_t e = 0; e < config.events_per_type; ++e) {
+      TelemetryFaultEvent event;
+      event.type = type;
+      event.node = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(num_nodes) - 1));
+      event.metric = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(num_metrics) - 1));
+      std::size_t duration;
+      if (type == TelemetryFaultType::kMetricOutage) {
+        // Kill ~90% of the region so the metric is dead, not just gappy.
+        duration = std::max<std::size_t>(1, region * 9 / 10);
+      } else {
+        duration = static_cast<std::size_t>(rng.uniform_int(
+            static_cast<std::int64_t>(config.min_duration),
+            static_cast<std::int64_t>(
+                std::min(config.max_duration, region))));
+      }
+      duration = std::min(duration, region);
+      event.begin =
+          config.region_begin +
+          static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(region - duration)));
+      event.end = event.begin + duration;
+      event.magnitude = rng.uniform(0.5, 1.0);
+      events.push_back(event);
+    }
+  }
+  return events;
+}
+
+std::size_t apply_telemetry_faults(
+    MtsDataset& dataset, std::span<const TelemetryFaultEvent> events) {
+  std::size_t corrupted = 0;
+  const auto clamp_end = [](std::size_t end, std::size_t limit) {
+    return std::min(end, limit);
+  };
+  for (const TelemetryFaultEvent& event : events) {
+    NS_REQUIRE(event.node < dataset.nodes.size(),
+               "telemetry fault: bad node " << event.node);
+    NodeSeries& node = dataset.nodes[event.node];
+    const std::size_t T = node.num_timestamps();
+    const std::size_t begin = std::min(event.begin, T);
+    const std::size_t end = clamp_end(event.end, T);
+    if (begin >= end) continue;
+    if (event.type == TelemetryFaultType::kNodeDropout) {
+      for (auto& series : node.values)
+        for (std::size_t t = begin; t < end; ++t) {
+          series[t] = kMissingValue;
+          ++corrupted;
+        }
+      continue;
+    }
+    NS_REQUIRE(event.metric < node.num_metrics(),
+               "telemetry fault: bad metric " << event.metric);
+    std::vector<float>& series = node.values[event.metric];
+    switch (event.type) {
+      case TelemetryFaultType::kNanBurst:
+      case TelemetryFaultType::kMetricOutage:
+        for (std::size_t t = begin; t < end; ++t) series[t] = kMissingValue;
+        break;
+      case TelemetryFaultType::kInfSpike:
+        for (std::size_t t = begin; t < end; ++t)
+          series[t] = (t - begin) % 2 == 0
+                          ? std::numeric_limits<float>::infinity()
+                          : -std::numeric_limits<float>::infinity();
+        break;
+      case TelemetryFaultType::kStuckSensor: {
+        // Freeze at the last finite reading before the event (0 if none).
+        float frozen = 0.0f;
+        for (std::size_t t = begin; t > 0; --t)
+          if (std::isfinite(series[t - 1])) {
+            frozen = series[t - 1];
+            break;
+          }
+        for (std::size_t t = begin; t < end; ++t) series[t] = frozen;
+        break;
+      }
+      case TelemetryFaultType::kExtremeSpike: {
+        const float amplitude =
+            static_cast<float>(1e6 * std::max(event.magnitude, 0.1));
+        for (std::size_t t = begin; t < end; ++t)
+          series[t] = (t - begin) % 2 == 0 ? amplitude : -amplitude;
+        break;
+      }
+      case TelemetryFaultType::kNodeDropout:
+        break;  // handled above
+    }
+    corrupted += end - begin;
+  }
+  return corrupted;
+}
+
+}  // namespace ns

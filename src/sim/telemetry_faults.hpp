@@ -1,0 +1,66 @@
+// Telemetry-layer fault injector: corrupts the *measurement* of a dataset
+// (NaN bursts, stuck sensors, Inf/extreme spikes, metric outages, node
+// dropouts) without touching the underlying workload semantics.
+//
+// This is the counterpart of sim/faults.hpp: that module injects *semantic*
+// anomalies the detector must find, this one injects *data-quality* faults
+// the detector must survive. Chaos tests drive the full fit/detect pipeline
+// over datasets corrupted by each mode and assert graceful degradation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ts/mts.hpp"
+
+namespace ns {
+
+enum class TelemetryFaultType : std::uint8_t {
+  kNanBurst = 0,   ///< collector returns NaN for a metric interval
+  kInfSpike,       ///< counter overflow / division blowup: +-Inf samples
+  kStuckSensor,    ///< sensor freezes at its last value for a long run
+  kExtremeSpike,   ///< wild out-of-range readings (units bug, bit rot)
+  kMetricOutage,   ///< one metric dead for most of the timeline
+  kNodeDropout,    ///< whole node silent for an interval (all metrics NaN)
+};
+inline constexpr std::size_t kNumTelemetryFaultTypes = 6;
+
+const char* telemetry_fault_name(TelemetryFaultType type);
+
+struct TelemetryFaultEvent {
+  std::size_t node = 0;
+  /// Corrupted metric; ignored by kNodeDropout, which hits every metric.
+  std::size_t metric = 0;
+  std::size_t begin = 0;  ///< timestamp index
+  std::size_t end = 0;    ///< exclusive
+  TelemetryFaultType type = TelemetryFaultType::kNanBurst;
+  /// Spike amplitude scale (kExtremeSpike); unused by the other modes.
+  double magnitude = 1.0;
+};
+
+struct TelemetryFaultPlanConfig {
+  std::size_t region_begin = 0;  ///< inject only inside [begin, end)
+  std::size_t region_end = 0;
+  std::size_t events_per_type = 2;
+  std::size_t min_duration = 4;
+  std::size_t max_duration = 64;
+};
+
+/// Plans `events_per_type` events of every TelemetryFaultType on random
+/// (node, metric) targets inside the region. kMetricOutage events are
+/// stretched to cover most of the region (that is what makes the metric
+/// "dead"); the other modes get uniform durations in [min, max].
+std::vector<TelemetryFaultEvent> plan_telemetry_faults(
+    const TelemetryFaultPlanConfig& config, std::size_t num_nodes,
+    std::size_t num_metrics, Rng& rng);
+
+/// Applies the events to the dataset in place (labels and jobs untouched —
+/// telemetry faults are not anomalies). Returns the number of corrupted
+/// (node, metric, timestamp) points.
+std::size_t apply_telemetry_faults(MtsDataset& dataset,
+                                   std::span<const TelemetryFaultEvent> events);
+
+}  // namespace ns

@@ -63,7 +63,8 @@ std::size_t clean_dataset(MtsDataset& dataset) {
   return total;
 }
 
-AggregationResult aggregate_semantics(const MtsDataset& dataset) {
+AggregationResult aggregate_semantics(const MtsDataset& dataset,
+                                      const ValidityMask* mask) {
   // Group metric indices by semantic_group, preserving first-seen order.
   std::vector<std::vector<std::size_t>> groups;
   std::map<std::string, std::size_t> group_index;
@@ -90,18 +91,49 @@ AggregationResult aggregate_semantics(const MtsDataset& dataset) {
   }
 
   const std::size_t t = dataset.num_timestamps();
+  const bool masked = mask != nullptr && !mask->empty();
   out.dataset.nodes.resize(dataset.nodes.size());
   parallel_for(0, dataset.nodes.size(), [&](std::size_t n) {
     NodeSeries& dst = out.dataset.nodes[n];
     dst.node_name = dataset.nodes[n].node_name;
     dst.values.assign(groups.size(), std::vector<float>(t, 0.0f));
     for (std::size_t g = 0; g < groups.size(); ++g) {
-      const float inv = 1.0f / static_cast<float>(groups[g].size());
-      for (std::size_t src : groups[g]) {
-        const auto& series = dataset.nodes[n].values[src];
-        for (std::size_t i = 0; i < t; ++i) dst.values[g][i] += series[i];
+      if (!masked) {
+        const float inv = 1.0f / static_cast<float>(groups[g].size());
+        for (std::size_t src : groups[g]) {
+          const auto& series = dataset.nodes[n].values[src];
+          for (std::size_t i = 0; i < t; ++i) dst.values[g][i] += series[i];
+        }
+        for (std::size_t i = 0; i < t; ++i) dst.values[g][i] *= inv;
+        continue;
       }
-      for (std::size_t i = 0; i < t; ++i) dst.values[g][i] *= inv;
+      // Average only the valid sources per timestamp so one stuck core
+      // counter does not poison the whole semantic group. When no source
+      // is valid, fall back to the filler average (the reduced mask marks
+      // the point invalid, so it carries no scoring weight anyway). The
+      // all-valid case must reproduce the unmasked arithmetic bit-for-bit
+      // (sum * 1/size), or clean data would prune differently with the
+      // guard on.
+      const float inv = 1.0f / static_cast<float>(groups[g].size());
+      for (std::size_t i = 0; i < t; ++i) {
+        float valid_sum = 0.0f, all_sum = 0.0f;
+        std::size_t valid_count = 0;
+        for (std::size_t src : groups[g]) {
+          const float v = dataset.nodes[n].values[src][i];
+          all_sum += v;
+          if (mask->valid(n, src, i)) {
+            valid_sum += v;
+            ++valid_count;
+          }
+        }
+        if (valid_count == groups[g].size())
+          dst.values[g][i] = all_sum * inv;
+        else
+          dst.values[g][i] =
+              valid_count > 0
+                  ? valid_sum / static_cast<float>(valid_count)
+                  : all_sum * inv;
+      }
     }
   });
   return out;
@@ -152,19 +184,28 @@ PruneResult prune_correlated(const MtsDataset& dataset, double threshold,
 }
 
 void Standardizer::fit(const MtsDataset& dataset, std::size_t fit_until,
-                       double trim) {
+                       double trim, const ValidityMask* mask) {
   const std::size_t t_max =
       std::min(fit_until, dataset.num_timestamps());
   NS_REQUIRE(t_max > 0, "Standardizer::fit on empty window");
+  const bool masked = mask != nullptr && !mask->empty();
   mean_.assign(dataset.nodes.size(), {});
   stddev_.assign(dataset.nodes.size(), {});
   parallel_for(0, dataset.nodes.size(), [&](std::size_t n) {
     mean_[n].resize(dataset.num_metrics());
     stddev_[n].resize(dataset.num_metrics());
     for (std::size_t m = 0; m < dataset.num_metrics(); ++m) {
-      std::vector<float> window(
-          dataset.nodes[n].values[m].begin(),
-          dataset.nodes[n].values[m].begin() + static_cast<std::ptrdiff_t>(t_max));
+      std::vector<float> window;
+      window.reserve(t_max);
+      for (std::size_t i = 0; i < t_max; ++i)
+        if (!masked || mask->valid(n, m, i))
+          window.push_back(dataset.nodes[n].values[m][i]);
+      if (window.size() < 2) {
+        // Dead-in-training metric: neutral moments keep the filler at 0.
+        mean_[n][m] = 0.0;
+        stddev_[n][m] = 1.0;
+        continue;
+      }
       const TrimmedMoments tm = trimmed_moments(std::move(window), trim);
       mean_[n][m] = tm.mean;
       // Zero-variance metrics (constant series) get unit scale so they map
@@ -222,17 +263,21 @@ std::vector<JobSpan> build_job_spans(std::span<const JobSpan> scheduled,
 
 PreprocessOutput preprocess(const MtsDataset& raw, std::size_t fit_until,
                             double correlation_threshold, double trim,
-                            float clip) {
+                            float clip, const QualityConfig& quality) {
   PreprocessOutput out;
   MtsDataset cleaned = raw;
+  QualityResult guarded = apply_quality_guard(cleaned, quality);
+  out.quality = std::move(guarded.report);
   clean_dataset(cleaned);
-  AggregationResult aggregated = aggregate_semantics(cleaned);
+  AggregationResult aggregated = aggregate_semantics(cleaned, &guarded.mask);
   out.aggregation_sources = std::move(aggregated.sources);
+  ValidityMask reduced = guarded.mask.aggregate(out.aggregation_sources);
   PruneResult pruned =
       prune_correlated(aggregated.dataset, correlation_threshold);
   out.kept_metrics = std::move(pruned.kept);
   out.dataset = std::move(pruned.dataset);
-  out.standardizer.fit(out.dataset, fit_until, trim);
+  out.mask = reduced.select_metrics(out.kept_metrics);
+  out.standardizer.fit(out.dataset, fit_until, trim, &out.mask);
   out.standardizer.apply(out.dataset, clip);
   return out;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ts/mts.hpp"
+#include "ts/quality.hpp"
 
 namespace ns {
 
@@ -31,7 +32,13 @@ struct AggregationResult {
   std::vector<std::vector<std::size_t>> sources;
 };
 
-AggregationResult aggregate_semantics(const MtsDataset& dataset);
+/// With a non-empty `mask`, each output point averages only the *valid*
+/// source metrics at that timestamp (a dying per-core sensor no longer
+/// poisons its semantic group); points with no valid source fall back to
+/// averaging the filler values and are themselves invalid in the reduced
+/// mask (see ValidityMask::aggregate).
+AggregationResult aggregate_semantics(const MtsDataset& dataset,
+                                      const ValidityMask* mask = nullptr);
 
 /// Greedy correlation pruning: metrics whose Pearson r against an earlier
 /// kept metric is >= threshold (paper: 0.99) are dropped. Correlation is
@@ -55,8 +62,11 @@ class Standardizer {
  public:
   /// Fits per-(node, metric) trimmed mean/std on `dataset`, considering
   /// only timestamps in [0, fit_until) — pass num_timestamps() to use all.
+  /// With a non-empty `mask`, invalid points are excluded from the moments
+  /// (filler values must not drag the z-scale); a series with fewer than
+  /// two valid fit points gets neutral moments (mean 0, std 1).
   void fit(const MtsDataset& dataset, std::size_t fit_until,
-           double trim = 0.05);
+           double trim = 0.05, const ValidityMask* mask = nullptr);
 
   /// Applies z-score + clipping in place. Dataset shape must match fit().
   void apply(MtsDataset& dataset, float clip = 5.0f) const;
@@ -83,17 +93,23 @@ std::vector<JobSpan> build_job_spans(
     std::span<const JobSpan> scheduled, std::size_t total_timestamps,
     std::size_t min_idle_length = 1);
 
-/// Runs the full §3.2 pipeline: clean, aggregate, prune, standardize
-/// (fitting on [0, fit_until)). Returns the processed dataset.
+/// Runs the full §3.2 pipeline, preceded by the data-quality guard:
+/// guard -> clean -> aggregate (mask-aware) -> prune -> standardize
+/// (fitting on [0, fit_until), invalid points excluded). Returns the
+/// processed dataset plus the validity mask mapped into the processed
+/// metric space and the guard's QualityReport (raw metric indices).
 struct PreprocessOutput {
   MtsDataset dataset;
   std::vector<std::vector<std::size_t>> aggregation_sources;
   std::vector<std::size_t> kept_metrics;
   Standardizer standardizer;
+  ValidityMask mask;       ///< processed-space; empty = everything valid
+  QualityReport quality;   ///< events indexed in *raw* metric space
 };
 
 PreprocessOutput preprocess(const MtsDataset& raw, std::size_t fit_until,
                             double correlation_threshold = 0.99,
-                            double trim = 0.05, float clip = 5.0f);
+                            double trim = 0.05, float clip = 5.0f,
+                            const QualityConfig& quality = {});
 
 }  // namespace ns

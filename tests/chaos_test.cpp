@@ -1,0 +1,189 @@
+// Chaos tests: the full fit/detect pipeline must survive every telemetry
+// fault mode without throwing, without non-finite scores, and with graceful
+// degradation (masked metrics shrink the evidence base instead of fabricating
+// anomalies; fully-dead segments are reported, not scored).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/nodesentry.hpp"
+#include "sim/dataset_builder.hpp"
+#include "sim/telemetry_faults.hpp"
+
+namespace ns {
+namespace {
+
+NodeSentryConfig chaos_config() {
+  NodeSentryConfig config;
+  config.model.d_model = 24;
+  config.model.num_layers = 2;
+  config.model.num_heads = 2;
+  config.model.ffn_hidden = 32;
+  config.train_epochs = 2;
+  config.learning_rate = 3e-3f;
+  config.max_tokens_per_segment = 96;
+  config.train_window = 32;
+  config.match_period = 60;
+  config.threshold_window = 40;
+  config.k_max = 6;
+  config.seed = 99;
+  config.finetune_epochs = 1;
+  return config;
+}
+
+SimDataset chaos_dataset(std::uint64_t seed) {
+  SimDatasetConfig config = d2_sim_config(0.25, seed);
+  config.anomaly_ratio = 0.01;
+  return build_sim_dataset(config);
+}
+
+/// Two events of `type`: one inside the training region, one inside the
+/// test region (kMetricOutage instead covers ~90% of the timeline, which
+/// is what makes the metric dead).
+std::vector<TelemetryFaultEvent> events_for(TelemetryFaultType type,
+                                            const SimDataset& sim) {
+  const std::size_t T = sim.data.num_timestamps();
+  const std::size_t M = sim.data.num_metrics();
+  const std::size_t duration =
+      type == TelemetryFaultType::kStuckSensor ? 64 : 24;
+  std::vector<TelemetryFaultEvent> events;
+  if (type == TelemetryFaultType::kMetricOutage) {
+    events.push_back({0, M / 2, T / 20, T - T / 20, type, 1.0});
+    return events;
+  }
+  events.push_back({0, M / 3, sim.train_end / 2,
+                    std::min(sim.train_end / 2 + duration, sim.train_end),
+                    type, 1.0});
+  const std::size_t test_begin = sim.train_end + (T - sim.train_end) / 3;
+  events.push_back(
+      {1, (2 * M) / 3, test_begin, std::min(test_begin + duration, T), type,
+       1.0});
+  return events;
+}
+
+void run_and_check(SimDataset sim, NodeSentry& sentry, const char* what) {
+  const auto fit_report = sentry.fit(sim.data, sim.train_end);
+  EXPECT_GT(fit_report.num_clusters, 0u) << what;
+  const auto detect_report = sentry.detect();
+  ASSERT_EQ(detect_report.detections.size(), sim.data.num_nodes()) << what;
+  EXPECT_GT(detect_report.scored_points, 0u) << what;
+  for (const auto& det : detect_report.detections)
+    for (float s : det.scores)
+      ASSERT_TRUE(std::isfinite(s)) << what << ": non-finite score";
+}
+
+class ChaosPerFaultType
+    : public ::testing::TestWithParam<TelemetryFaultType> {};
+
+TEST_P(ChaosPerFaultType, PipelineSurvivesCorruptedTelemetry) {
+  const TelemetryFaultType type = GetParam();
+  SimDataset sim =
+      chaos_dataset(40 + static_cast<std::uint64_t>(type));
+  const auto events = events_for(type, sim);
+  ASSERT_GT(apply_telemetry_faults(sim.data, events), 0u);
+  NodeSentry sentry(chaos_config());
+  run_and_check(std::move(sim), sentry, telemetry_fault_name(type));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, ChaosPerFaultType,
+    ::testing::Values(TelemetryFaultType::kNanBurst,
+                      TelemetryFaultType::kInfSpike,
+                      TelemetryFaultType::kStuckSensor,
+                      TelemetryFaultType::kExtremeSpike,
+                      TelemetryFaultType::kMetricOutage,
+                      TelemetryFaultType::kNodeDropout),
+    [](const ::testing::TestParamInfo<TelemetryFaultType>& info) {
+      return std::string(telemetry_fault_name(info.param));
+    });
+
+TEST(Chaos, PartiallyMaskedNodeStillScored) {
+  // Acceptance criterion: with ~20% of one node's metrics dead for the
+  // whole run, the detector must still emit scores for that node.
+  SimDataset sim = chaos_dataset(51);
+  const std::size_t T = sim.data.num_timestamps();
+  const std::size_t M = sim.data.num_metrics();
+  const std::size_t dead = std::max<std::size_t>(1, M / 5);
+  std::vector<TelemetryFaultEvent> events;
+  for (std::size_t m = 0; m < dead; ++m)
+    events.push_back(
+        {0, m * 5 % M, 0, T, TelemetryFaultType::kMetricOutage, 1.0});
+  apply_telemetry_faults(sim.data, events);
+
+  NodeSentry sentry(chaos_config());
+  sentry.fit(sim.data, sim.train_end);
+  EXPECT_FALSE(sentry.mask().empty());
+  const auto report = sentry.detect();
+  float max_score = 0.0f;
+  for (std::size_t t = sim.train_end; t < T; ++t)
+    max_score = std::max(max_score, report.detections[0].scores[t]);
+  EXPECT_GT(max_score, 0.0f) << "degraded node produced no scores";
+}
+
+TEST(Chaos, FullyDeadNodeReportedNotScored) {
+  // A node whose telemetry goes entirely silent over the test region must
+  // surface as kInsufficientData — zero scores, no garbage anomalies.
+  SimDataset sim = chaos_dataset(52);
+  const std::size_t T = sim.data.num_timestamps();
+  std::vector<TelemetryFaultEvent> events{
+      {2, 0, sim.train_end, T, TelemetryFaultType::kNodeDropout, 1.0}};
+  apply_telemetry_faults(sim.data, events);
+
+  NodeSentry sentry(chaos_config());
+  sentry.fit(sim.data, sim.train_end);
+  const auto report = sentry.detect();
+  EXPECT_GT(report.segments_insufficient, 0u);
+  bool saw_insufficient_outcome = false;
+  for (const SegmentOutcome& outcome : report.outcomes)
+    if (outcome.status == SegmentStatus::kInsufficientData) {
+      saw_insufficient_outcome = true;
+      EXPECT_LT(outcome.valid_fraction,
+                sentry.config().quality.min_segment_valid_fraction);
+    }
+  EXPECT_TRUE(saw_insufficient_outcome);
+  for (std::size_t t = sim.train_end; t < T; ++t) {
+    EXPECT_EQ(report.detections[2].scores[t], 0.0f);
+    EXPECT_EQ(report.detections[2].predictions[t], 0);
+  }
+}
+
+TEST(Chaos, DetectionQualitySurvivesModestCorruption) {
+  // Telemetry faults must not blind the detector to real anomalies: with a
+  // handful of corrupted intervals the labeled faults still score higher
+  // than clean points on average.
+  SimDataset sim = chaos_dataset(53);
+  TelemetryFaultPlanConfig plan;
+  plan.region_begin = 0;
+  plan.region_end = sim.data.num_timestamps();
+  plan.events_per_type = 1;
+  Rng rng(3);
+  const auto events = plan_telemetry_faults(
+      plan, sim.data.num_nodes(), sim.data.num_metrics(), rng);
+  apply_telemetry_faults(sim.data, events);
+
+  NodeSentry sentry(chaos_config());
+  sentry.fit(sim.data, sim.train_end);
+  const auto report = sentry.detect();
+  double anomalous_sum = 0.0, clean_sum = 0.0;
+  std::size_t anomalous_n = 0, clean_n = 0;
+  for (std::size_t n = 0; n < sim.data.num_nodes(); ++n)
+    for (std::size_t t = sim.train_end; t < sim.data.num_timestamps(); ++t) {
+      const float s = report.detections[n].scores[t];
+      if (!std::isfinite(s)) continue;
+      if (sim.data.labels[n][t]) {
+        anomalous_sum += s;
+        ++anomalous_n;
+      } else {
+        clean_sum += s;
+        ++clean_n;
+      }
+    }
+  ASSERT_GT(anomalous_n, 0u);
+  ASSERT_GT(clean_n, 0u);
+  EXPECT_GT(anomalous_sum / static_cast<double>(anomalous_n),
+            clean_sum / static_cast<double>(clean_n));
+}
+
+}  // namespace
+}  // namespace ns

@@ -1,7 +1,9 @@
 // Additional edge-case coverage for the core pipeline pieces.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/cluster_library.hpp"
 #include "core/nodesentry.hpp"
@@ -152,6 +154,99 @@ TEST(NodeSentryEdge, DeterministicAcrossRuns) {
     for (std::size_t t = 0; t < a.detections[n].scores.size(); ++t)
       ASSERT_EQ(a.detections[n].scores[t], b.detections[n].scores[t]);
   }
+}
+
+// ------------------------------------------------ k-sigma threshold edges
+
+constexpr float kNaNf = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInff = std::numeric_limits<float>::infinity();
+
+TEST(KsigmaEdge, WindowZeroThrows) {
+  const std::vector<float> scores(20, 1.0f);
+  EXPECT_THROW(ksigma_flags(scores, 0, 20, 0, 3.0), InvalidArgument);
+}
+
+TEST(KsigmaEdge, BadRangeThrows) {
+  const std::vector<float> scores(20, 1.0f);
+  EXPECT_THROW(ksigma_flags(scores, 10, 5, 4, 3.0), InvalidArgument);
+  EXPECT_THROW(ksigma_flags(scores, 0, 21, 4, 3.0), InvalidArgument);
+}
+
+TEST(KsigmaEdge, EmptyRangeIsAllZeros) {
+  const std::vector<float> scores(20, 5.0f);
+  const auto flags = ksigma_flags(scores, 7, 7, 4, 3.0);
+  EXPECT_EQ(std::count(flags.begin(), flags.end(), 1), 0);
+}
+
+TEST(KsigmaEdge, WindowLargerThanSeriesStillFlagsSpike) {
+  std::vector<float> scores(30, 1.0f);
+  scores[25] = 100.0f;
+  const auto flags = ksigma_flags(scores, 0, 30, 1000, 3.0, 0.2);
+  EXPECT_EQ(flags[25], 1);
+  EXPECT_EQ(std::count(flags.begin(), flags.end(), 1), 1);
+}
+
+TEST(KsigmaEdge, ZeroVarianceWindowDoesNotSelfFlag) {
+  // A perfectly flat window must not flag its own continuation, but a
+  // genuine jump out of the flat window must still trigger.
+  std::vector<float> flat(40, 2.0f);
+  const auto none = ksigma_flags(flat, 0, 40, 10, 3.0, 0.2);
+  EXPECT_EQ(std::count(none.begin(), none.end(), 1), 0);
+  flat[35] = 10.0f;
+  const auto one = ksigma_flags(flat, 0, 40, 10, 3.0, 0.2);
+  EXPECT_EQ(one[35], 1);
+}
+
+TEST(KsigmaEdge, NonFiniteScoresNeverFlaggedNorPoisoning) {
+  std::vector<float> scores(60, 1.0f);
+  for (std::size_t t = 20; t < 30; ++t) scores[t] = kNaNf;
+  scores[30] = kInff;
+  scores[50] = 100.0f;  // genuine spike after the corrupted stretch
+  const auto flags = ksigma_flags(scores, 0, 60, 15, 3.0, 0.2);
+  for (std::size_t t = 20; t <= 30; ++t) EXPECT_EQ(flags[t], 0) << t;
+  // The NaN burst must not have wiped the statistics: the later real
+  // spike is still caught.
+  EXPECT_EQ(flags[50], 1);
+  EXPECT_EQ(std::count(flags.begin(), flags.end(), 1), 1);
+}
+
+// ------------------------------------------------- causal median filter
+
+TEST(MedianFilterEdge, WidthOneAndEmptyInputPassThrough) {
+  const std::vector<float> scores{3.0f, 1.0f, 2.0f};
+  EXPECT_EQ(causal_median_filter(scores, 1), scores);
+  EXPECT_TRUE(causal_median_filter({}, 5).empty());
+}
+
+TEST(MedianFilterEdge, WidthLargerThanSeriesUsesPrefix) {
+  const std::vector<float> scores{1.0f, 3.0f, 2.0f};
+  const auto out = causal_median_filter(scores, 100);
+  EXPECT_EQ(out[0], 1.0f);  // median{1}
+  EXPECT_EQ(out[1], 3.0f);  // median{1,3} -> upper middle
+  EXPECT_EQ(out[2], 2.0f);  // median{1,2,3}
+}
+
+TEST(MedianFilterEdge, RemovesSingleSpikeKeepsPlateau) {
+  std::vector<float> scores(20, 1.0f);
+  scores[10] = 50.0f;  // lone spike: filtered out
+  for (std::size_t t = 14; t < 20; ++t) scores[t] = 50.0f;  // real plateau
+  const auto out = causal_median_filter(scores, 3);
+  EXPECT_EQ(out[10], 1.0f);
+  EXPECT_EQ(out[16], 50.0f);
+}
+
+TEST(MedianFilterEdge, NonFiniteSamplesExcludedFromWindow) {
+  std::vector<float> scores{1.0f, kNaNf, 2.0f, kInff, 3.0f};
+  const auto out = causal_median_filter(scores, 3);
+  EXPECT_EQ(out[2], 2.0f);  // median of finite {1, 2}
+  EXPECT_EQ(out[4], 3.0f);  // median of finite {2, 3}
+  EXPECT_TRUE(std::isfinite(out[2]));
+}
+
+TEST(MedianFilterEdge, AllNonFiniteWindowPassesInputThrough) {
+  const std::vector<float> scores{kNaNf, kNaNf, kNaNf};
+  const auto out = causal_median_filter(scores, 2);
+  for (float v : out) EXPECT_TRUE(std::isnan(v));
 }
 
 }  // namespace

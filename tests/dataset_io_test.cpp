@@ -2,8 +2,12 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <vector>
 
 #include "common/error.hpp"
+#include "io/csv.hpp"
 #include "io/dataset_io.hpp"
 #include "sim/dataset_builder.hpp"
 
@@ -12,6 +16,17 @@ namespace {
 
 std::string temp_dir(const std::string& name) {
   return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(is),
+                           std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
 TEST(DatasetIo, RoundTripSimulatedDataset) {
@@ -67,6 +82,142 @@ TEST(DatasetIo, MetricMetadataPreserved) {
 
 TEST(DatasetIo, MissingDirectoryThrows) {
   EXPECT_THROW(load_dataset("/nonexistent/ns_nowhere"), std::exception);
+}
+
+class DatasetCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = temp_dir("ns_dataset_io_corrupt");
+    std::filesystem::remove_all(dir_);
+    SimDatasetConfig config = d2_sim_config(0.25, 58);
+    const SimDataset sim = build_sim_dataset(config);
+    save_dataset(sim.data, dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& file) const {
+    return (std::filesystem::path(dir_) / file).string();
+  }
+  std::string first_node_file() const {
+    for (const auto& f :
+         std::filesystem::directory_iterator(path("nodes")))
+      if (f.path().extension() == ".csv")
+        return "nodes/" + f.path().filename().string();
+    ADD_FAILURE() << "no node files";
+    return {};
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DatasetCorruption, SaveWritesManifestAndVersion) {
+  ASSERT_TRUE(std::filesystem::exists(path("checksums.csv")));
+  const auto rows = read_csv(path("checksums.csv"));
+  // Header + metrics/jobs/labels/meta + one file per node.
+  ASSERT_GE(rows.size(), 6u);
+  bool has_version = false;
+  for (const auto& row : read_csv(path("meta.csv")))
+    if (row.size() == 2 && row[0] == "format_version") has_version = true;
+  EXPECT_TRUE(has_version);
+}
+
+TEST_F(DatasetCorruption, BitFlipAnywhereRejected) {
+  for (const std::string file :
+       {std::string("metrics.csv"), std::string("jobs.csv"),
+        std::string("labels.csv"), std::string("meta.csv"),
+        first_node_file()}) {
+    const std::vector<char> pristine = slurp(path(file));
+    ASSERT_FALSE(pristine.empty()) << file;
+    // Flip a byte in the middle of the data (past the header line).
+    std::vector<char> bad = pristine;
+    const std::size_t offset = bad.size() / 2;
+    bad[offset] = static_cast<char>(bad[offset] ^ 0x01);
+    spit(path(file), bad);
+    EXPECT_THROW(load_dataset(dir_), ParseError) << file;
+    spit(path(file), pristine);
+  }
+  EXPECT_NO_THROW(load_dataset(dir_));  // pristine tree still loads
+}
+
+TEST_F(DatasetCorruption, TruncationRejected) {
+  const std::string file = first_node_file();
+  const std::vector<char> pristine = slurp(path(file));
+  std::vector<char> cut(pristine.begin(),
+                        pristine.begin() +
+                            static_cast<std::ptrdiff_t>(pristine.size() / 2));
+  spit(path(file), cut);
+  EXPECT_THROW(load_dataset(dir_), ParseError);
+}
+
+TEST_F(DatasetCorruption, MissingListedFileRejected) {
+  std::filesystem::remove(path("jobs.csv"));
+  EXPECT_THROW(load_dataset(dir_), ParseError);
+}
+
+TEST_F(DatasetCorruption, LegacyTreeWithoutManifestStillLoads) {
+  std::filesystem::remove(path("checksums.csv"));
+  EXPECT_NO_THROW(load_dataset(dir_));
+}
+
+TEST(CsvHardening, ParseErrorsCarryLineAndColumn) {
+  const std::string path = temp_dir("ns_csv_bad.csv");
+  {
+    std::ofstream os(path);
+    os << "a,b\n1,ok\n2,st\"ray\n";
+  }
+  try {
+    read_csv(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":3:"), std::string::npos) << what;
+    EXPECT_NE(what.find("quote"), std::string::npos) << what;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CsvHardening, InconsistentFieldCountRejected) {
+  const std::string path = temp_dir("ns_csv_ragged.csv");
+  {
+    std::ofstream os(path);
+    os << "a,b,c\n1,2,3\n4,5\n";
+  }
+  EXPECT_THROW(read_csv(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvHardening, BlankLinesSkippedAndQuotingRoundTrips) {
+  const std::string path = temp_dir("ns_csv_rt.csv");
+  const std::vector<std::vector<std::string>> rows{
+      {"plain", "has,comma", "has\"quote"},
+      {"multi\nline", "", "crlf\r\nok"}};
+  write_csv(path, {"x", "y", "z"}, rows);
+  {
+    std::ofstream os(path, std::ios::app);
+    os << "\n\n";  // trailing blank lines must not become rows
+  }
+  const auto loaded = read_csv(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[1], rows[0]);
+  EXPECT_EQ(loaded[2][0], "multi\nline");
+  EXPECT_EQ(loaded[2][1], "");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvHardening, UnterminatedQuoteReportsOpeningPosition) {
+  const std::string path = temp_dir("ns_csv_unterminated.csv");
+  {
+    std::ofstream os(path);
+    os << "a,b\n1,\"never closed\n";
+  }
+  try {
+    read_csv(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":2:3"), std::string::npos) << what;
+  }
+  std::filesystem::remove(path);
 }
 
 TEST(DatasetIo, LoadedDatasetDrivesPipeline) {
