@@ -10,6 +10,7 @@
 #include "common/stopwatch.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
+#include "serve/replay.hpp"
 
 int main() {
   using namespace ns;
@@ -58,5 +59,60 @@ int main() {
   std::printf("\nnote: absolute latencies depend on hardware and model size; "
               "the reproduction target is sub-second per-point latency and "
               "high precision/recall on injected faults.\n");
+
+  // ---- Streaming phase: replay the same deployment window through the
+  // online serving engine at full speed and persist machine-readable
+  // metrics for trend tracking.
+  std::printf("\n=== Online serving replay (full speed) ===\n\n");
+  const SimDataset sim = build_sim_dataset(deployment_sim_config(33));
+  NodeSentryConfig serve_fit = bench_nodesentry_config();
+  serve_fit.incremental_updates = false;
+  NodeSentry sentry(serve_fit);
+  sentry.fit(sim.data, sim.train_end);
+  ServeEngine engine(sentry);
+  const ReplayReport replay = serve_replay(engine, sim.data, sim.train_end);
+  const ServeStats& stats = replay.result.stats;
+  std::printf("ingested %zu samples at %.0f samples/s; "
+              "%zu points scored in %zu batches (%.2f chunks/batch)\n",
+              replay.samples_streamed, replay.samples_per_second,
+              stats.points_scored, stats.batches_run,
+              stats.mean_batch_occupancy);
+  std::printf("score latency p50 %.3f ms / p99 %.3f ms; "
+              "match latency p50 %.3f ms / p99 %.3f ms\n",
+              stats.score_latency.p50_ms, stats.score_latency.p99_ms,
+              stats.match_latency.p50_ms, stats.match_latency.p99_ms);
+
+  const char* json_path = "BENCH_serve.json";
+  if (FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"samples_streamed\": %zu,\n",
+                 replay.samples_streamed);
+    std::fprintf(f, "  \"ingest_seconds\": %.6f,\n", replay.ingest_seconds);
+    std::fprintf(f, "  \"ingest_samples_per_second\": %.1f,\n",
+                 replay.samples_per_second);
+    std::fprintf(f, "  \"score_latency_p50_ms\": %.6f,\n",
+                 stats.score_latency.p50_ms);
+    std::fprintf(f, "  \"score_latency_p99_ms\": %.6f,\n",
+                 stats.score_latency.p99_ms);
+    std::fprintf(f, "  \"match_latency_p50_ms\": %.6f,\n",
+                 stats.match_latency.p50_ms);
+    std::fprintf(f, "  \"match_latency_p99_ms\": %.6f,\n",
+                 stats.match_latency.p99_ms);
+    std::fprintf(f, "  \"ingest_latency_p99_ms\": %.6f,\n",
+                 stats.ingest_latency.p99_ms);
+    std::fprintf(f, "  \"batches_run\": %zu,\n", stats.batches_run);
+    std::fprintf(f, "  \"mean_batch_occupancy\": %.4f,\n",
+                 stats.mean_batch_occupancy);
+    std::fprintf(f, "  \"chunks_scored\": %zu,\n", stats.chunks_scored);
+    std::fprintf(f, "  \"points_scored\": %zu,\n", stats.points_scored);
+    std::fprintf(f, "  \"segments_matched\": %zu,\n", stats.segments_matched);
+    std::fprintf(f, "  \"max_queue_depth\": %zu,\n", stats.max_queue_depth);
+    std::fprintf(f, "  \"units_dropped\": %zu\n", stats.units_dropped);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("streaming metrics written to %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path);
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 //       dataset ships ground-truth labels — prints point-adjusted metrics.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -85,8 +86,13 @@ int cmd_run(int argc, char** argv) {
               det.scored_points, det.segments_matched,
               det.segments_unmatched, det.total_seconds);
 
-  // Export flagged intervals per node.
-  const std::string out = arg_value(argc, argv, "--out", "detections.csv");
+  // Export flagged intervals per node (under an output directory by
+  // default, so runs do not litter the working tree).
+  const std::string out =
+      arg_value(argc, argv, "--out", "nodesentry_out/detections.csv");
+  const std::filesystem::path out_parent =
+      std::filesystem::path(out).parent_path();
+  if (!out_parent.empty()) std::filesystem::create_directories(out_parent);
   std::vector<std::vector<std::string>> rows;
   for (std::size_t n = 0; n < dataset.num_nodes(); ++n) {
     const auto& pred = det.detections[n].predictions;

@@ -6,7 +6,8 @@ namespace ns {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc == 0 ? 1 : hc;
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -14,14 +15,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  for (auto& worker : workers_) worker.join();
-}
+ThreadPool::~ThreadPool() { shutdown(ShutdownMode::kDrain); }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
@@ -33,6 +27,54 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   }
   cv_.notify_one();
   return future;
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  // The wrapper catches here so the exception survives the discarded future.
+  submit([this, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_post_error_) first_post_error_ = std::current_exception();
+    }
+  });
+}
+
+void ThreadPool::rethrow_pending() {
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::swap(error, first_post_error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::size_t ThreadPool::shutdown(ShutdownMode mode) {
+  // Discarded tasks are destroyed outside the lock: destroying a
+  // packaged_task fulfills its future with broken_promise, and observers of
+  // that future may themselves touch the pool.
+  std::deque<std::packaged_task<void()>> discarded;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return 0;  // already shut down
+    stopping_ = true;
+    if (mode == ShutdownMode::kDiscard) discarded.swap(queue_);
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  return discarded.size();
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
+}
+
+std::size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 ThreadPool& ThreadPool::global() {
@@ -61,7 +103,7 @@ void parallel_for(std::size_t begin, std::size_t end,
   if (pool == nullptr) pool = &ThreadPool::global();
   const std::size_t n = end - begin;
   const std::size_t workers = pool->size();
-  if (workers <= 1 || n <= grain) {
+  if (workers <= 1 || n <= grain || pool->stopped()) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }

@@ -1,9 +1,14 @@
 // Fixed-size worker pool with a blocking task queue, plus parallel_for.
 //
 // All data-parallel stages (feature extraction over segments, per-cluster
-// training, per-node detection) funnel through parallel_for so thread count
-// is controlled in one place. With hardware_concurrency()==1 the pool
-// degrades to sequential execution with identical results.
+// training, per-node detection, serve-engine batch scoring) funnel through
+// this pool so thread count is controlled in one place. With
+// hardware_concurrency()==1 the pool degrades to sequential execution with
+// identical results.
+//
+// Exception policy: a task exception never terminates the process. submit()
+// returns a future that rethrows the task's exception; post() is
+// fire-and-forget and captures the first exception for rethrow_pending().
 #pragma once
 
 #include <condition_variable>
@@ -22,7 +27,9 @@ namespace ns {
 
 class ThreadPool {
  public:
-  /// Creates a pool with `threads` workers; 0 means hardware_concurrency().
+  /// Creates a pool with `threads` workers; 0 means hardware_concurrency()
+  /// (which itself may report 0 on exotic platforms — that degrades to a
+  /// single worker, never to a thread-less deadlocked pool).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -32,7 +39,36 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueues a task; the returned future rethrows any task exception.
+  /// Throws ns::InvalidArgument after shutdown().
   std::future<void> submit(std::function<void()> task);
+
+  /// Fire-and-forget enqueue: the task's exception (if any) is captured and
+  /// surfaced by the next rethrow_pending() instead of being lost with a
+  /// discarded future.
+  void post(std::function<void()> task);
+
+  /// Rethrows the first exception captured from a post() task since the
+  /// last call (and clears it). No-op when none occurred.
+  void rethrow_pending();
+
+  /// How shutdown() treats work still sitting in the queue.
+  enum class ShutdownMode {
+    kDrain,    ///< workers finish every queued task before exiting
+    kDiscard,  ///< queued tasks are dropped; their futures report
+               ///< std::future_errc::broken_promise
+  };
+
+  /// Stops accepting work and joins all workers. Idempotent; also invoked
+  /// (in kDrain mode) by the destructor. Tasks already running always
+  /// complete; kDiscard only affects tasks that never started.
+  /// Returns the number of tasks discarded (0 under kDrain).
+  std::size_t shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  /// True once shutdown() has begun; submit()/post() will throw.
+  bool stopped() const;
+
+  /// Tasks currently waiting in the queue (excludes running tasks).
+  std::size_t queued() const;
 
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
@@ -42,9 +78,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::exception_ptr first_post_error_;
 };
 
 /// Runs fn(i) for i in [begin, end), distributing contiguous chunks over the

@@ -23,10 +23,15 @@ std::vector<float> NodeSentry::segment_features(
 Tensor NodeSentry::model_tokens(const CoreSegment& segment,
                                 std::size_t max_tokens) const {
   Tensor tokens = segment_tokens(processed_, segment, max_tokens);
-  if (!config_.center_tokens) return tokens;
+  if (config_.center_tokens) center_tokens_leading(tokens, config_.match_period);
+  return tokens;
+}
+
+void center_tokens_leading(Tensor& tokens, std::size_t match_period) {
   const std::size_t rows = tokens.size(0);
   const std::size_t cols = tokens.size(1);
-  const std::size_t lead = std::min(rows, config_.match_period);
+  const std::size_t lead = std::min(rows, match_period);
+  if (lead == 0) return;
   for (std::size_t m = 0; m < cols; ++m) {
     double mu = 0.0;
     for (std::size_t t = 0; t < lead; ++t) mu += tokens.at(t, m);
@@ -34,7 +39,6 @@ Tensor NodeSentry::model_tokens(const CoreSegment& segment,
     for (std::size_t t = 0; t < rows; ++t)
       tokens.at(t, m) -= static_cast<float>(mu);
   }
-  return tokens;
 }
 
 TransformerConfig NodeSentry::model_config() const {
@@ -62,6 +66,10 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
                  config_.quality);
   processed_ = std::move(pre.dataset);
   mask_ = std::move(pre.mask);
+  standardizer_ = std::move(pre.standardizer);
+  aggregation_sources_ = std::move(pre.aggregation_sources);
+  kept_metrics_ = std::move(pre.kept_metrics);
+  raw_metrics_ = raw.num_metrics();
   report.quality = std::move(pre.quality);
   report.preprocess_seconds = sw.elapsed_s();
   report.metrics_after_reduction = processed_.num_metrics();
@@ -223,6 +231,10 @@ void NodeSentry::restore(const MtsDataset& raw, std::size_t train_end,
                  config_.quality);
   processed_ = std::move(pre.dataset);
   mask_ = std::move(pre.mask);
+  standardizer_ = std::move(pre.standardizer);
+  aggregation_sources_ = std::move(pre.aggregation_sources);
+  kept_metrics_ = std::move(pre.kept_metrics);
+  raw_metrics_ = raw.num_metrics();
   library_ = ClusterLibrary{};
   library_.load(checkpoint_directory, model_config(), config_.seed);
   NS_REQUIRE(!library_.empty(), "restore: checkpoint holds no clusters");
@@ -470,6 +482,91 @@ std::vector<float> causal_median_filter(const std::vector<float>& scores,
     out[t] = window[window.size() / 2];
   }
   return out;
+}
+
+std::size_t chunk_point_scores(const ClusterEntry& entry, const Tensor& out,
+                               const Tensor& chunk, const ValidityMask* mask,
+                               std::size_t mask_node, std::size_t mask_begin,
+                               float* out_scores) {
+  const std::size_t len = chunk.size(0);
+  const std::size_t M = chunk.size(1);
+  NS_REQUIRE(out.size(0) == len && out.size(1) == M,
+             "chunk_point_scores: reconstruction shape mismatch");
+  const bool have_mask = mask != nullptr && !mask->empty();
+  std::size_t scored = 0;
+  for (std::size_t t = 0; t < len; ++t) {
+    double err = 0.0;
+    if (!have_mask) {
+      for (std::size_t m = 0; m < M; ++m) {
+        const double d = out.at(t, m) - chunk.at(t, m);
+        err += entry.metric_weights.at(m) * d * d /
+               entry.residual_scale.at(m);
+      }
+      out_scores[t] = static_cast<float>(
+          err / static_cast<double>(M) / entry.baseline_error);
+      ++scored;
+      continue;
+    }
+    // Degraded mode: the weighted error renormalizes over the metrics
+    // alive at this timestamp, so a masked sensor shrinks the evidence
+    // base instead of injecting filler residuals into the score.
+    double weight = 0.0;
+    for (std::size_t m = 0; m < M; ++m) {
+      if (!mask->valid(mask_node, m, mask_begin + t)) continue;
+      const double d = out.at(t, m) - chunk.at(t, m);
+      err += entry.metric_weights.at(m) * d * d /
+             entry.residual_scale.at(m);
+      weight += entry.metric_weights.at(m);
+    }
+    if (weight <= 0.0) continue;  // fully-dead timestamp: score untouched
+    out_scores[t] = static_cast<float>(err / weight / entry.baseline_error);
+    ++scored;
+  }
+  return scored;
+}
+
+std::vector<float> score_reference_levels(
+    const std::vector<float>& scores,
+    std::span<const std::pair<std::size_t, std::size_t>> segment_ranges) {
+  std::vector<float> reference(scores.size(), 1.0f);
+  for (const auto& [begin, end] : segment_ranges) {
+    NS_REQUIRE(begin <= end && end <= scores.size(),
+               "score_reference_levels: bad range");
+    std::vector<float> seg_scores(
+        scores.begin() + static_cast<std::ptrdiff_t>(begin),
+        scores.begin() + static_cast<std::ptrdiff_t>(end));
+    // 25th percentile, not median: a fault can cover a large fraction of a
+    // short (clipped) test segment, and the reference must track the
+    // *normal* level, not the contaminated bulk.
+    const float ref = static_cast<float>(
+        std::max(1e-6, percentile(std::move(seg_scores), 0.25)));
+    for (std::size_t t = begin; t < end; ++t) reference[t] = ref;
+  }
+  return reference;
+}
+
+std::vector<std::uint8_t> detection_flags(const std::vector<float>& scores,
+                                          const std::vector<float>& reference,
+                                          std::size_t begin,
+                                          const NodeSentryConfig& config) {
+  const std::size_t T = scores.size();
+  NS_REQUIRE(reference.size() == T,
+             "detection_flags: reference/scores size mismatch");
+  const std::vector<float> smoothed =
+      causal_median_filter(scores, config.score_median_window);
+  const std::vector<std::uint8_t> base_flags =
+      ksigma_flags(smoothed, begin, T, config.threshold_window,
+                   config.k_sigma, config.sigma_floor_fraction);
+  std::vector<std::uint8_t> flags(T, 0);
+  for (std::size_t t = begin; t < T; ++t) {
+    const double ref = reference[t];
+    const bool above_floor = config.min_score_factor <= 0.0 ||
+                             smoothed[t] >= config.min_score_factor * ref;
+    const bool hard_hit = config.hard_score_factor > 0.0 &&
+                          smoothed[t] >= config.hard_score_factor * ref;
+    if ((base_flags[t] && above_floor) || hard_hit) flags[t] = 1;
+  }
+  return flags;
 }
 
 NodeSentry::DetectReport NodeSentry::detect() {
@@ -741,78 +838,23 @@ NodeSentry::DetectReport NodeSentry::detect() {
       const std::vector<std::size_t> seg_ids(stop - start, segment_id);
       const Var out = entry.model->forward(Var::constant(chunk), offsets,
                                            seg_ids, rng);
-      for (std::size_t t = 0; t < stop - start; ++t) {
-        const std::size_t abs_t = seg.begin + start + t;
-        double err = 0.0;
-        if (!have_mask) {
-          for (std::size_t m = 0; m < M; ++m) {
-            const double d = out.value().at(t, m) - chunk.at(t, m);
-            err += entry.metric_weights.at(m) * d * d /
-                   entry.residual_scale.at(m);
-          }
-          scores[abs_t] = static_cast<float>(
-              err / static_cast<double>(M) / entry.baseline_error);
-          ++report.scored_points;
-          continue;
-        }
-        // Degraded mode: the weighted error renormalizes over the metrics
-        // alive at this timestamp, so a masked sensor shrinks the evidence
-        // base instead of injecting filler residuals into the score.
-        double weight = 0.0;
-        for (std::size_t m = 0; m < M; ++m) {
-          if (!mask_.valid(seg.node, m, abs_t)) continue;
-          const double d = out.value().at(t, m) - chunk.at(t, m);
-          err += entry.metric_weights.at(m) * d * d /
-                 entry.residual_scale.at(m);
-          weight += entry.metric_weights.at(m);
-        }
-        if (weight <= 0.0) continue;  // fully-dead timestamp: score stays 0
-        scores[abs_t] =
-            static_cast<float>(err / weight / entry.baseline_error);
-        ++report.scored_points;
-      }
+      report.scored_points += chunk_point_scores(
+          entry, out.value(), chunk, have_mask ? &mask_ : nullptr, seg.node,
+          seg.begin + start, scores.data() + seg.begin + start);
     }
   }
 
-  // ---- Dynamic k-sigma thresholding per node (§3.5).
-  // Reference level per timestamp: the median score of the *segment* the
-  // point belongs to. A segment whose pattern the matched model fits less
-  // well has a uniformly elevated error; judging each point against its own
-  // segment keeps those segments from drowning in false positives (and
-  // keeps anomalies inside them detectable).
-  std::vector<std::vector<float>> reference(N);
-  for (std::size_t n = 0; n < N; ++n)
-    reference[n].assign(T, 1.0f);
-  for (const CoreSegment& seg : segments) {
-    const std::vector<float>& scores = report.detections[seg.node].scores;
-    std::vector<float> seg_scores(
-        scores.begin() + static_cast<std::ptrdiff_t>(seg.begin),
-        scores.begin() + static_cast<std::ptrdiff_t>(seg.end));
-    // 25th percentile, not median: a fault can cover a large fraction of a
-    // short (clipped) test segment, and the reference must track the
-    // *normal* level, not the contaminated bulk.
-    const float ref = static_cast<float>(
-        std::max(1e-6, percentile(std::move(seg_scores), 0.25)));
-    for (std::size_t t = seg.begin; t < seg.end; ++t)
-      reference[seg.node][t] = ref;
-  }
+  // ---- Dynamic k-sigma thresholding per node (§3.5). The reference level
+  // and flag rules live in score_reference_levels / detection_flags, shared
+  // with the serve engine so both paths threshold identically.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> ranges(N);
+  for (const CoreSegment& seg : segments)
+    ranges[seg.node].emplace_back(seg.begin, seg.end);
   for (std::size_t n = 0; n < N; ++n) {
-    const std::vector<float> smoothed = causal_median_filter(
-        report.detections[n].scores, config_.score_median_window);
-    const std::vector<std::uint8_t> base_flags =
-        ksigma_flags(smoothed, train_end_, T, config_.threshold_window,
-                     config_.k_sigma, config_.sigma_floor_fraction);
-    std::vector<std::uint8_t>& flags = report.detections[n].predictions;
-    flags.assign(T, 0);
-    for (std::size_t t = train_end_; t < T; ++t) {
-      const double ref = reference[n][t];
-      const bool above_floor =
-          config_.min_score_factor <= 0.0 ||
-          smoothed[t] >= config_.min_score_factor * ref;
-      const bool hard_hit = config_.hard_score_factor > 0.0 &&
-                            smoothed[t] >= config_.hard_score_factor * ref;
-      if ((base_flags[t] && above_floor) || hard_hit) flags[t] = 1;
-    }
+    const std::vector<float> reference =
+        score_reference_levels(report.detections[n].scores, ranges[n]);
+    report.detections[n].predictions = detection_flags(
+        report.detections[n].scores, reference, train_end_, config_);
   }
   report.match_seconds = match_seconds;
   report.total_seconds = total.elapsed_s();

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/cluster_library.hpp"
@@ -106,6 +108,18 @@ class NodeSentry {
   const ValidityMask& mask() const { return mask_; }
   std::size_t train_end() const { return train_end_; }
   const NodeSentryConfig& config() const { return config_; }
+  /// Fitted preprocessing artifacts (valid after fit()/restore()). The
+  /// serve engine replays them per sample so streaming preprocessing is
+  /// bit-identical to the batch path on clean data.
+  const Standardizer& standardizer() const { return standardizer_; }
+  const std::vector<std::vector<std::size_t>>& aggregation_sources() const {
+    return aggregation_sources_;
+  }
+  const std::vector<std::size_t>& kept_metrics() const {
+    return kept_metrics_;
+  }
+  /// Number of raw (pre-aggregation) metrics seen at fit time.
+  std::size_t raw_metrics() const { return raw_metrics_; }
   /// Silhouette-optimal k found during fit (before forced_k overrides).
   std::size_t auto_k() const { return auto_k_; }
 
@@ -142,7 +156,46 @@ class NodeSentry {
   ClusterLibrary library_;
   ValidityMask mask_;
   std::size_t auto_k_ = 0;
+  Standardizer standardizer_;
+  std::vector<std::vector<std::size_t>> aggregation_sources_;
+  std::vector<std::size_t> kept_metrics_;
+  std::size_t raw_metrics_ = 0;
 };
+
+/// Centers tokens [rows, M] per metric by the mean of the leading
+/// min(rows, match_period) rows (see NodeSentryConfig::center_tokens).
+/// Shared by the batch model_tokens() path and the serve engine so both
+/// feed the model bit-identical inputs.
+void center_tokens_leading(Tensor& tokens, std::size_t match_period);
+
+/// Per-point scores of one scored chunk: `out` is the model reconstruction
+/// and `chunk` the clean tokens, both [len, M]. Writes out_scores[0..len)
+/// (cells it skips are left untouched) and returns the number of scored
+/// points. With a non-empty mask, the weighted error renormalizes over the
+/// metrics valid at (mask_node, m, mask_begin + t) — exactly the degraded
+/// mode of batch detect(); with mask == nullptr (or empty) the clean
+/// err / M / baseline form is used.
+std::size_t chunk_point_scores(const ClusterEntry& entry, const Tensor& out,
+                               const Tensor& chunk, const ValidityMask* mask,
+                               std::size_t mask_node, std::size_t mask_begin,
+                               float* out_scores);
+
+/// Per-timestamp reference level for thresholding: each [begin, end) range
+/// gets its own 25th-percentile score (floored at 1e-6), 1.0 elsewhere. A
+/// segment whose pattern the matched model fits less well has a uniformly
+/// elevated error; judging each point against its own segment keeps those
+/// segments from drowning in false positives.
+std::vector<float> score_reference_levels(
+    const std::vector<float>& scores,
+    std::span<const std::pair<std::size_t, std::size_t>> segment_ranges);
+
+/// Final §3.5 anomaly flags for one node: causal median smoothing, sliding
+/// k-sigma, then the relative floor / hard-ceiling rules against the
+/// reference level. Flags cover [begin, scores.size()); zeros before.
+std::vector<std::uint8_t> detection_flags(const std::vector<float>& scores,
+                                          const std::vector<float>& reference,
+                                          std::size_t begin,
+                                          const NodeSentryConfig& config);
 
 /// Sliding k-sigma dynamic threshold (§3.5): a point is anomalous when its
 /// score exceeds mean + k * stddev of the previous `window` scores.

@@ -1,10 +1,27 @@
 #include "nn/attention.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
 namespace ns {
+
+Tensor block_diagonal_attention_bias(std::span<const std::size_t> block_lens) {
+  std::size_t total = 0;
+  for (std::size_t len : block_lens) total += len;
+  NS_REQUIRE(total > 0, "attention bias needs at least one token");
+  const float neg_inf = -std::numeric_limits<float>::infinity();
+  Tensor bias(Shape{total, total});
+  for (std::size_t i = 0; i < total * total; ++i) bias.data()[i] = neg_inf;
+  std::size_t base = 0;
+  for (std::size_t len : block_lens) {
+    for (std::size_t i = base; i < base + len; ++i)
+      for (std::size_t j = base; j < base + len; ++j) bias.at(i, j) = 0.0f;
+    base += len;
+  }
+  return bias;
+}
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t dim,
                                                std::size_t heads, Rng& rng)
@@ -25,10 +42,16 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t dim,
   register_child(&out_proj_);
 }
 
-Var MultiHeadSelfAttention::forward(const Var& x) const {
+Var MultiHeadSelfAttention::forward(const Var& x,
+                                    const Tensor* attn_bias) const {
   NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == dim_,
              "attention input must be [T," << dim_ << "], got "
                                            << shape_to_string(x.shape()));
+  const std::size_t tokens = x.shape()[0];
+  if (attn_bias != nullptr)
+    NS_REQUIRE(attn_bias->rank() == 2 && attn_bias->size(0) == tokens &&
+                   attn_bias->size(1) == tokens,
+               "attention bias must be [" << tokens << "," << tokens << "]");
   const float inv_sqrt_dh =
       1.0f / std::sqrt(static_cast<float>(head_dim_));
   std::vector<Var> head_outputs;
@@ -38,6 +61,8 @@ Var MultiHeadSelfAttention::forward(const Var& x) const {
     Var k = vmatmul(x, wk_[h]);                       // [T, dh]
     Var v = vmatmul(x, wv_[h]);                       // [T, dh]
     Var scores = vscale(vmatmul(q, vtranspose(k)), inv_sqrt_dh);  // [T, T]
+    if (attn_bias != nullptr)
+      scores = vadd(scores, Var::constant(attn_bias->clone()));
     Var attn = vsoftmax_rows(scores);
     head_outputs.push_back(vmatmul(attn, v));         // [T, dh]
   }

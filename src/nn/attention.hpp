@@ -3,20 +3,31 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/linear.hpp"
 #include "nn/module.hpp"
+#include "tensor/tensor.hpp"
 
 namespace ns {
+
+/// Additive attention bias restricting attention to consecutive blocks of
+/// the given row counts: 0 within each block, -inf across blocks. Because
+/// softmax subtracts the row max and exp(-inf) == 0 exactly, a forward over
+/// concatenated blocks with this bias is bit-identical to independent
+/// per-block forwards — the basis of the serve engine's cross-node batching.
+Tensor block_diagonal_attention_bias(std::span<const std::size_t> block_lens);
 
 class MultiHeadSelfAttention : public Module {
  public:
   /// dim must be divisible by heads.
   MultiHeadSelfAttention(std::size_t dim, std::size_t heads, Rng& rng);
 
-  /// x: [T, dim] -> [T, dim].
-  Var forward(const Var& x) const;
+  /// x: [T, dim] -> [T, dim]. `attn_bias`, when given, is an additive
+  /// [T, T] term applied to the pre-softmax scores (see
+  /// block_diagonal_attention_bias).
+  Var forward(const Var& x, const Tensor* attn_bias = nullptr) const;
 
   std::size_t heads() const { return heads_; }
 

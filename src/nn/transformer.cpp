@@ -24,11 +24,11 @@ TransformerReconstructor::EncoderLayer::EncoderLayer(
   }
 }
 
-Var TransformerReconstructor::EncoderLayer::forward(const Var& x,
-                                                    float dropout, Rng& rng,
-                                                    bool is_training) const {
+Var TransformerReconstructor::EncoderLayer::forward(
+    const Var& x, float dropout, Rng& rng, bool is_training,
+    const Tensor* attn_bias) const {
   // Pre-LN residual blocks.
-  Var attn_out = attention.forward(ln1.forward(x));
+  Var attn_out = attention.forward(ln1.forward(x), attn_bias);
   attn_out = vdropout(attn_out, dropout, rng, is_training);
   Var h = vadd(x, attn_out);
   Var block_in = ln2.forward(h);
@@ -67,6 +67,28 @@ Var TransformerReconstructor::forward(
   h = posenc_.forward(h, offsets, segment_ids);
   for (const auto& layer : layers_)
     h = layer->forward(h, config_.dropout, rng, training());
+  h = final_norm_.forward(h);
+  return decoder_.forward(h);
+}
+
+Var TransformerReconstructor::forward_blocked(
+    const Var& x, std::span<const std::size_t> offsets,
+    std::span<const std::size_t> segment_ids, Rng& rng,
+    std::span<const std::size_t> block_lens) const {
+  if (block_lens.size() <= 1) return forward(x, offsets, segment_ids, rng);
+  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == config_.input_dim,
+             "transformer input must be [T," << config_.input_dim << "], got "
+                                             << shape_to_string(x.shape()));
+  std::size_t total = 0;
+  for (std::size_t len : block_lens) total += len;
+  NS_REQUIRE(total == x.shape()[0],
+             "block lengths sum to " << total << " but input has "
+                                     << x.shape()[0] << " rows");
+  const Tensor bias = block_diagonal_attention_bias(block_lens);
+  Var h = input_proj_.forward(x);
+  h = posenc_.forward(h, offsets, segment_ids);
+  for (const auto& layer : layers_)
+    h = layer->forward(h, config_.dropout, rng, training(), &bias);
   h = final_norm_.forward(h);
   return decoder_.forward(h);
 }

@@ -46,6 +46,17 @@ class TransformerReconstructor : public Module {
   Var forward(const Var& x, std::span<const std::size_t> offsets,
               std::span<const std::size_t> segment_ids, Rng& rng) const;
 
+  /// Batched variant: x stacks several independent chunks row-wise
+  /// (block_lens[i] rows each, summing to T). Attention is confined to each
+  /// block via block_diagonal_attention_bias, and every other stage is
+  /// per-token, so the result equals running forward() on each chunk
+  /// separately and concatenating — one pass serves many nodes (the serve
+  /// engine's cross-node batching). An empty or single-entry block_lens
+  /// degrades to the plain forward().
+  Var forward_blocked(const Var& x, std::span<const std::size_t> offsets,
+                      std::span<const std::size_t> segment_ids, Rng& rng,
+                      std::span<const std::size_t> block_lens) const;
+
   /// Convenience overload: single segment starting at offset 0.
   Var forward(const Var& x, Rng& rng) const;
 
@@ -61,7 +72,8 @@ class TransformerReconstructor : public Module {
  private:
   struct EncoderLayer : public Module {
     EncoderLayer(const TransformerConfig& config, Rng& rng);
-    Var forward(const Var& x, float dropout, Rng& rng, bool training) const;
+    Var forward(const Var& x, float dropout, Rng& rng, bool training,
+                const Tensor* attn_bias = nullptr) const;
 
     LayerNorm ln1, ln2;
     MultiHeadSelfAttention attention;

@@ -1,0 +1,572 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/mathutil.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "features/extract.hpp"
+
+namespace ns {
+
+ServeEngine::ServeEngine(NodeSentry& sentry, ServeConfig config)
+    : sentry_(&sentry),
+      config_(config),
+      preproc_(sentry.raw_metrics(), sentry.aggregation_sources(),
+               sentry.kept_metrics(), &sentry.standardizer(),
+               sentry.config().standardize_clip),
+      start_t_(sentry.train_end()) {
+  NS_REQUIRE(!sentry.library().empty(), "serve: library has no clusters");
+  num_metrics_ = sentry.processed().num_metrics();
+  masked_mode_ = !sentry.mask().empty();
+  const std::size_t N = sentry.processed().num_nodes();
+  NS_REQUIRE(N > 0, "serve: fitted dataset has no nodes");
+  nodes_.resize(N);
+  for (NodeState& st : nodes_) {
+    st.next_t = start_t_;
+    st.last_good.assign(num_metrics_, 0.0f);
+  }
+  scores_.assign(N, {});
+  ranges_.assign(N, {});
+  // The engine only ever reads the models; eval mode makes every forward
+  // deterministic (dropout short-circuits) and therefore order-independent.
+  for (ClusterEntry& entry : sentry.mutable_library().clusters())
+    if (entry.model) entry.model->set_training(false);
+  cluster_locks_.reserve(sentry.library().size());
+  for (std::size_t c = 0; c < sentry.library().size(); ++c)
+    cluster_locks_.push_back(std::make_unique<std::mutex>());
+  if (config_.threads > 0) {
+    owned_pool_ = std::make_unique<ThreadPool>(config_.threads);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = &ThreadPool::global();
+  }
+  ingest_lat_.reserve(std::min<std::size_t>(config_.latency_reservoir, 4096));
+}
+
+ServeEngine::~ServeEngine() {
+  // Never let in-flight tasks outlive the engine they point into.
+  for (auto& f : inflight_) {
+    try {
+      f.get();
+    } catch (...) {
+      // Destructor must not throw; finalize() is where errors surface.
+    }
+  }
+}
+
+void ServeEngine::ingest(const StreamSample& sample) {
+  NS_REQUIRE(!finalized_, "serve: ingest after finalize");
+  NS_REQUIRE(sample.node < nodes_.size(),
+             "serve: node " << sample.node << " out of range");
+  Stopwatch sw;
+  NodeState& st = nodes_[sample.node];
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.samples_ingested;
+  }
+  if (sample.t < st.next_t) {
+    // Behind the committed frontier: its tick was already emitted (or gap
+    // filled) — replaying it would rewrite scored history.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.samples_dropped_late;
+    return;
+  }
+  if (st.any_seen && sample.t < st.max_seen) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.samples_out_of_order;
+  }
+  st.max_seen = st.any_seen ? std::max(st.max_seen, sample.t) : sample.t;
+  st.any_seen = true;
+  StashedRow stashed;
+  stashed.row = preproc_.process(sample.node, sample.values);
+  stashed.job_id = sample.job_id;
+  st.stash.insert_or_assign(sample.t, std::move(stashed));
+  advance_node(sample.node);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    record_latency(ingest_lat_, lat_cursor_ingest_, sw.elapsed_s());
+  }
+  if (pending_.size() >= config_.pump_watermark) pump();
+}
+
+void ServeEngine::advance_node(std::size_t node) {
+  NodeState& st = nodes_[node];
+  while (true) {
+    auto it = st.stash.find(st.next_t);
+    if (it != st.stash.end()) {
+      const std::int64_t job = it->second.job_id;
+      StreamPreprocessor::Row row = std::move(it->second.row);
+      st.stash.erase(it);
+      st.gap_run = 0;
+      commit_row(node, st.next_t, job, std::move(row));
+      ++st.next_t;
+      continue;
+    }
+    // The frontier tick is missing. Once the newest arrival is more than
+    // reorder_slack ticks ahead, declare it lost and fill a placeholder so
+    // segmentation and scoring keep moving.
+    if (st.max_seen > config_.reorder_slack &&
+        st.next_t < st.max_seen - config_.reorder_slack) {
+      fill_gap_row(node);
+      continue;
+    }
+    break;
+  }
+}
+
+void ServeEngine::fill_gap_row(std::size_t node) {
+  NodeState& st = nodes_[node];
+  ++st.gap_run;
+  StreamPreprocessor::Row filler;
+  filler.values = st.last_good;
+  // Short gaps are trusted like the offline interpolation path; runs past
+  // max_interpolation_gap are masked instead of fabricated (mirrors the
+  // quality guard's policy).
+  const std::uint8_t valid =
+      st.gap_run <= sentry_->config().quality.max_interpolation_gap ? 1 : 0;
+  filler.valid.assign(num_metrics_, valid);
+  std::int64_t job = st.pending_job;
+  if (st.open)
+    job = st.open->job_id;
+  else if (!st.stash.empty())
+    job = st.stash.begin()->second.job_id;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.gap_rows_filled;
+  }
+  commit_row(node, st.next_t, job, std::move(filler));
+  ++st.next_t;
+}
+
+void ServeEngine::commit_row(std::size_t node, std::size_t t,
+                             std::int64_t job_id,
+                             StreamPreprocessor::Row row) {
+  NodeState& st = nodes_[node];
+  st.pending_job = job_id;
+  std::size_t masked = 0;
+  for (std::size_t m = 0; m < num_metrics_; ++m) {
+    if (std::isfinite(row.values[m])) {
+      if (row.valid[m]) st.last_good[m] = row.values[m];
+    } else {
+      // The model cannot eat NaN: substitute the last finite processed
+      // value (0 before any) and leave the cell masked so it carries no
+      // scoring weight.
+      row.values[m] = st.last_good[m];
+      row.valid[m] = 0;
+    }
+    // Counts every cell committed without scoring weight: NaN substitutions
+    // and gap-filled rows past max_interpolation_gap alike.
+    if (!row.valid[m]) ++masked;
+  }
+  if (masked > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.cells_masked += masked;
+  }
+  if (!st.open) {
+    open_segment(node, t, job_id);
+  } else if (job_id != st.open->job_id) {
+    close_segment(node, t);
+    open_segment(node, t, job_id);
+  }
+  st.open->rows.push_back(std::move(row.values));
+  st.open->valid.push_back(std::move(row.valid));
+  if (scores_[node].size() <= t) scores_[node].resize(t + 1, 0.0f);
+  maybe_match(node);
+}
+
+void ServeEngine::open_segment(std::size_t node, std::size_t t,
+                               std::int64_t job_id) {
+  auto seg = std::make_unique<OpenSegment>();
+  seg->begin = t;
+  seg->job_id = job_id;
+  nodes_[node].open = std::move(seg);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.segments_opened;
+}
+
+void ServeEngine::maybe_match(std::size_t node) {
+  OpenSegment& seg = *nodes_[node].open;
+  if (seg.insufficient) return;
+  if (!seg.matched) {
+    if (seg.rows.size() < sentry_->config().match_period) return;
+    match_segment(node);
+    if (!seg.matched) return;  // gated as insufficient
+  }
+  emit_ready_chunks(node, /*closing=*/false, seg.rows.size());
+}
+
+void ServeEngine::match_segment(std::size_t node) {
+  Stopwatch sw;
+  OpenSegment& seg = *nodes_[node].open;
+  const NodeSentryConfig& cfg = sentry_->config();
+  const std::size_t win = std::min(seg.rows.size(), cfg.match_period);
+  const std::size_t M = num_metrics_;
+  if (masked_mode_) {
+    // Streaming counterpart of detect()'s data-quality gate, evaluated on
+    // the matching window (the future of the segment is not visible yet).
+    std::size_t valid_cells = 0;
+    for (std::size_t r = 0; r < win; ++r)
+      for (std::size_t m = 0; m < M; ++m) valid_cells += seg.valid[r][m];
+    const double vf = static_cast<double>(valid_cells) /
+                      static_cast<double>(win * M);
+    if (vf < cfg.quality.min_segment_valid_fraction) {
+      seg.insufficient = true;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.segments_insufficient;
+      record_latency(match_lat_, lat_cursor_match_, sw.elapsed_s());
+      return;
+    }
+  }
+  std::vector<std::vector<float>> values(M, std::vector<float>(win));
+  for (std::size_t r = 0; r < win; ++r)
+    for (std::size_t m = 0; m < M; ++m) values[m][r] = seg.rows[r][m];
+  const std::vector<float> raw_feats = extract_segment_features(values);
+  std::vector<std::uint8_t> feature_valid;
+  if (masked_mode_) {
+    const std::size_t fpm = features_per_metric();
+    for (std::size_t m = 0; m < M; ++m) {
+      std::size_t ok = 0;
+      for (std::size_t r = 0; r < win; ++r) ok += seg.valid[r][m];
+      const bool alive = static_cast<double>(ok) / static_cast<double>(win) >=
+                         cfg.quality.min_metric_valid_fraction;
+      if (!alive && feature_valid.empty()) feature_valid.assign(M * fpm, 1);
+      if (!alive)
+        std::fill(
+            feature_valid.begin() + static_cast<std::ptrdiff_t>(m * fpm),
+            feature_valid.begin() + static_cast<std::ptrdiff_t>((m + 1) * fpm),
+            static_cast<std::uint8_t>(0));
+    }
+  }
+  const ClusterLibrary& library = sentry_->library();
+  const std::vector<float> feats =
+      feature_valid.empty() ? library.scale(raw_feats)
+                            : library.scale_masked(raw_feats, feature_valid);
+  const MatchResult match =
+      library.match(feats, cfg.match_threshold_factor);
+  // Unmatched patterns fall back to the nearest cluster — the serve engine
+  // runs without incremental updates (spawning/fine-tuning models belongs
+  // to an offline maintenance pass), matching batch detect() with
+  // config.incremental_updates off.
+  seg.cluster = match.cluster;
+  seg.segment_id = library.nearest_member(match.cluster, feats);
+  seg.center_mu.assign(M, 0.0f);
+  if (cfg.center_tokens) {
+    // Same arithmetic as center_tokens_leading: double accumulation over
+    // the leading window, subtracted as float.
+    for (std::size_t m = 0; m < M; ++m) {
+      double mu = 0.0;
+      for (std::size_t r = 0; r < win; ++r) mu += seg.rows[r][m];
+      mu /= static_cast<double>(win);
+      seg.center_mu[m] = static_cast<float>(mu);
+    }
+  }
+  seg.matched = true;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (match.matched)
+    ++stats_.segments_matched;
+  else
+    ++stats_.segments_unmatched;
+  record_latency(match_lat_, lat_cursor_match_, sw.elapsed_s());
+}
+
+void ServeEngine::emit_ready_chunks(std::size_t node, bool closing,
+                                    std::size_t len) {
+  OpenSegment& seg = *nodes_[node].open;
+  if (!seg.matched || seg.insufficient) return;
+  const std::size_t chunk = sentry_->config().detect_chunk;
+  const std::size_t M = num_metrics_;
+  while (seg.next_chunk_start < len) {
+    const std::size_t start = seg.next_chunk_start;
+    const std::size_t full_stop = start + chunk;
+    std::size_t stop;
+    if (closing) {
+      stop = std::min(len, full_stop);
+      if (stop - start < 2) break;  // mirrors batch detect()'s tail break
+    } else {
+      if (full_stop > len) break;  // wait until a full chunk has settled
+      stop = full_stop;
+    }
+    PendingUnit unit;
+    unit.cluster = seg.cluster;
+    unit.node = node;
+    unit.abs_begin = seg.begin + start;
+    unit.offset = start;
+    unit.segment_id = seg.segment_id;
+    unit.tokens = Tensor(Shape{stop - start, M});
+    for (std::size_t r = start; r < stop; ++r)
+      for (std::size_t m = 0; m < M; ++m)
+        unit.tokens.at(r - start, m) = seg.rows[r][m] - seg.center_mu[m];
+    if (masked_mode_) {
+      unit.valid.resize((stop - start) * M);
+      for (std::size_t r = start; r < stop; ++r)
+        for (std::size_t m = 0; m < M; ++m)
+          unit.valid[(r - start) * M + m] = seg.valid[r][m];
+    }
+    seg.next_chunk_start = stop;
+    enqueue_unit(std::move(unit));
+  }
+}
+
+void ServeEngine::enqueue_unit(PendingUnit unit) {
+  pending_.push_back(std::move(unit));
+  std::size_t dropped = 0;
+  while (config_.max_pending_units > 0 &&
+         pending_.size() > config_.max_pending_units) {
+    // Drop-oldest: stale scores are worth less than stalling ingest, and
+    // unscored points simply keep score 0 (like insufficient-data points).
+    pending_.pop_front();
+    ++dropped;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.units_dropped += dropped;
+  stats_.queue_depth = pending_.size();
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, pending_.size());
+}
+
+std::size_t ServeEngine::pump() {
+  if (pending_.empty()) return 0;
+  std::map<std::size_t, std::vector<PendingUnit>> by_cluster;
+  while (!pending_.empty()) {
+    PendingUnit unit = std::move(pending_.front());
+    pending_.pop_front();
+    by_cluster[unit.cluster].push_back(std::move(unit));
+  }
+  std::size_t dispatched = 0;
+  for (auto& [cluster, units] : by_cluster) {
+    dispatched += units.size();
+    inflight_.push_back(pool_->submit(
+        [this, cluster, batch = std::move(units)]() mutable {
+          score_cluster_units(cluster, std::move(batch));
+        }));
+  }
+  // Reap finished futures so inflight_ stays bounded on long streams; a
+  // task exception surfaces here (or in finalize()).
+  std::erase_if(inflight_, [](std::future<void>& f) {
+    if (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+      return false;
+    f.get();
+    return true;
+  });
+  drain_scored();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.queue_depth = 0;
+  }
+  return dispatched;
+}
+
+void ServeEngine::score_cluster_units(std::size_t cluster,
+                                      std::vector<PendingUnit> units) {
+  const ClusterEntry& entry = sentry_->library().clusters()[cluster];
+  std::lock_guard<std::mutex> cluster_lock(*cluster_locks_[cluster]);
+  Rng rng(0);  // eval-mode forwards are deterministic and never draw
+  const std::size_t M = num_metrics_;
+  std::size_t i = 0;
+  while (i < units.size()) {
+    // Pack units into one batched forward up to max_batch_tokens rows. A
+    // single oversized unit still goes alone (it cannot be split: its
+    // attention window is the chunk).
+    std::size_t j = i + 1;
+    std::size_t rows = units[i].tokens.size(0);
+    if (config_.max_batch_tokens > 0) {
+      while (j < units.size() &&
+             rows + units[j].tokens.size(0) <= config_.max_batch_tokens) {
+        rows += units[j].tokens.size(0);
+        ++j;
+      }
+    }
+    Stopwatch sw;
+    Tensor x(Shape{rows, M});
+    std::vector<std::size_t> offsets;
+    std::vector<std::size_t> seg_ids;
+    std::vector<std::size_t> block_lens;
+    offsets.reserve(rows);
+    seg_ids.reserve(rows);
+    block_lens.reserve(j - i);
+    std::size_t base = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      const PendingUnit& unit = units[k];
+      const std::size_t len = unit.tokens.size(0);
+      for (std::size_t r = 0; r < len; ++r) {
+        for (std::size_t m = 0; m < M; ++m)
+          x.at(base + r, m) = unit.tokens.at(r, m);
+        offsets.push_back(unit.offset + r);
+        seg_ids.push_back(unit.segment_id);
+      }
+      block_lens.push_back(len);
+      base += len;
+    }
+    const Var out = entry.model->forward_blocked(Var::constant(std::move(x)),
+                                                 offsets, seg_ids, rng,
+                                                 block_lens);
+    std::vector<ScoredUnit> results;
+    results.reserve(j - i);
+    std::size_t points = 0;
+    base = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      const PendingUnit& unit = units[k];
+      const std::size_t len = unit.tokens.size(0);
+      const Tensor rec = slice_rows(out.value(), base, base + len);
+      base += len;
+      ScoredUnit scored;
+      scored.node = unit.node;
+      scored.abs_begin = unit.abs_begin;
+      scored.scores.assign(len, 0.0f);
+      ValidityMask unit_mask;
+      if (masked_mode_) {
+        unit_mask = ValidityMask(1, M, len, 1);
+        for (std::size_t r = 0; r < len; ++r)
+          for (std::size_t m = 0; m < M; ++m)
+            unit_mask.at(0, m, r) = unit.valid[r * M + m];
+      }
+      scored.scored_points = chunk_point_scores(
+          entry, rec, unit.tokens, masked_mode_ ? &unit_mask : nullptr, 0, 0,
+          scored.scores.data());
+      points += scored.scored_points;
+      results.push_back(std::move(scored));
+    }
+    const double seconds = sw.elapsed_s();
+    {
+      std::lock_guard<std::mutex> lock(results_mutex_);
+      for (ScoredUnit& scored : results)
+        scored_ready_.push_back(std::move(scored));
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches_run;
+      units_batched_total_ += j - i;
+      stats_.chunks_scored += j - i;
+      stats_.points_scored += points;
+      record_latency(score_lat_, lat_cursor_score_, seconds);
+    }
+    i = j;
+  }
+}
+
+void ServeEngine::drain_scored() {
+  std::vector<ScoredUnit> ready;
+  {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    ready.swap(scored_ready_);
+  }
+  for (const ScoredUnit& unit : ready) {
+    std::vector<float>& timeline = scores_[unit.node];
+    const std::size_t end = unit.abs_begin + unit.scores.size();
+    if (timeline.size() < end) timeline.resize(end, 0.0f);
+    // Units cover disjoint [abs_begin, end) ranges; unscored cells inside a
+    // unit are 0 in its buffer, matching batch detect() leaving them 0.
+    std::copy(unit.scores.begin(), unit.scores.end(),
+              timeline.begin() + static_cast<std::ptrdiff_t>(unit.abs_begin));
+  }
+}
+
+void ServeEngine::close_segment(std::size_t node, std::size_t end) {
+  NodeState& st = nodes_[node];
+  OpenSegment& seg = *st.open;
+  const std::size_t len = seg.rows.size();
+  NS_CHECK(seg.begin + len == end, "serve: segment length mismatch");
+  if (len >= 2) {
+    if (!seg.matched && !seg.insufficient) match_segment(node);
+    // Insufficient segments still define a reference range (their scores
+    // stay 0), exactly like batch detect()'s outcome handling.
+    ranges_[node].emplace_back(seg.begin, seg.begin + len);
+    if (seg.matched && !seg.insufficient)
+      emit_ready_chunks(node, /*closing=*/true, len);
+  } else {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.segments_too_short;
+  }
+  st.open.reset();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.segments_closed;
+}
+
+ServeResult ServeEngine::finalize() {
+  NS_REQUIRE(!finalized_, "serve: finalize called twice");
+  finalized_ = true;
+  // Stream is over: everything stashed is as settled as it will ever get.
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    NodeState& st = nodes_[n];
+    while (!st.stash.empty()) {
+      const std::size_t next_stashed = st.stash.begin()->first;
+      while (st.next_t < next_stashed) fill_gap_row(n);
+      auto it = st.stash.begin();
+      const std::int64_t job = it->second.job_id;
+      StreamPreprocessor::Row row = std::move(it->second.row);
+      st.stash.erase(it);
+      st.gap_run = 0;
+      commit_row(n, st.next_t, job, std::move(row));
+      ++st.next_t;
+    }
+    if (st.open) close_segment(n, st.next_t);
+  }
+  pump();
+  for (auto& f : inflight_) f.get();
+  inflight_.clear();
+  drain_scored();
+
+  std::size_t timeline_end = start_t_;
+  for (const std::vector<float>& timeline : scores_)
+    timeline_end = std::max(timeline_end, timeline.size());
+
+  ServeResult result;
+  result.timeline_end = timeline_end;
+  result.detections.assign(nodes_.size(), NodeDetection{});
+  const NodeSentryConfig& cfg = sentry_->config();
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    NodeDetection& det = result.detections[n];
+    det.scores = std::move(scores_[n]);
+    det.scores.resize(timeline_end, 0.0f);
+    const std::vector<float> reference =
+        score_reference_levels(det.scores, ranges_[n]);
+    det.predictions = detection_flags(det.scores, reference, start_t_, cfg);
+  }
+  result.stats = stats();
+  return result;
+}
+
+ServeStats ServeEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ServeStats snapshot = stats_;
+  snapshot.queue_depth = pending_.size();
+  snapshot.mean_batch_occupancy =
+      snapshot.batches_run > 0
+          ? static_cast<double>(units_batched_total_) /
+                static_cast<double>(snapshot.batches_run)
+          : 0.0;
+  snapshot.ingest_latency = summarize_latency(ingest_lat_);
+  snapshot.match_latency = summarize_latency(match_lat_);
+  snapshot.score_latency = summarize_latency(score_lat_);
+  return snapshot;
+}
+
+void ServeEngine::record_latency(std::vector<float>& reservoir,
+                                 std::size_t& cursor, double seconds) {
+  const float sample = static_cast<float>(seconds);
+  if (reservoir.size() < config_.latency_reservoir) {
+    reservoir.push_back(sample);
+    return;
+  }
+  // Bounded memory on endless streams: overwrite round-robin so the
+  // reservoir tracks recent behaviour.
+  reservoir[cursor] = sample;
+  cursor = (cursor + 1) % reservoir.size();
+}
+
+LatencySummary ServeEngine::summarize_latency(
+    const std::vector<float>& samples) {
+  LatencySummary summary;
+  summary.count = samples.size();
+  if (samples.empty()) return summary;
+  summary.p50_ms = 1e3 * percentile(samples, 0.50);
+  summary.p90_ms = 1e3 * percentile(samples, 0.90);
+  summary.p99_ms = 1e3 * percentile(samples, 0.99);
+  summary.max_ms =
+      1e3 * *std::max_element(samples.begin(), samples.end());
+  return summary;
+}
+
+}  // namespace ns

@@ -1,0 +1,232 @@
+// Online serving engine: the long-running counterpart of NodeSentry::detect.
+//
+// Samples arrive one (node, tick) at a time (ingest), are preprocessed with
+// the artifacts retained from fit()/restore(), buffered per node with
+// out-of-order tolerance, and segmented on job transitions. Once a
+// segment's matching window settles, it is matched against the cluster
+// library (§3.5) and its token chunks are queued as scoring units. pump()
+// packs queued units *across nodes* by matched cluster and submits one
+// thread-pool task per cluster; each task runs batched forwards
+// (TransformerReconstructor::forward_blocked, block-diagonal attention), so
+// one model pass serves many nodes while staying bit-identical to scoring
+// each chunk alone. finalize() closes open segments, drains the pool, and
+// applies the shared thresholding path (score_reference_levels /
+// detection_flags) — on clean data the result reproduces batch detect()
+// (with incremental updates off) within float round-off (in practice:
+// bit-identical).
+//
+// Threading contract: ingest/pump/finalize are called from one thread (the
+// collector loop); pool tasks only touch the completed-unit queue and the
+// stats block, each behind its own mutex. A cluster's model never runs two
+// forwards concurrently (MoE layers keep mutable routing state), enforced
+// by a per-cluster mutex; parallelism comes from scoring different
+// clusters' batches at the same time. Ingest never blocks on scoring: the
+// pending-unit queue is bounded and drops its *oldest* unit past the cap
+// (counted in stats.units_dropped) rather than stalling the collector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/nodesentry.hpp"
+#include "ts/stream.hpp"
+
+namespace ns {
+
+class ThreadPool;
+
+struct ServeConfig {
+  /// Worker threads for batched scoring; 0 = share the process-global pool.
+  std::size_t threads = 0;
+  /// How many ticks a sample may lag behind the newest sample of its node
+  /// before the gap is filled with hold-last placeholders and later
+  /// arrivals for those ticks are dropped as too late.
+  std::size_t reorder_slack = 8;
+  /// Bound on queued scoring units; past it the oldest unit is dropped.
+  std::size_t max_pending_units = 1024;
+  /// Max total rows per batched forward (0 = one chunk per forward, i.e.
+  /// sequential scoring — useful to cross-check the batched path).
+  std::size_t max_batch_tokens = 384;
+  /// ingest() auto-pumps once this many units are pending.
+  std::size_t pump_watermark = 64;
+  /// Cap on retained per-stage latency samples.
+  std::size_t latency_reservoir = 4096;
+};
+
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct ServeStats {
+  std::size_t samples_ingested = 0;
+  std::size_t samples_out_of_order = 0;  ///< arrived behind a newer sample
+  std::size_t samples_dropped_late = 0;  ///< behind the gap-fill watermark
+  std::size_t gap_rows_filled = 0;       ///< hold-last placeholder rows
+  std::size_t cells_masked = 0;          ///< non-finite cells made filler
+  std::size_t segments_opened = 0;
+  std::size_t segments_closed = 0;
+  std::size_t segments_matched = 0;
+  std::size_t segments_unmatched = 0;    ///< fell back to nearest cluster
+  std::size_t segments_insufficient = 0; ///< failed the quality gate
+  std::size_t segments_too_short = 0;    ///< < 2 rows, never scored
+  std::size_t chunks_scored = 0;
+  std::size_t points_scored = 0;
+  std::size_t batches_run = 0;
+  double mean_batch_occupancy = 0.0;     ///< mean chunks per batched forward
+  std::size_t units_dropped = 0;         ///< backpressure drops
+  std::size_t queue_depth = 0;           ///< pending units right now
+  std::size_t max_queue_depth = 0;
+  LatencySummary ingest_latency;
+  LatencySummary match_latency;
+  LatencySummary score_latency;          ///< per batched forward
+};
+
+struct ServeResult {
+  /// Per node, aligned to [0, timeline_end) like batch detect() (zeros
+  /// before the serving start).
+  std::vector<NodeDetection> detections;
+  std::size_t timeline_end = 0;
+  ServeStats stats;
+};
+
+class ServeEngine {
+ public:
+  /// The engine serves the library `sentry` holds after fit()/restore();
+  /// `sentry` must outlive the engine, and the engine puts every cluster
+  /// model into eval mode. The serving timeline starts at
+  /// sentry.train_end().
+  explicit ServeEngine(NodeSentry& sentry, ServeConfig config = {});
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Feeds one raw sample. Never blocks on scoring work; out-of-order
+  /// samples within reorder_slack ticks are reordered transparently.
+  void ingest(const StreamSample& sample);
+
+  /// Dispatches pending scoring units to the pool (grouped by cluster,
+  /// packed into batched forwards). Returns the number of units dispatched.
+  std::size_t pump();
+
+  /// Closes all open segments, drains in-flight work, and computes final
+  /// scores + thresholded predictions. Call once, after the stream ends.
+  ServeResult finalize();
+
+  /// Snapshot of the running counters (callable any time before finalize).
+  ServeStats stats() const;
+
+  const ServeConfig& config() const { return config_; }
+  std::size_t start_t() const { return start_t_; }
+
+ private:
+  struct OpenSegment {
+    std::size_t begin = 0;  ///< absolute tick of row 0
+    std::int64_t job_id = 0;
+    std::vector<std::vector<float>> rows;          ///< [len][M] processed
+    std::vector<std::vector<std::uint8_t>> valid;  ///< parallel validity
+    bool matched = false;
+    bool insufficient = false;
+    std::size_t cluster = 0;
+    std::size_t segment_id = 0;           ///< positional segment id
+    std::vector<float> center_mu;         ///< [M] leading-window mean
+    std::size_t next_chunk_start = 0;     ///< first row not yet queued
+  };
+
+  struct StashedRow {
+    StreamPreprocessor::Row row;
+    std::int64_t job_id = 0;
+  };
+
+  struct NodeState {
+    std::size_t next_t = 0;    ///< next tick to commit (contiguous frontier)
+    std::size_t max_seen = 0;  ///< newest tick observed for this node
+    bool any_seen = false;
+    std::size_t gap_run = 0;   ///< current consecutive filled-gap length
+    std::map<std::size_t, StashedRow> stash;  ///< out-of-order arrivals
+    std::unique_ptr<OpenSegment> open;
+    std::int64_t pending_job = 0;  ///< job id of the newest committed row
+    std::vector<float> last_good;  ///< per-metric last finite processed value
+  };
+
+  /// One queued scoring unit: a detect_chunk-sized slice of one segment.
+  struct PendingUnit {
+    std::size_t cluster = 0;
+    std::size_t node = 0;
+    std::size_t abs_begin = 0;  ///< absolute tick of tokens row 0
+    std::size_t offset = 0;     ///< row offset within the segment
+    std::size_t segment_id = 0;
+    Tensor tokens;              ///< [len, M], centered
+    std::vector<std::uint8_t> valid;  ///< [len * M]; empty = all valid
+  };
+
+  /// A scored unit ready to fold into the per-node score timeline.
+  struct ScoredUnit {
+    std::size_t node = 0;
+    std::size_t abs_begin = 0;
+    std::vector<float> scores;
+    std::size_t scored_points = 0;
+  };
+
+  void commit_row(std::size_t node, std::size_t t, std::int64_t job_id,
+                  StreamPreprocessor::Row row);
+  void advance_node(std::size_t node);
+  void fill_gap_row(std::size_t node);
+  void open_segment(std::size_t node, std::size_t t, std::int64_t job_id);
+  void close_segment(std::size_t node, std::size_t end);
+  void maybe_match(std::size_t node);
+  void match_segment(std::size_t node);
+  void emit_ready_chunks(std::size_t node, bool closing, std::size_t len);
+  void enqueue_unit(PendingUnit unit);
+  void score_cluster_units(std::size_t cluster,
+                           std::vector<PendingUnit> units);
+  void drain_scored();
+  void record_latency(std::vector<float>& reservoir, std::size_t& cursor,
+                      double seconds);
+  static LatencySummary summarize_latency(const std::vector<float>& samples);
+
+  NodeSentry* sentry_;
+  ServeConfig config_;
+  StreamPreprocessor preproc_;
+  std::size_t start_t_ = 0;
+  std::size_t num_metrics_ = 0;
+  bool masked_mode_ = false;
+  bool finalized_ = false;
+
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+  /// One lock per cluster: a cluster's MoE layers keep mutable routing
+  /// state across forward(), so its batches must run serialized.
+  std::vector<std::unique_ptr<std::mutex>> cluster_locks_;
+
+  std::vector<NodeState> nodes_;
+  std::vector<std::vector<float>> scores_;  ///< [node][t], grows with ingest
+  /// Per node: closed segment ranges [begin, end) with >= 2 rows, for the
+  /// shared reference-level computation.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> ranges_;
+
+  std::deque<PendingUnit> pending_;
+  std::vector<std::future<void>> inflight_;
+
+  mutable std::mutex results_mutex_;
+  std::vector<ScoredUnit> scored_ready_;
+
+  mutable std::mutex stats_mutex_;
+  ServeStats stats_;
+  std::vector<float> ingest_lat_, match_lat_, score_lat_;
+  std::size_t lat_cursor_ingest_ = 0, lat_cursor_match_ = 0,
+              lat_cursor_score_ = 0;
+  std::size_t units_batched_total_ = 0;  ///< for mean occupancy accounting
+};
+
+}  // namespace ns

@@ -1,0 +1,50 @@
+// serve_replay: streams a materialized dataset through a ServeEngine the
+// way a collector would deliver it — per-sample, optionally jittered and
+// paced in (accelerated) real time — and finalizes the engine. This is the
+// equivalence harness: on clean data the result must reproduce batch
+// detect() (incremental updates off) within float round-off.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "sim/stream.hpp"
+
+namespace ns {
+
+struct ReplayOptions {
+  /// 0 = replay as fast as possible; otherwise pace delivery at
+  /// speedup x real time (one tick every interval_seconds / speedup).
+  double speedup = 0.0;
+  /// Explicit engine.pump() every this many samples (0 = rely purely on
+  /// the engine's pump watermark).
+  std::size_t pump_every = 256;
+  ReplayJitterConfig jitter;
+};
+
+struct ReplayReport {
+  ServeResult result;
+  std::size_t samples_streamed = 0;
+  double ingest_seconds = 0.0;       ///< wall time of the streaming loop
+  double samples_per_second = 0.0;
+};
+
+/// Streams every sample of `raw` from begin_t (normally the fitted
+/// train_end) through `engine`, pumps periodically, and finalizes.
+ReplayReport serve_replay(ServeEngine& engine, const MtsDataset& raw,
+                          std::size_t begin_t,
+                          const ReplayOptions& options = {});
+
+/// Max |score difference| and prediction mismatch count between two
+/// detection sets (e.g. serve replay vs batch detect). Shorter timelines
+/// are treated as zero-padded.
+struct DetectionDelta {
+  double max_abs_score_delta = 0.0;
+  std::size_t prediction_mismatches = 0;
+};
+
+DetectionDelta compare_detections(const std::vector<NodeDetection>& a,
+                                  const std::vector<NodeDetection>& b);
+
+}  // namespace ns

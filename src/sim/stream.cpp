@@ -1,0 +1,60 @@
+#include "sim/stream.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ns {
+
+TelemetryReplaySource::TelemetryReplaySource(const MtsDataset& raw,
+                                             std::size_t begin_t,
+                                             const ReplayJitterConfig& jitter)
+    : raw_(&raw) {
+  const std::size_t T = raw.num_timestamps();
+  NS_REQUIRE(begin_t <= T, "replay: begin_t out of range");
+  const std::size_t N = raw.num_nodes();
+  order_.reserve((T - begin_t) * N);
+  Rng rng(jitter.seed ^ 0x5EEDF00Dull);
+  for (std::size_t t = begin_t; t < T; ++t)
+    for (std::size_t n = 0; n < N; ++n) {
+      std::size_t release = t;
+      if (jitter.max_delay > 0 && jitter.late_probability > 0.0 &&
+          rng.bernoulli(jitter.late_probability))
+        release += static_cast<std::size_t>(rng.uniform_int(
+            1, static_cast<std::int64_t>(jitter.max_delay)));
+      order_.push_back(Event{release, n, t});
+    }
+  // Stable sort keeps the tick-major, node-minor order among samples that
+  // share a release tick, so jitter-free replay is the natural collector
+  // order.
+  std::stable_sort(order_.begin(), order_.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.release < b.release;
+                   });
+}
+
+bool TelemetryReplaySource::next(StreamSample& sample) {
+  if (cursor_ >= order_.size()) return false;
+  const Event& ev = order_[cursor_++];
+  sample.node = ev.node;
+  sample.t = ev.t;
+  // Job occupying the node at t (spans are sorted and non-overlapping).
+  sample.job_id = -1;
+  const auto& spans = raw_->jobs[ev.node];
+  auto it = std::upper_bound(spans.begin(), spans.end(), ev.t,
+                             [](std::size_t t, const JobSpan& s) {
+                               return t < s.begin;
+                             });
+  if (it != spans.begin()) {
+    const JobSpan& span = *std::prev(it);
+    if (ev.t >= span.begin && ev.t < span.end) sample.job_id = span.job_id;
+  }
+  const std::size_t M = raw_->num_metrics();
+  sample.values.resize(M);
+  for (std::size_t m = 0; m < M; ++m)
+    sample.values[m] = raw_->nodes[ev.node].values[m][ev.t];
+  return true;
+}
+
+}  // namespace ns

@@ -1,0 +1,51 @@
+// Telemetry replay: turns a materialized MtsDataset into the per-sample
+// stream a production collector would deliver, optionally with seeded
+// reordering jitter (late samples) to exercise the serve engine's
+// out-of-order tolerance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ts/mts.hpp"
+#include "ts/stream.hpp"
+
+namespace ns {
+
+/// Seeded delivery jitter: each sample is independently delayed by up to
+/// max_delay ticks with probability late_probability; delivery order is the
+/// stable sort by effective release tick, so an un-delayed sample never
+/// overtakes an earlier one.
+struct ReplayJitterConfig {
+  double late_probability = 0.0;
+  std::size_t max_delay = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Streams every (node, tick) sample of `raw` from begin_t onward. The
+/// referenced dataset must outlive the source.
+class TelemetryReplaySource {
+ public:
+  TelemetryReplaySource(const MtsDataset& raw, std::size_t begin_t,
+                        const ReplayJitterConfig& jitter = {});
+
+  /// Fills the next sample in delivery order; false when exhausted.
+  bool next(StreamSample& sample);
+
+  std::size_t total() const { return order_.size(); }
+  std::size_t emitted() const { return cursor_; }
+
+ private:
+  struct Event {
+    std::size_t release;  ///< effective delivery tick (t + jitter delay)
+    std::size_t node;
+    std::size_t t;
+  };
+
+  const MtsDataset* raw_;
+  std::vector<Event> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace ns

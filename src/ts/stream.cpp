@@ -1,0 +1,84 @@
+#include "ts/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+StreamPreprocessor::StreamPreprocessor(
+    std::size_t raw_metrics,
+    std::vector<std::vector<std::size_t>> aggregation_sources,
+    std::vector<std::size_t> kept_metrics, const Standardizer* standardizer,
+    float clip)
+    : raw_metrics_(raw_metrics),
+      aggregation_sources_(std::move(aggregation_sources)),
+      kept_metrics_(std::move(kept_metrics)),
+      standardizer_(standardizer),
+      clip_(clip) {
+  NS_REQUIRE(standardizer_ != nullptr && standardizer_->fitted(),
+             "StreamPreprocessor needs a fitted standardizer");
+  NS_REQUIRE(!aggregation_sources_.empty(),
+             "StreamPreprocessor: no aggregation groups");
+  for (std::size_t kept : kept_metrics_)
+    NS_REQUIRE(kept < aggregation_sources_.size(),
+               "StreamPreprocessor: kept metric " << kept
+                                                  << " out of range");
+  for (const auto& group : aggregation_sources_) {
+    NS_REQUIRE(!group.empty(), "StreamPreprocessor: empty semantic group");
+    for (std::size_t src : group)
+      NS_REQUIRE(src < raw_metrics_,
+                 "StreamPreprocessor: source metric " << src
+                                                      << " out of range");
+  }
+}
+
+StreamPreprocessor::Row StreamPreprocessor::process(
+    std::size_t node, std::span<const float> raw) const {
+  NS_REQUIRE(raw.size() == raw_metrics_,
+             "StreamPreprocessor: sample has " << raw.size()
+                                               << " metrics, expected "
+                                               << raw_metrics_);
+  const std::size_t M = kept_metrics_.size();
+  Row row;
+  row.values.resize(M);
+  row.valid.assign(M, 1);
+  for (std::size_t m = 0; m < M; ++m) {
+    const auto& group = aggregation_sources_[kept_metrics_[m]];
+    // Mirror of aggregate_semantics' masked branch, with "valid" meaning
+    // finite: the all-valid case is sum * 1/size in source order (bit-equal
+    // to the batch path on clean data), partial validity averages the
+    // finite sources only, and a fully-dead group yields NaN.
+    const float inv = 1.0f / static_cast<float>(group.size());
+    float valid_sum = 0.0f, all_sum = 0.0f;
+    std::size_t valid_count = 0;
+    for (std::size_t src : group) {
+      const float v = raw[src];
+      all_sum += v;
+      if (std::isfinite(v)) {
+        valid_sum += v;
+        ++valid_count;
+      }
+    }
+    float x;
+    if (valid_count == group.size()) {
+      x = all_sum * inv;
+    } else if (valid_count > 0) {
+      x = valid_sum / static_cast<float>(valid_count);
+    } else {
+      row.values[m] = std::numeric_limits<float>::quiet_NaN();
+      row.valid[m] = 0;
+      continue;
+    }
+    const float mu = static_cast<float>(standardizer_->mean(node, m));
+    const float inv_sigma =
+        static_cast<float>(1.0 / standardizer_->stddev(node, m));
+    x = (x - mu) * inv_sigma;
+    row.values[m] = std::clamp(x, -clip_, clip_);
+  }
+  return row;
+}
+
+}  // namespace ns

@@ -1,0 +1,64 @@
+// Streaming telemetry preprocessing: replays the *fitted* §3.2 pipeline
+// (semantic aggregation -> kept-metric selection -> standardization) one
+// sample at a time, so an online consumer sees the same processed values as
+// the offline batch path.
+//
+// On clean (all-finite) input the arithmetic mirrors the batch code
+// bit-for-bit: per group, the source values are summed in source order and
+// multiplied by 1/size (the masked aggregate's all-valid branch), then
+// standardized as (x - float(mean)) * float(1/stddev) and clamped. Cells
+// that arrive non-finite are passed through as NaN and flagged invalid —
+// a lighter-weight stand-in for the offline quality guard, which needs the
+// whole series to classify stuck runs and spikes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ts/preprocess.hpp"
+
+namespace ns {
+
+/// One raw telemetry sample: every raw metric of one node at one tick, in
+/// the metric order of the dataset the pipeline was fitted on.
+struct StreamSample {
+  std::size_t node = 0;
+  std::size_t t = 0;          ///< sample timestamp (tick index)
+  std::int64_t job_id = 0;    ///< job occupying the node (< 0 = idle)
+  std::vector<float> values;  ///< raw metric space
+};
+
+/// Applies the fitted preprocessing to single samples. Construct from the
+/// artifacts NodeSentry retains after fit()/restore(); the referenced
+/// Standardizer must outlive this object.
+class StreamPreprocessor {
+ public:
+  StreamPreprocessor(std::size_t raw_metrics,
+                     std::vector<std::vector<std::size_t>> aggregation_sources,
+                     std::vector<std::size_t> kept_metrics,
+                     const Standardizer* standardizer, float clip);
+
+  /// One processed row: values in processed metric space; valid[m] == 0
+  /// marks a cell whose sources were all non-finite (value is NaN).
+  struct Row {
+    std::vector<float> values;
+    std::vector<std::uint8_t> valid;
+  };
+
+  /// Preprocesses one sample of `node`. raw.size() must equal raw_metrics().
+  Row process(std::size_t node, std::span<const float> raw) const;
+
+  std::size_t raw_metrics() const { return raw_metrics_; }
+  std::size_t processed_metrics() const { return kept_metrics_.size(); }
+
+ private:
+  std::size_t raw_metrics_ = 0;
+  std::vector<std::vector<std::size_t>> aggregation_sources_;
+  std::vector<std::size_t> kept_metrics_;
+  const Standardizer* standardizer_ = nullptr;
+  float clip_ = 5.0f;
+};
+
+}  // namespace ns

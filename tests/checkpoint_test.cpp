@@ -2,6 +2,7 @@
 // consistency (kill-and-restore), and rejection of corrupted or truncated
 // checkpoint files.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -18,8 +19,11 @@ namespace ns {
 namespace fs = std::filesystem;
 namespace {
 
+// Pid-qualified so parallel ctest invocations (each gtest suite is its own
+// process) cannot stomp each other's fixture directories.
 std::string temp_dir(const std::string& name) {
-  return (fs::temp_directory_path() / name).string();
+  return (fs::temp_directory_path() / (name + "_" + std::to_string(::getpid())))
+      .string();
 }
 
 std::vector<char> slurp(const std::string& path) {

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <filesystem>
@@ -14,8 +15,12 @@
 namespace ns {
 namespace {
 
+// Pid-qualified so parallel ctest invocations (each gtest suite is its own
+// process) cannot stomp each other's fixture directories.
 std::string temp_dir(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  return (std::filesystem::temp_directory_path() /
+          (name + "_" + std::to_string(::getpid())))
+      .string();
 }
 
 std::vector<char> slurp(const std::string& path) {

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <numeric>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "nn/attention.hpp"
@@ -287,6 +289,47 @@ TEST(Transformer, SegmentAwareForwardUsesMetadata) {
   for (std::size_t i = 0; i < y1.value().numel(); ++i)
     diff += std::abs(y1.value().at(i) - y2.value().at(i));
   EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Transformer, BlockedForwardMatchesPerChunkForwardBitwise) {
+  // The serve engine packs chunks from many nodes into one forward; with the
+  // block-diagonal attention bias the packed result must equal running each
+  // chunk separately — bit for bit, in eval mode.
+  Rng rng(22);
+  TransformerReconstructor model(small_config(), rng);
+  model.set_training(false);
+  const std::vector<std::size_t> block_lens{4, 3, 5};
+  const std::size_t total = 12;
+  Tensor x = Tensor::randn(Shape{total, 5}, rng);
+  std::vector<std::size_t> offsets, segments;
+  const std::vector<std::size_t> seg_of_block{2, 0, 5};
+  const std::vector<std::size_t> base_of_block{0, 7, 3};
+  for (std::size_t b = 0; b < block_lens.size(); ++b)
+    for (std::size_t r = 0; r < block_lens[b]; ++r) {
+      offsets.push_back(base_of_block[b] + r);
+      segments.push_back(seg_of_block[b]);
+    }
+
+  Rng fwd_rng(0);
+  const Var packed = model.forward_blocked(Var::constant(x), offsets,
+                                           segments, fwd_rng, block_lens);
+  ASSERT_EQ(packed.shape(), (Shape{total, 5}));
+
+  std::size_t row = 0;
+  for (std::size_t b = 0; b < block_lens.size(); ++b) {
+    const Tensor chunk = slice_rows(x, row, row + block_lens[b]);
+    const std::span<const std::size_t> off(offsets.data() + row,
+                                           block_lens[b]);
+    const std::span<const std::size_t> seg(segments.data() + row,
+                                           block_lens[b]);
+    Rng chunk_rng(0);
+    const Var alone = model.forward(Var::constant(chunk), off, seg, chunk_rng);
+    for (std::size_t r = 0; r < block_lens[b]; ++r)
+      for (std::size_t m = 0; m < 5; ++m)
+        ASSERT_EQ(packed.value().at(row + r, m), alone.value().at(r, m))
+            << "block " << b << " row " << r << " metric " << m;
+    row += block_lens[b];
+  }
 }
 
 TEST(Lstm, CellStateShapes) {
