@@ -1,13 +1,29 @@
-// google-benchmark microbenchmarks for the numeric kernels underlying the
-// pipeline: matmul, FFT, feature extraction, HAC, and the shared model's
-// forward pass. Useful for tracking performance regressions.
+// Microbenchmarks for the numeric kernels underlying the pipeline: matmul,
+// FFT, feature extraction, HAC, and the shared model's forward pass.
+//
+// Beyond the google-benchmark suite, `--kernels-json=PATH` runs a GEMM
+// sweep comparing the tiled matmul_into kernel (at 1/2/4/N threads) against
+// the historic scalar i-k-j baseline and writes GFLOP/s + speedup numbers
+// to PATH (BENCH_kernels.json at the repo root via the `bench` target). The
+// sweep also cross-checks that every thread count produces bitwise
+// identical output, which is the kernel's documented contract.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "cluster/hac.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "features/extract.hpp"
 #include "features/fft.hpp"
 #include "nn/transformer.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/tensor.hpp"
 
 namespace {
@@ -26,6 +42,21 @@ void BM_Matmul(benchmark::State& state) {
                           n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulInto(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor out;
+  for (auto _ : state) {
+    matmul_into(out, a, b);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_MatmulInto)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Fft(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -78,6 +109,126 @@ void BM_TransformerForward(benchmark::State& state) {
 }
 BENCHMARK(BM_TransformerForward)->Arg(32)->Arg(96);
 
+// --------------------------------------------------------- kernels JSON
+
+// The matmul the repo shipped before the kernel layer: naive i-k-j with a
+// data-dependent zero-skip branch. Kept here (only) as the scalar baseline
+// the JSON report normalizes against.
+void scalar_baseline_matmul(Tensor& out, const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.size(0), k = a.size(1), n = b.size(1);
+  ensure_shape(out, Shape{m, n});
+  out.fill(0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      for (std::size_t j = 0; j < n; ++j)
+        po[i * n + j] += aik * pb[kk * n + j];
+    }
+}
+
+template <typename Fn>
+double best_seconds(Fn&& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+int run_kernels_json(const std::string& path) {
+  const std::vector<std::size_t> sizes = {128, 256, 512};
+  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  if (hw > 4) thread_counts.push_back(hw);
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return 1;
+  }
+  os << "{\n  \"benchmark\": \"gemm_f32\",\n  \"results\": [";
+  bool first = true;
+  bool all_bitwise = true;
+  for (const std::size_t n : sizes) {
+    Rng rng(42);
+    const Tensor a = Tensor::randn(Shape{n, n}, rng);
+    const Tensor b = Tensor::randn(Shape{n, n}, rng);
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    const int reps = n >= 512 ? 3 : 5;
+
+    Tensor ref;
+    scalar_baseline_matmul(ref, a, b);  // warm
+    const double base_s =
+        best_seconds([&] { scalar_baseline_matmul(ref, a, b); }, reps);
+    const double base_gflops = flops / base_s / 1e9;
+
+    auto emit = [&](const char* variant, std::size_t threads, double secs) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n    {\"m\": " << n << ", \"n\": " << n << ", \"k\": " << n
+         << ", \"variant\": \"" << variant << "\", \"threads\": " << threads
+         << ", \"seconds\": " << secs << ", \"gflops\": " << flops / secs / 1e9
+         << ", \"speedup_vs_scalar\": " << base_s / secs << "}";
+    };
+    emit("scalar_baseline", 1, base_s);
+
+    for (const std::size_t threads : thread_counts) {
+      ThreadPool pool(threads);
+      Tensor out;
+      matmul_into(out, a, b, &pool);  // warm
+      // The tiled kernel matches the baseline bit-for-bit on finite data
+      // because both accumulate ascending-k per element.
+      if (!bitwise_equal(out, ref)) all_bitwise = false;
+      const double secs =
+          best_seconds([&] { matmul_into(out, a, b, &pool); }, reps);
+      emit("tiled", threads, secs);
+      std::cout << "gemm " << n << "x" << n << "x" << n << " threads="
+                << threads << ": " << flops / secs / 1e9 << " GFLOP/s ("
+                << base_s / secs << "x scalar)\n";
+    }
+  }
+  os << "\n  ],\n  \"bitwise_identical_across_thread_counts\": "
+     << (all_bitwise ? "true" : "false") << "\n}\n";
+  std::cout << "wrote " << path << "\n";
+  return all_bitwise ? 0 : 2;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--kernels-json=", 15) == 0) {
+      json_path = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--kernels-json-only") == 0) {
+      json_only = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int rc = 0;
+  if (!json_path.empty()) rc = run_kernels_json(json_path);
+  if (json_only || (!json_path.empty() && passthrough.size() == 1)) return rc;
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return rc;
+}

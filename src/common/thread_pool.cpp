@@ -1,8 +1,16 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace ns {
+
+namespace {
+// Which pool (if any) owns the current thread. Lets nested parallel_for
+// calls from inside a task detect their own pool and run sequentially.
+thread_local ThreadPool* t_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -82,7 +90,66 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t grain,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n = end - begin;
+  if (size() <= 1 || n <= grain || stopped() || on_worker_thread()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Chunk layout is a pure function of (begin, end, grain): chunk c covers
+  // [begin + c*grain, begin + (c+1)*grain). Threads claim whole chunks from
+  // an atomic cursor, so each index runs on exactly one thread no matter
+  // how many workers exist or in what order chunks are stolen.
+  const std::size_t chunks = (n + grain - 1) / grain;
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const auto run_chunks = [begin, end, grain, chunks, cursor, &fn] {
+    for (std::size_t c = cursor->fetch_add(1); c < chunks;
+         c = cursor->fetch_add(1)) {
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
+  };
+  // Helper tasks drain the same cursor; the caller participates below, so
+  // the loop completes even if no worker ever becomes free (and cannot
+  // deadlock when the pool is saturated with waiting parallel_for callers).
+  const std::size_t helpers = std::min(chunks - 1, size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    try {
+      futures.push_back(submit(run_chunks));
+    } catch (const Error&) {
+      break;  // pool began shutdown mid-call: the caller runs what remains
+    }
+  }
+  std::exception_ptr first_error;
+  try {
+    run_chunks();
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (const std::future_error&) {
+      // Discarded by shutdown before it started; its chunks were claimed
+      // (or will never be claimed) by the surviving participants.
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -99,35 +166,8 @@ void ThreadPool::worker_loop() {
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn, ThreadPool* pool,
                   std::size_t grain) {
-  if (begin >= end) return;
   if (pool == nullptr) pool = &ThreadPool::global();
-  const std::size_t n = end - begin;
-  const std::size_t workers = pool->size();
-  if (workers <= 1 || n <= grain || pool->stopped()) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  const std::size_t chunks = std::min(n, workers * 4);
-  const std::size_t chunk_size = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk_size;
-    if (lo >= end) break;
-    const std::size_t hi = std::min(end, lo + chunk_size);
-    futures.push_back(pool->submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
-  }
-  std::exception_ptr first_error;
-  for (auto& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  pool->parallel_for(begin, end, grain, fn);
 }
 
 }  // namespace ns

@@ -73,6 +73,23 @@ class ThreadPool {
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
 
+  /// True when the calling thread is one of this pool's workers. Nested
+  /// data-parallel calls use this to degrade to sequential execution
+  /// instead of deadlocking on their own pool.
+  bool on_worker_thread() const;
+
+  /// Runs fn(i) for i in [begin, end), splitting the range into fixed
+  /// `grain`-sized chunks claimed from a shared atomic cursor. The calling
+  /// thread participates in the work, so the call completes even when every
+  /// worker is busy; called from one of this pool's own workers it runs
+  /// sequentially (never deadlocks). Chunk boundaries depend only on
+  /// (begin, end, grain) — not on the worker count — and each index is
+  /// processed by exactly one thread, so any per-index computation that is
+  /// itself deterministic yields identical results at any thread count.
+  /// Blocks until every iteration finished; rethrows the first exception.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t)>& fn);
+
  private:
   void worker_loop();
 
@@ -84,9 +101,8 @@ class ThreadPool {
   std::exception_ptr first_post_error_;
 };
 
-/// Runs fn(i) for i in [begin, end), distributing contiguous chunks over the
-/// pool. Blocks until all iterations finish; the first exception thrown by
-/// any chunk is rethrown in the caller.
+/// Convenience wrapper over ThreadPool::parallel_for on the given pool
+/// (global pool when nullptr). Kept for callers that do not hold a pool.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   ThreadPool* pool = nullptr, std::size_t grain = 1);

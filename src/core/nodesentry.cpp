@@ -108,7 +108,7 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
     if (!kept.empty()) segments = std::move(kept);
   }
   std::vector<std::vector<float>> features(segments.size());
-  parallel_for(0, segments.size(), [&](std::size_t i) {
+  ThreadPool::global().parallel_for(0, segments.size(), 1, [&](std::size_t i) {
     features[i] = segment_features(segments[i]);
   });
   // Column z-scaling so no single feature (e.g. abs_energy, which grows
@@ -174,7 +174,7 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
                                                     : nonempty.size();
   for (std::size_t base = 0; base < nonempty.size(); base += wave) {
     const std::size_t stop = std::min(nonempty.size(), base + wave);
-    parallel_for(base, stop, [&](std::size_t idx) {
+    ThreadPool::global().parallel_for(base, stop, 1, [&](std::size_t idx) {
       const std::size_t c = nonempty[idx];
       library_.clusters()[c] = build_cluster(
           segments, features, members[c], config_.seed + 1000 + c);
@@ -850,12 +850,14 @@ NodeSentry::DetectReport NodeSentry::detect() {
   std::vector<std::vector<std::pair<std::size_t, std::size_t>>> ranges(N);
   for (const CoreSegment& seg : segments)
     ranges[seg.node].emplace_back(seg.begin, seg.end);
-  for (std::size_t n = 0; n < N; ++n) {
+  // Per-node thresholding is embarrassingly parallel: each iteration only
+  // touches its own node's detection record.
+  ThreadPool::global().parallel_for(0, N, 1, [&](std::size_t n) {
     const std::vector<float> reference =
         score_reference_levels(report.detections[n].scores, ranges[n]);
     report.detections[n].predictions = detection_flags(
         report.detections[n].scores, reference, train_end_, config_);
-  }
+  });
   report.match_seconds = match_seconds;
   report.total_seconds = total.elapsed_s();
   return report;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "tensor/shape_check.hpp"
 
 namespace ns {
 
@@ -44,9 +45,7 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t dim,
 
 Var MultiHeadSelfAttention::forward(const Var& x,
                                     const Tensor* attn_bias) const {
-  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == dim_,
-             "attention input must be [T," << dim_ << "], got "
-                                           << shape_to_string(x.shape()));
+  check_cols(x.value(), dim_, "MultiHeadSelfAttention::forward");
   const std::size_t tokens = x.shape()[0];
   if (attn_bias != nullptr)
     NS_REQUIRE(attn_bias->rank() == 2 && attn_bias->size(0) == tokens &&
@@ -54,6 +53,10 @@ Var MultiHeadSelfAttention::forward(const Var& x,
                "attention bias must be [" << tokens << "," << tokens << "]");
   const float inv_sqrt_dh =
       1.0f / std::sqrt(static_cast<float>(head_dim_));
+  // One shared constant node for the bias instead of a fresh [T,T] clone
+  // per head — every head adds the same immutable tensor.
+  Var bias_var;
+  if (attn_bias != nullptr) bias_var = Var::constant(attn_bias->clone());
   std::vector<Var> head_outputs;
   head_outputs.reserve(heads_);
   for (std::size_t h = 0; h < heads_; ++h) {
@@ -61,8 +64,7 @@ Var MultiHeadSelfAttention::forward(const Var& x,
     Var k = vmatmul(x, wk_[h]);                       // [T, dh]
     Var v = vmatmul(x, wv_[h]);                       // [T, dh]
     Var scores = vscale(vmatmul(q, vtranspose(k)), inv_sqrt_dh);  // [T, T]
-    if (attn_bias != nullptr)
-      scores = vadd(scores, Var::constant(attn_bias->clone()));
+    if (bias_var.defined()) scores = vadd(scores, bias_var);
     Var attn = vsoftmax_rows(scores);
     head_outputs.push_back(vmatmul(attn, v));         // [T, dh]
   }

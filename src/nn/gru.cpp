@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "tensor/shape_check.hpp"
 
 namespace ns {
 
@@ -21,8 +22,7 @@ Var GRUCell::initial_state(std::size_t batch) const {
 }
 
 Var GRUCell::step(const Var& x, const Var& h) const {
-  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == input_,
-             "GRU step input must be [B," << input_ << "]");
+  check_cols(x.value(), input_, "GRUCell::step");
   Var gates = vadd_rowvec(
       vadd(vmatmul(x, wx_gates_), vmatmul(h, wh_gates_)), b_gates_);
   const std::size_t H = hidden_;

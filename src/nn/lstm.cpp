@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "tensor/shape_check.hpp"
 
 namespace ns {
 
@@ -23,8 +24,7 @@ LSTMCell::State LSTMCell::initial_state(std::size_t batch) const {
 }
 
 LSTMCell::State LSTMCell::step(const Var& x, const State& state) const {
-  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == input_,
-             "LSTM step input must be [B," << input_ << "]");
+  check_cols(x.value(), input_, "LSTMCell::step");
   Var gates = vadd_rowvec(
       vadd(vmatmul(x, wx_), vmatmul(state.h, wh_)), b_);  // [B, 4H]
   const std::size_t H = hidden_;

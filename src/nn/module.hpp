@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "tensor/autograd.hpp"
+#include "tensor/kernels.hpp"
 
 namespace ns {
 
@@ -56,6 +57,12 @@ class Module {
   /// Registers a child module (must outlive this module; typically a member).
   void register_child(Module* child) { children_.push_back(child); }
 
+  /// Per-module scratch arena: forward passes acquire temporary buffers
+  /// (masks, per-expert columns, ...) here instead of allocating each step.
+  /// Mutable because forward() is const; modules are not shared across
+  /// threads (each training task owns its model), so no locking is needed.
+  Workspace& workspace() const { return workspace_; }
+
  private:
   void collect_parameters(std::vector<Var>& out) const {
     out.insert(out.end(), params_.begin(), params_.end());
@@ -64,6 +71,7 @@ class Module {
 
   std::vector<Var> params_;
   std::vector<Module*> children_;
+  mutable Workspace workspace_;
   bool training_ = true;
 };
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "tensor/shape_check.hpp"
 
 namespace ns {
 
@@ -23,9 +24,7 @@ MoELayer::MoELayer(std::size_t dim, std::size_t hidden,
 }
 
 Var MoELayer::forward(const Var& x) const {
-  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == dim_,
-             "MoE input must be [T," << dim_ << "], got "
-                                     << shape_to_string(x.shape()));
+  check_cols(x.value(), dim_, "MoELayer::forward");
   const std::size_t tokens = x.shape()[0];
   const std::size_t n_experts = experts_.size();
 
@@ -35,7 +34,8 @@ Var MoELayer::forward(const Var& x) const {
   last_gate_probs_ = gate_probs;
 
   // Hard top-k routing mask (constant; selection is non-differentiable).
-  Tensor mask(Shape{tokens, n_experts});
+  // Scratch: vmask clones it, so the buffer recycles via the workspace.
+  Tensor mask = workspace().acquire_zero(Shape{tokens, n_experts});
   last_load_.assign(n_experts, 0);
   std::vector<std::size_t> order(n_experts);
   for (std::size_t t = 0; t < tokens; ++t) {
@@ -55,8 +55,8 @@ Var MoELayer::forward(const Var& x) const {
   // matrix (N is small); masked gate columns zero out unselected tokens and
   // carry the gradient into both the gate and the expert.
   Var output;
+  Tensor col_mask = workspace().acquire(Shape{tokens, 1});
   for (std::size_t i = 0; i < n_experts; ++i) {
-    Tensor col_mask(Shape{tokens, 1});
     for (std::size_t t = 0; t < tokens; ++t)
       col_mask.at(t, 0) = mask.at(t, i);
     Var gate_col = vslice_cols(gate_probs, i, i + 1);  // [T, 1]
@@ -65,6 +65,8 @@ Var MoELayer::forward(const Var& x) const {
     Var weighted = vcolwise_scale(expert_out, masked_gate);
     output = output.defined() ? vadd(output, weighted) : weighted;
   }
+  workspace().release(std::move(col_mask));
+  workspace().release(std::move(mask));
   return output;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "tensor/shape_check.hpp"
 
 namespace ns {
 
@@ -41,8 +42,7 @@ Var SegmentPositionalEncoding::forward(
     const Var& x, std::span<const std::size_t> offsets,
     std::span<const std::size_t> segment_ids) const {
   const std::size_t tokens = x.shape()[0];
-  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == dim_,
-             "positional encoding input must be [T," << dim_ << "]");
+  check_cols(x.value(), dim_, "SegmentPositionalEncoding::forward");
   NS_REQUIRE(offsets.size() == tokens && segment_ids.size() == tokens,
              "offsets/segment_ids must have one entry per token");
 

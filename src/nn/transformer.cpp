@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "tensor/shape_check.hpp"
 
 namespace ns {
 
@@ -60,9 +61,7 @@ TransformerReconstructor::TransformerReconstructor(
 Var TransformerReconstructor::forward(
     const Var& x, std::span<const std::size_t> offsets,
     std::span<const std::size_t> segment_ids, Rng& rng) const {
-  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == config_.input_dim,
-             "transformer input must be [T," << config_.input_dim << "], got "
-                                             << shape_to_string(x.shape()));
+  check_cols(x.value(), config_.input_dim, "TransformerReconstructor::forward");
   Var h = input_proj_.forward(x);
   h = posenc_.forward(h, offsets, segment_ids);
   for (const auto& layer : layers_)
@@ -76,9 +75,8 @@ Var TransformerReconstructor::forward_blocked(
     std::span<const std::size_t> segment_ids, Rng& rng,
     std::span<const std::size_t> block_lens) const {
   if (block_lens.size() <= 1) return forward(x, offsets, segment_ids, rng);
-  NS_REQUIRE(x.shape().size() == 2 && x.shape()[1] == config_.input_dim,
-             "transformer input must be [T," << config_.input_dim << "], got "
-                                             << shape_to_string(x.shape()));
+  check_cols(x.value(), config_.input_dim,
+             "TransformerReconstructor::forward_blocked");
   std::size_t total = 0;
   for (std::size_t len : block_lens) total += len;
   NS_REQUIRE(total == x.shape()[0],

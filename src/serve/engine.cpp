@@ -516,14 +516,16 @@ ServeResult ServeEngine::finalize() {
   result.timeline_end = timeline_end;
   result.detections.assign(nodes_.size(), NodeDetection{});
   const NodeSentryConfig& cfg = sentry_->config();
-  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+  // Per-node thresholding writes disjoint detection records; fan it out
+  // across the engine's pool (all scoring tasks have drained by now).
+  pool_->parallel_for(0, nodes_.size(), 1, [&](std::size_t n) {
     NodeDetection& det = result.detections[n];
     det.scores = std::move(scores_[n]);
     det.scores.resize(timeline_end, 0.0f);
     const std::vector<float> reference =
         score_reference_levels(det.scores, ranges_[n]);
     det.predictions = detection_flags(det.scores, reference, start_t_, cfg);
-  }
+  });
   result.stats = stats();
   return result;
 }

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "tensor/kernels.hpp"
+#include "tensor/shape_check.hpp"
+
 namespace ns {
 
 using autograd_detail::Node;
@@ -32,6 +35,22 @@ void accumulate(Node& parent, const Tensor& delta) {
   float* pg = g.data();
   const float* pd = delta.data();
   for (std::size_t i = 0; i < g.numel(); ++i) pg[i] += pd[i];
+}
+
+/// Scratch buffers for backward-pass temporaries. backward() runs on the
+/// thread that calls it (training tasks each own a thread), so a
+/// thread-local arena recycles the per-step gradient temporaries without
+/// any locking: after the first training step, steady-state backward passes
+/// stop allocating.
+Workspace& backward_workspace() {
+  static thread_local Workspace workspace;
+  return workspace;
+}
+
+/// accumulate() then return the temporary to the workspace.
+void accumulate_scratch(Node& parent, Tensor delta, Workspace& ws) {
+  accumulate(parent, delta);
+  ws.release(std::move(delta));
 }
 
 }  // namespace
@@ -102,7 +121,12 @@ Var vsub(const Var& a, const Var& b) {
   auto pb = b.node();
   return Var(make_node(std::move(value), {pa, pb}, [pa, pb](Node& n) {
     accumulate(*pa, n.grad);
-    accumulate(*pb, scale(n.grad, -1.0f));
+    if (pb->requires_grad) {
+      Workspace& ws = backward_workspace();
+      Tensor neg = ws.acquire(n.grad.shape());
+      scale_into(neg, n.grad, -1.0f);
+      accumulate_scratch(*pb, std::move(neg), ws);
+    }
   }));
 }
 
@@ -111,15 +135,28 @@ Var vmul(const Var& a, const Var& b) {
   auto pa = a.node();
   auto pb = b.node();
   return Var(make_node(std::move(value), {pa, pb}, [pa, pb](Node& n) {
-    accumulate(*pa, mul(n.grad, pb->value));
-    accumulate(*pb, mul(n.grad, pa->value));
+    Workspace& ws = backward_workspace();
+    if (pa->requires_grad) {
+      Tensor da = ws.acquire(n.grad.shape());
+      mul_into(da, n.grad, pb->value);
+      accumulate_scratch(*pa, std::move(da), ws);
+    }
+    if (pb->requires_grad) {
+      Tensor db = ws.acquire(n.grad.shape());
+      mul_into(db, n.grad, pa->value);
+      accumulate_scratch(*pb, std::move(db), ws);
+    }
   }));
 }
 
 Var vscale(const Var& a, float s) {
   auto pa = a.node();
   return Var(make_node(scale(a.value(), s), {pa}, [pa, s](Node& n) {
-    accumulate(*pa, scale(n.grad, s));
+    if (!pa->requires_grad) return;
+    Workspace& ws = backward_workspace();
+    Tensor da = ws.acquire(n.grad.shape());
+    scale_into(da, n.grad, s);
+    accumulate_scratch(*pa, std::move(da), ws);
   }));
 }
 
@@ -135,17 +172,36 @@ Var vmatmul(const Var& a, const Var& b) {
   auto pa = a.node();
   auto pb = b.node();
   return Var(make_node(std::move(value), {pa, pb}, [pa, pb](Node& n) {
-    if (pa->requires_grad)
-      accumulate(*pa, matmul(n.grad, transpose2d(pb->value)));
-    if (pb->requires_grad)
-      accumulate(*pb, matmul(transpose2d(pa->value), n.grad));
+    Workspace& ws = backward_workspace();
+    if (pa->requires_grad) {
+      // dA = dY @ B^T
+      Tensor bt = ws.acquire(Shape{pb->value.size(1), pb->value.size(0)});
+      transpose2d_into(bt, pb->value);
+      Tensor da = ws.acquire(pa->value.shape());
+      matmul_into(da, n.grad, bt);
+      ws.release(std::move(bt));
+      accumulate_scratch(*pa, std::move(da), ws);
+    }
+    if (pb->requires_grad) {
+      // dB = A^T @ dY
+      Tensor at = ws.acquire(Shape{pa->value.size(1), pa->value.size(0)});
+      transpose2d_into(at, pa->value);
+      Tensor db = ws.acquire(pb->value.shape());
+      matmul_into(db, at, n.grad);
+      ws.release(std::move(at));
+      accumulate_scratch(*pb, std::move(db), ws);
+    }
   }));
 }
 
 Var vtranspose(const Var& a) {
   auto pa = a.node();
   return Var(make_node(transpose2d(a.value()), {pa}, [pa](Node& n) {
-    accumulate(*pa, transpose2d(n.grad));
+    if (!pa->requires_grad) return;
+    Workspace& ws = backward_workspace();
+    Tensor da = ws.acquire(pa->value.shape());
+    transpose2d_into(da, n.grad);
+    accumulate_scratch(*pa, std::move(da), ws);
   }));
 }
 
@@ -157,11 +213,13 @@ Var vadd_rowvec(const Var& x, const Var& b) {
     accumulate(*px, n.grad);
     if (pb->requires_grad) {
       const std::size_t rows = n.value.size(0), cols = n.value.size(1);
-      Tensor db(pb->value.shape());
+      Workspace& ws = backward_workspace();
+      Tensor db = ws.acquire_zero(pb->value.shape());
+      float* pdb = db.data();
+      const float* pg = n.grad.data();
       for (std::size_t i = 0; i < rows; ++i)
-        for (std::size_t j = 0; j < cols; ++j)
-          db.data()[j] += n.grad.data()[i * cols + j];
-      accumulate(*pb, db);
+        for (std::size_t j = 0; j < cols; ++j) pdb[j] += pg[i * cols + j];
+      accumulate_scratch(*pb, std::move(db), ws);
     }
   }));
 }
@@ -172,9 +230,14 @@ Var vcolwise_scale(const Var& x, const Var& s) {
   auto ps = s.node();
   return Var(make_node(std::move(value), {px, ps}, [px, ps](Node& n) {
     const std::size_t rows = n.value.size(0), cols = n.value.size(1);
-    if (px->requires_grad) accumulate(*px, colwise_scale(n.grad, ps->value));
+    Workspace& ws = backward_workspace();
+    if (px->requires_grad) {
+      Tensor dx = ws.acquire(px->value.shape());
+      colwise_scale_into(dx, n.grad, ps->value);
+      accumulate_scratch(*px, std::move(dx), ws);
+    }
     if (ps->requires_grad) {
-      Tensor ds(ps->value.shape());
+      Tensor ds = ws.acquire(ps->value.shape());
       for (std::size_t i = 0; i < rows; ++i) {
         double sum = 0.0;
         for (std::size_t j = 0; j < cols; ++j)
@@ -182,7 +245,7 @@ Var vcolwise_scale(const Var& x, const Var& s) {
                  px->value.data()[i * cols + j];
         ds.data()[i] = static_cast<float>(sum);
       }
-      accumulate(*ps, ds);
+      accumulate_scratch(*ps, std::move(ds), ws);
     }
   }));
 }
@@ -191,8 +254,10 @@ Var vsoftmax_rows(const Var& x) {
   Tensor value = softmax_rows(x.value());
   auto px = x.node();
   return Var(make_node(std::move(value), {px}, [px](Node& n) {
+    if (!px->requires_grad) return;
     const std::size_t rows = n.value.size(0), cols = n.value.size(1);
-    Tensor dx(n.value.shape());
+    Workspace& ws = backward_workspace();
+    Tensor dx = ws.acquire(n.value.shape());
     for (std::size_t i = 0; i < rows; ++i) {
       const float* y = n.value.data() + i * cols;
       const float* dy = n.grad.data() + i * cols;
@@ -203,50 +268,30 @@ Var vsoftmax_rows(const Var& x) {
       for (std::size_t j = 0; j < cols; ++j)
         out[j] = y[j] * (dy[j] - static_cast<float>(dot));
     }
-    accumulate(*px, dx);
+    accumulate_scratch(*px, std::move(dx), ws);
   }));
 }
 
 Var vlayernorm_rows(const Var& x, const Var& gain, const Var& bias,
                     float eps) {
   const Tensor& xv = x.value();
-  NS_REQUIRE(xv.rank() == 2, "layernorm expects 2-D input");
   const std::size_t rows = xv.size(0), cols = xv.size(1);
-  NS_REQUIRE(gain.value().numel() == cols && bias.value().numel() == cols,
-             "layernorm gain/bias must have one entry per column");
   // Cache xhat and inv_std for the backward pass.
-  auto xhat = std::make_shared<Tensor>(Shape{rows, cols});
-  auto inv_std = std::make_shared<Tensor>(Shape{rows});
-  Tensor value(Shape{rows, cols});
-  for (std::size_t i = 0; i < rows; ++i) {
-    const float* in = xv.data() + i * cols;
-    double mu = 0.0;
-    for (std::size_t j = 0; j < cols; ++j) mu += in[j];
-    mu /= static_cast<double>(cols);
-    double var = 0.0;
-    for (std::size_t j = 0; j < cols; ++j) {
-      const double d = in[j] - mu;
-      var += d * d;
-    }
-    var /= static_cast<double>(cols);
-    const double istd = 1.0 / std::sqrt(var + eps);
-    inv_std->data()[i] = static_cast<float>(istd);
-    for (std::size_t j = 0; j < cols; ++j) {
-      const float xh = static_cast<float>((in[j] - mu) * istd);
-      xhat->data()[i * cols + j] = xh;
-      value.data()[i * cols + j] =
-          xh * gain.value().data()[j] + bias.value().data()[j];
-    }
-  }
+  auto xhat = std::make_shared<Tensor>();
+  auto inv_std = std::make_shared<Tensor>();
+  Tensor value;
+  layernorm_rows_into(value, xv, gain.value(), bias.value(), eps, xhat.get(),
+                      inv_std.get());
   auto px = x.node();
   auto pg = gain.node();
   auto pb = bias.node();
   return Var(make_node(
       std::move(value), {px, pg, pb},
       [px, pg, pb, xhat, inv_std, rows, cols](Node& n) {
-        Tensor dgain(pg->value.shape());
-        Tensor dbias(pb->value.shape());
-        Tensor dx(px->value.shape());
+        Workspace& ws = backward_workspace();
+        Tensor dgain = ws.acquire_zero(pg->value.shape());
+        Tensor dbias = ws.acquire_zero(pb->value.shape());
+        Tensor dx = ws.acquire(px->value.shape());
         for (std::size_t i = 0; i < rows; ++i) {
           const float* dy = n.grad.data() + i * cols;
           const float* xh = xhat->data() + i * cols;
@@ -267,9 +312,9 @@ Var vlayernorm_rows(const Var& x, const Var& gain, const Var& bias,
                         xh[j] * sum_dxhat_xhat * inv_cols));
           }
         }
-        accumulate(*px, dx);
-        accumulate(*pg, dgain);
-        accumulate(*pb, dbias);
+        accumulate_scratch(*px, std::move(dx), ws);
+        accumulate_scratch(*pg, std::move(dgain), ws);
+        accumulate_scratch(*pb, std::move(dbias), ws);
       }));
 }
 
@@ -279,10 +324,12 @@ Var vrelu(const Var& a) {
     value.data()[i] = std::max(0.0f, a.value().data()[i]);
   auto pa = a.node();
   return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
-    Tensor dx(n.value.shape());
+    if (!pa->requires_grad) return;
+    Workspace& ws = backward_workspace();
+    Tensor dx = ws.acquire(n.value.shape());
     for (std::size_t i = 0; i < dx.numel(); ++i)
       dx.data()[i] = pa->value.data()[i] > 0.0f ? n.grad.data()[i] : 0.0f;
-    accumulate(*pa, dx);
+    accumulate_scratch(*pa, std::move(dx), ws);
   }));
 }
 
@@ -301,7 +348,9 @@ Var vgelu(const Var& a) {
   }
   auto pa = a.node();
   return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
-    Tensor dx(n.value.shape());
+    if (!pa->requires_grad) return;
+    Workspace& ws = backward_workspace();
+    Tensor dx = ws.acquire(n.value.shape());
     for (std::size_t i = 0; i < dx.numel(); ++i) {
       const float x = pa->value.data()[i];
       const float u = kGeluC * (x + kGeluA * x * x * x);
@@ -310,7 +359,7 @@ Var vgelu(const Var& a) {
       const float dgelu = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
       dx.data()[i] = n.grad.data()[i] * dgelu;
     }
-    accumulate(*pa, dx);
+    accumulate_scratch(*pa, std::move(dx), ws);
   }));
 }
 
@@ -320,12 +369,14 @@ Var vtanh(const Var& a) {
     value.data()[i] = std::tanh(a.value().data()[i]);
   auto pa = a.node();
   return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
-    Tensor dx(n.value.shape());
+    if (!pa->requires_grad) return;
+    Workspace& ws = backward_workspace();
+    Tensor dx = ws.acquire(n.value.shape());
     for (std::size_t i = 0; i < dx.numel(); ++i) {
       const float y = n.value.data()[i];
       dx.data()[i] = n.grad.data()[i] * (1.0f - y * y);
     }
-    accumulate(*pa, dx);
+    accumulate_scratch(*pa, std::move(dx), ws);
   }));
 }
 
@@ -337,12 +388,14 @@ Var vsigmoid(const Var& a) {
   }
   auto pa = a.node();
   return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
-    Tensor dx(n.value.shape());
+    if (!pa->requires_grad) return;
+    Workspace& ws = backward_workspace();
+    Tensor dx = ws.acquire(n.value.shape());
     for (std::size_t i = 0; i < dx.numel(); ++i) {
       const float y = n.value.data()[i];
       dx.data()[i] = n.grad.data()[i] * y * (1.0f - y);
     }
-    accumulate(*pa, dx);
+    accumulate_scratch(*pa, std::move(dx), ws);
   }));
 }
 
@@ -352,7 +405,11 @@ Var vexp(const Var& a) {
     value.data()[i] = std::exp(a.value().data()[i]);
   auto pa = a.node();
   return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
-    accumulate(*pa, mul(n.grad, n.value));
+    if (!pa->requires_grad) return;
+    Workspace& ws = backward_workspace();
+    Tensor dx = ws.acquire(n.grad.shape());
+    mul_into(dx, n.grad, n.value);
+    accumulate_scratch(*pa, std::move(dx), ws);
   }));
 }
 
@@ -361,7 +418,11 @@ Var vsum(const Var& a) {
   value.data()[0] = static_cast<float>(sum_all(a.value()));
   auto pa = a.node();
   return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
-    accumulate(*pa, Tensor::full(pa->value.shape(), n.grad.data()[0]));
+    if (!pa->requires_grad) return;
+    Workspace& ws = backward_workspace();
+    Tensor da = ws.acquire(pa->value.shape());
+    da.fill(n.grad.data()[0]);
+    accumulate_scratch(*pa, std::move(da), ws);
   }));
 }
 
@@ -371,7 +432,11 @@ Var vmean(const Var& a) {
   value.data()[0] = static_cast<float>(mean_all(a.value()));
   auto pa = a.node();
   return Var(make_node(std::move(value), {pa}, [pa, inv](Node& n) {
-    accumulate(*pa, Tensor::full(pa->value.shape(), n.grad.data()[0] * inv));
+    if (!pa->requires_grad) return;
+    Workspace& ws = backward_workspace();
+    Tensor da = ws.acquire(pa->value.shape());
+    da.fill(n.grad.data()[0] * inv);
+    accumulate_scratch(*pa, std::move(da), ws);
   }));
 }
 
@@ -379,12 +444,14 @@ Var vslice_cols(const Var& x, std::size_t c0, std::size_t c1) {
   Tensor value = slice_cols(x.value(), c0, c1);
   auto px = x.node();
   return Var(make_node(std::move(value), {px}, [px, c0, c1](Node& n) {
+    if (!px->requires_grad) return;
     const std::size_t rows = px->value.size(0), cols = px->value.size(1);
     const std::size_t w = c1 - c0;
-    Tensor dx(px->value.shape());
+    Workspace& ws = backward_workspace();
+    Tensor dx = ws.acquire_zero(px->value.shape());
     for (std::size_t i = 0; i < rows; ++i)
       std::copy_n(n.grad.data() + i * w, w, dx.data() + i * cols + c0);
-    accumulate(*px, dx);
+    accumulate_scratch(*px, std::move(dx), ws);
   }));
 }
 
@@ -392,10 +459,12 @@ Var vslice_rows(const Var& x, std::size_t r0, std::size_t r1) {
   Tensor value = slice_rows(x.value(), r0, r1);
   auto px = x.node();
   return Var(make_node(std::move(value), {px}, [px, r0, r1](Node& n) {
+    if (!px->requires_grad) return;
     const std::size_t cols = px->value.size(1);
-    Tensor dx(px->value.shape());
+    Workspace& ws = backward_workspace();
+    Tensor dx = ws.acquire_zero(px->value.shape());
     std::copy_n(n.grad.data(), (r1 - r0) * cols, dx.data() + r0 * cols);
-    accumulate(*px, dx);
+    accumulate_scratch(*px, std::move(dx), ws);
   }));
 }
 
@@ -417,15 +486,16 @@ Var vconcat_cols(std::span<const Var> parts) {
       [parent_list, widths](Node& n) {
         const std::size_t rows = n.value.size(0);
         const std::size_t total = n.value.size(1);
+        Workspace& ws = backward_workspace();
         std::size_t offset = 0;
         for (std::size_t p = 0; p < parent_list.size(); ++p) {
           const std::size_t w = widths[p];
           if (parent_list[p]->requires_grad) {
-            Tensor dpart(Shape{rows, w});
+            Tensor dpart = ws.acquire(Shape{rows, w});
             for (std::size_t i = 0; i < rows; ++i)
               std::copy_n(n.grad.data() + i * total + offset, w,
                           dpart.data() + i * w);
-            accumulate(*parent_list[p], dpart);
+            accumulate_scratch(*parent_list[p], std::move(dpart), ws);
           }
           offset += w;
         }
@@ -448,13 +518,14 @@ Var vconcat_rows(std::span<const Var> parts) {
       std::move(value), std::move(parents),
       [parent_list, heights](Node& n) {
         const std::size_t cols = n.value.size(1);
+        Workspace& ws = backward_workspace();
         std::size_t offset = 0;
         for (std::size_t p = 0; p < parent_list.size(); ++p) {
           const std::size_t h = heights[p];
           if (parent_list[p]->requires_grad) {
-            Tensor dpart(Shape{h, cols});
+            Tensor dpart = ws.acquire(Shape{h, cols});
             std::copy_n(n.grad.data() + offset, h * cols, dpart.data());
-            accumulate(*parent_list[p], dpart);
+            accumulate_scratch(*parent_list[p], std::move(dpart), ws);
           }
           offset += h * cols;
         }
@@ -466,7 +537,11 @@ Var vmask(const Var& x, const Tensor& mask) {
   auto px = x.node();
   auto mask_copy = std::make_shared<Tensor>(mask.clone());
   return Var(make_node(std::move(value), {px}, [px, mask_copy](Node& n) {
-    accumulate(*px, mul(n.grad, *mask_copy));
+    if (!px->requires_grad) return;
+    Workspace& ws = backward_workspace();
+    Tensor dx = ws.acquire(n.grad.shape());
+    mul_into(dx, n.grad, *mask_copy);
+    accumulate_scratch(*px, std::move(dx), ws);
   }));
 }
 
@@ -481,7 +556,7 @@ Var vdropout(const Var& x, float p, Rng& rng, bool training) {
 }
 
 Var vmse_loss(const Var& pred, const Tensor& target) {
-  NS_REQUIRE(pred.value().same_shape(target), "mse_loss shape mismatch");
+  check_same_shape(pred.value(), target, "mse_loss");
   const std::size_t n = target.numel();
   Tensor value(Shape{1});
   double acc = 0.0;
@@ -493,20 +568,21 @@ Var vmse_loss(const Var& pred, const Tensor& target) {
   auto pp = pred.node();
   auto target_copy = std::make_shared<Tensor>(target.clone());
   return Var(make_node(std::move(value), {pp}, [pp, target_copy, n](Node& nd) {
+    if (!pp->requires_grad) return;
     const float g = nd.grad.data()[0] * 2.0f / static_cast<float>(n);
-    Tensor dx(pp->value.shape());
+    Workspace& ws = backward_workspace();
+    Tensor dx = ws.acquire(pp->value.shape());
     for (std::size_t i = 0; i < n; ++i)
       dx.data()[i] = g * (pp->value.data()[i] - target_copy->data()[i]);
-    accumulate(*pp, dx);
+    accumulate_scratch(*pp, std::move(dx), ws);
   }));
 }
 
 Var vwmse_loss(const Var& pred, const Tensor& target, const Tensor& weights) {
-  NS_REQUIRE(pred.value().same_shape(target), "wmse_loss shape mismatch");
-  NS_REQUIRE(pred.value().rank() == 2, "wmse_loss expects [T, M] input");
+  check_same_shape(pred.value(), target, "wmse_loss");
+  check_rank2(pred.value(), "wmse_loss");
+  check_rowvec(pred.value(), weights, "wmse_loss weights");
   const std::size_t rows = target.size(0), cols = target.size(1);
-  NS_REQUIRE(weights.numel() == cols,
-             "wmse_loss needs one weight per metric column");
   Tensor value(Shape{1});
   double acc = 0.0;
   for (std::size_t i = 0; i < rows; ++i)
@@ -522,14 +598,16 @@ Var vwmse_loss(const Var& pred, const Tensor& target, const Tensor& weights) {
   auto w = std::make_shared<Tensor>(weights.clone());
   return Var(make_node(
       std::move(value), {pp}, [pp, tgt, w, rows, cols, denom](Node& nd) {
+        if (!pp->requires_grad) return;
         const float g = nd.grad.data()[0] * 2.0f / static_cast<float>(denom);
-        Tensor dx(pp->value.shape());
+        Workspace& ws = backward_workspace();
+        Tensor dx = ws.acquire(pp->value.shape());
         for (std::size_t i = 0; i < rows; ++i)
           for (std::size_t j = 0; j < cols; ++j)
             dx.data()[i * cols + j] =
                 g * w->data()[j] *
                 (pp->value.data()[i * cols + j] - tgt->data()[i * cols + j]);
-        accumulate(*pp, dx);
+        accumulate_scratch(*pp, std::move(dx), ws);
       }));
 }
 

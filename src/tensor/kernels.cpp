@@ -1,0 +1,272 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+#include "tensor/shape_check.hpp"
+
+namespace ns {
+namespace {
+
+// Register-tile geometry for the GEMM micro-kernel. 4x8 keeps the
+// accumulator block (plus one broadcast A scalar and one B vector) inside
+// the 16 xmm registers of baseline x86-64, so the hot loop neither spills
+// nor touches C until the k-loop finishes.
+constexpr std::size_t kRowTile = 4;
+constexpr std::size_t kColTile = 8;
+// Rows of C per parallel task. A fixed block size keeps the partition a
+// pure function of the shape (never of the worker count).
+constexpr std::size_t kRowBlock = 64;
+
+// Computes rows [i0, i1) of C = A @ B. Every C element is accumulated in
+// ascending-k order in a register, which is the exact operation sequence of
+// the canonical i-k-j scalar loop — so any row partition of this function
+// is bitwise identical to running it once over [0, m).
+void gemm_rows(const float* a, const float* b, float* c, std::size_t i0,
+               std::size_t i1, std::size_t k, std::size_t n) {
+  std::size_t j0 = 0;
+  // Full j-tiles: the [k, kColTile] panel of B cycles through cache while
+  // successive row tiles reuse it.
+  for (; j0 + kColTile <= n; j0 += kColTile) {
+    std::size_t i = i0;
+    for (; i + kRowTile <= i1; i += kRowTile) {
+      float acc[kRowTile][kColTile] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* brow = b + kk * n + j0;
+        for (std::size_t r = 0; r < kRowTile; ++r) {
+          const float aik = a[(i + r) * k + kk];
+          for (std::size_t jj = 0; jj < kColTile; ++jj)
+            acc[r][jj] += aik * brow[jj];
+        }
+      }
+      for (std::size_t r = 0; r < kRowTile; ++r)
+        for (std::size_t jj = 0; jj < kColTile; ++jj)
+          c[(i + r) * n + j0 + jj] = acc[r][jj];
+    }
+    for (; i < i1; ++i) {  // remainder rows, one at a time
+      float acc[kColTile] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float aik = a[i * k + kk];
+        const float* brow = b + kk * n + j0;
+        for (std::size_t jj = 0; jj < kColTile; ++jj)
+          acc[jj] += aik * brow[jj];
+      }
+      for (std::size_t jj = 0; jj < kColTile; ++jj)
+        c[i * n + j0 + jj] = acc[jj];
+    }
+  }
+  if (j0 < n) {  // remainder columns (< kColTile of them)
+    const std::size_t w = n - j0;
+    for (std::size_t i = i0; i < i1; ++i) {
+      float acc[kColTile] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float aik = a[i * k + kk];
+        const float* brow = b + kk * n + j0;
+        for (std::size_t jj = 0; jj < w; ++jj) acc[jj] += aik * brow[jj];
+      }
+      for (std::size_t jj = 0; jj < w; ++jj) c[i * n + j0 + jj] = acc[jj];
+    }
+  }
+}
+
+}  // namespace
+
+void ensure_shape(Tensor& dst, const Shape& shape) {
+  if (dst.shape() == shape) return;
+  std::size_t numel = shape.empty() ? 0 : 1;
+  for (std::size_t d : shape) numel *= d;
+  if (numel == dst.numel() && dst.storage_unique()) {
+    dst = dst.reshape(shape);
+    return;
+  }
+  dst = Tensor(shape);
+}
+
+void add_into(Tensor& dst, const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  ensure_shape(dst, a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = dst.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + pb[i];
+}
+
+void sub_into(Tensor& dst, const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  ensure_shape(dst, a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = dst.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = pa[i] - pb[i];
+}
+
+void mul_into(Tensor& dst, const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  ensure_shape(dst, a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = dst.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * pb[i];
+}
+
+void scale_into(Tensor& dst, const Tensor& a, float s) {
+  ensure_shape(dst, a.shape());
+  const float* pa = a.data();
+  float* po = dst.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * s;
+}
+
+void add_scalar_into(Tensor& dst, const Tensor& a, float s) {
+  ensure_shape(dst, a.shape());
+  const float* pa = a.data();
+  float* po = dst.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + s;
+}
+
+void matmul_into(Tensor& dst, const Tensor& a, const Tensor& b,
+                 ThreadPool* pool) {
+  check_matmul_shapes(a, b, "matmul");
+  const std::size_t m = a.size(0), k = a.size(1), n = b.size(1);
+  NS_REQUIRE(dst.data() != a.data() && dst.data() != b.data(),
+             "matmul_into: dst must not alias an operand");
+  ensure_shape(dst, Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = dst.data();
+  const std::size_t flops = 2 * m * n * k;
+  if (pool == nullptr) pool = &ThreadPool::global();
+  if (flops < kMatmulParallelFlops || m <= kRowBlock) {
+    gemm_rows(pa, pb, po, 0, m, k, n);
+    return;
+  }
+  const std::size_t blocks = (m + kRowBlock - 1) / kRowBlock;
+  pool->parallel_for(0, blocks, 1, [&](std::size_t blk) {
+    const std::size_t lo = blk * kRowBlock;
+    gemm_rows(pa, pb, po, lo, std::min(m, lo + kRowBlock), k, n);
+  });
+}
+
+void transpose2d_into(Tensor& dst, const Tensor& a) {
+  check_rank2(a, "transpose2d");
+  NS_REQUIRE(dst.data() != a.data(),
+             "transpose2d_into: dst must not alias the input");
+  const std::size_t r = a.size(0), c = a.size(1);
+  ensure_shape(dst, Shape{c, r});
+  const float* pa = a.data();
+  float* po = dst.data();
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) po[j * r + i] = pa[i * c + j];
+}
+
+void add_rowvec_into(Tensor& dst, const Tensor& x, const Tensor& b) {
+  check_rowvec(x, b, "add_rowvec");
+  ensure_shape(dst, x.shape());
+  const std::size_t rows = x.size(0), cols = x.size(1);
+  const float* px = x.data();
+  const float* pb = b.data();
+  float* po = dst.data();
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      po[i * cols + j] = px[i * cols + j] + pb[j];
+}
+
+void colwise_scale_into(Tensor& dst, const Tensor& x, const Tensor& s) {
+  check_colvec(x, s, "colwise_scale");
+  ensure_shape(dst, x.shape());
+  const std::size_t rows = x.size(0), cols = x.size(1);
+  const float* px = x.data();
+  const float* ps = s.data();
+  float* po = dst.data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float si = ps[i];
+    for (std::size_t j = 0; j < cols; ++j)
+      po[i * cols + j] = px[i * cols + j] * si;
+  }
+}
+
+void softmax_rows_into(Tensor& dst, const Tensor& x) {
+  check_rank2(x, "softmax_rows");
+  ensure_shape(dst, x.shape());
+  const std::size_t rows = x.size(0), cols = x.size(1);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* in = x.data() + i * cols;
+    float* o = dst.data() + i * cols;
+    float mx = in[0];
+    for (std::size_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      o[j] = std::exp(in[j] - mx);
+      denom += o[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < cols; ++j) o[j] *= inv;
+  }
+}
+
+void layernorm_rows_into(Tensor& dst, const Tensor& x, const Tensor& gain,
+                         const Tensor& bias, float eps, Tensor* xhat,
+                         Tensor* inv_std) {
+  check_rank2(x, "layernorm_rows");
+  const std::size_t rows = x.size(0), cols = x.size(1);
+  check_rowvec(x, gain, "layernorm_rows gain");
+  check_rowvec(x, bias, "layernorm_rows bias");
+  NS_REQUIRE(dst.data() != x.data(),
+             "layernorm_rows_into: dst must not alias the input");
+  ensure_shape(dst, x.shape());
+  if (xhat != nullptr) ensure_shape(*xhat, x.shape());
+  if (inv_std != nullptr) ensure_shape(*inv_std, Shape{rows});
+  const float* pg = gain.data();
+  const float* pb = bias.data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* in = x.data() + i * cols;
+    float* out = dst.data() + i * cols;
+    double mu = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) mu += in[j];
+    mu /= static_cast<double>(cols);
+    double var = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double d = in[j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    const double istd = 1.0 / std::sqrt(var + eps);
+    if (inv_std != nullptr) inv_std->data()[i] = static_cast<float>(istd);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const float xh = static_cast<float>((in[j] - mu) * istd);
+      if (xhat != nullptr) xhat->data()[i * cols + j] = xh;
+      out[j] = xh * pg[j] + pb[j];
+    }
+  }
+}
+
+// ------------------------------------------------------------- Workspace
+
+Tensor Workspace::acquire(const Shape& shape) {
+  std::size_t numel = shape.empty() ? 0 : 1;
+  for (std::size_t d : shape) numel *= d;
+  for (std::size_t i = pool_.size(); i > 0; --i) {
+    if (pool_[i - 1].numel() != numel) continue;
+    Tensor t = std::move(pool_[i - 1]);
+    pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+    ++reuse_count_;
+    return t.shape() == shape ? t : t.reshape(shape);
+  }
+  return Tensor(shape);
+}
+
+Tensor Workspace::acquire_zero(const Shape& shape) {
+  Tensor t = acquire(shape);
+  t.fill(0.0f);
+  return t;
+}
+
+void Workspace::release(Tensor t) {
+  // A buffer whose storage escaped (autograd node, caller copy) must not be
+  // recycled — hand it back to the allocator instead.
+  if (!t.storage_unique()) return;
+  if (pool_.size() >= 64) return;  // bound steady-state footprint
+  pool_.push_back(std::move(t));
+}
+
+}  // namespace ns

@@ -1,0 +1,90 @@
+// Parallel, allocation-free compute kernels behind the tensor-op API.
+//
+// Every `_into(dst, ...)` kernel writes its result into a caller-provided
+// destination instead of allocating a fresh tensor; dst is re-allocated only
+// when its shape does not already match the result. The allocating free
+// functions in tensor.hpp are thin wrappers over these kernels and remain
+// the convenience API for cold paths (see src/tensor/README.md for the full
+// contract).
+//
+// Aliasing: elementwise kernels (add/sub/mul/scale/add_scalar/add_rowvec/
+// colwise_scale/softmax_rows) permit dst to alias an input (in-place
+// update). matmul_into, transpose2d_into, and layernorm_rows_into require
+// dst to be distinct from every input.
+//
+// Determinism: matmul_into shards fixed row-blocks of C across the thread
+// pool above a FLOP threshold, but every output element is accumulated in
+// ascending-k order by exactly one task, so results are bitwise identical
+// for any thread count — including the sequential path. Unlike the historic
+// scalar loop, the kernel never skips zero multiplicands, so NaN/Inf in
+// either operand propagates per IEEE semantics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ns {
+
+class ThreadPool;
+
+// Parallelization threshold for matmul_into: below this many FLOPs
+// (2*m*n*k) the pool dispatch overhead exceeds the win and the kernel runs
+// on the calling thread. Exposed so tests can pick shapes on either side.
+inline constexpr std::size_t kMatmulParallelFlops = std::size_t{1} << 22;
+
+/// Reshapes dst to `shape`, reusing its storage when the element count
+/// already matches (and the storage is not shared); otherwise allocates.
+/// Contents are unspecified afterwards — callers overwrite every element.
+void ensure_shape(Tensor& dst, const Shape& shape);
+
+void add_into(Tensor& dst, const Tensor& a, const Tensor& b);
+void sub_into(Tensor& dst, const Tensor& a, const Tensor& b);
+void mul_into(Tensor& dst, const Tensor& a, const Tensor& b);
+void scale_into(Tensor& dst, const Tensor& a, float s);
+void add_scalar_into(Tensor& dst, const Tensor& a, float s);
+
+/// C[m,n] = A[m,k] @ B[k,n], tiled and (above kMatmulParallelFlops)
+/// row-block parallel on `pool` (global pool when nullptr).
+void matmul_into(Tensor& dst, const Tensor& a, const Tensor& b,
+                 ThreadPool* pool = nullptr);
+void transpose2d_into(Tensor& dst, const Tensor& a);
+/// dst[T,D] = x[T,D] + b[D] broadcast over rows.
+void add_rowvec_into(Tensor& dst, const Tensor& x, const Tensor& b);
+/// dst[T,D] = x[T,D] * s[T] broadcast over columns.
+void colwise_scale_into(Tensor& dst, const Tensor& x, const Tensor& s);
+/// Row-wise, max-subtracted softmax of a 2-D tensor.
+void softmax_rows_into(Tensor& dst, const Tensor& x);
+/// Row-wise layer norm with learned gain/bias over the last dimension.
+/// When xhat / inv_std are non-null they receive the normalized
+/// activations [T,D] and per-row 1/std [T] needed by the backward pass.
+void layernorm_rows_into(Tensor& dst, const Tensor& x, const Tensor& gain,
+                         const Tensor& bias, float eps = 1e-5f,
+                         Tensor* xhat = nullptr, Tensor* inv_std = nullptr);
+
+/// Arena of reusable tensor buffers for steady-state forward/backward
+/// passes. acquire() returns a tensor of the requested shape, recycling a
+/// previously released buffer of the same element count when available
+/// (contents unspecified); acquire_zero() additionally clears it. release()
+/// returns a buffer to the pool only when its storage is unshared — a
+/// buffer whose storage escaped (e.g. into an autograd graph) is simply
+/// dropped, so recycling can never alias live data. Not thread-safe: use
+/// one Workspace per module or per thread.
+class Workspace {
+ public:
+  Tensor acquire(const Shape& shape);
+  Tensor acquire_zero(const Shape& shape);
+  void release(Tensor t);
+
+  /// Buffers currently pooled for reuse.
+  std::size_t pooled() const { return pool_.size(); }
+  /// How many acquires were served from the pool (vs fresh allocations).
+  std::size_t reuse_count() const { return reuse_count_; }
+
+ private:
+  std::vector<Tensor> pool_;
+  std::size_t reuse_count_ = 0;
+};
+
+}  // namespace ns

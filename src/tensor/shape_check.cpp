@@ -1,0 +1,55 @@
+#include "tensor/shape_check.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace ns {
+namespace {
+
+std::string format_message(const std::string& op, const Shape& expected,
+                           const Shape& actual) {
+  std::ostringstream os;
+  os << op << ": shape mismatch — expected " << shape_to_string(expected)
+     << " (0 = any), got " << shape_to_string(actual);
+  return os.str();
+}
+
+}  // namespace
+
+ShapeError::ShapeError(std::string op, Shape expected, Shape actual)
+    : InvalidArgument(format_message(op, expected, actual)),
+      op_(std::move(op)),
+      expected_(std::move(expected)),
+      actual_(std::move(actual)) {}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.same_shape(b)) throw ShapeError(op, a.shape(), b.shape());
+}
+
+void check_rank2(const Tensor& t, const char* op) {
+  if (t.rank() != 2) throw ShapeError(op, Shape{0, 0}, t.shape());
+}
+
+void check_matmul_shapes(const Tensor& a, const Tensor& b, const char* op) {
+  check_rank2(a, op);
+  check_rank2(b, op);
+  if (a.size(1) != b.size(0))
+    throw ShapeError(op, Shape{a.size(1), 0}, b.shape());
+}
+
+void check_cols(const Tensor& x, std::size_t cols, const char* op) {
+  if (x.rank() != 2 || x.size(1) != cols)
+    throw ShapeError(op, Shape{0, cols}, x.shape());
+}
+
+void check_rowvec(const Tensor& x, const Tensor& v, const char* op) {
+  check_rank2(x, op);
+  if (v.numel() != x.size(1)) throw ShapeError(op, Shape{x.size(1)}, v.shape());
+}
+
+void check_colvec(const Tensor& x, const Tensor& s, const char* op) {
+  check_rank2(x, op);
+  if (s.numel() != x.size(0)) throw ShapeError(op, Shape{x.size(0)}, s.shape());
+}
+
+}  // namespace ns

@@ -1,0 +1,49 @@
+// Structured shape validation shared by tensor ops, autograd, and nn.
+//
+// ShapeError carries the offending expected/actual shapes as data, so
+// callers (and tests) can inspect *what* mismatched instead of parsing a
+// message string. The check_* helper family replaces the ad-hoc NS_REQUIRE
+// shape strings that used to be duplicated across tensor.cpp, autograd.cpp,
+// and the nn modules; every helper names the op in the thrown message.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/error.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ns {
+
+/// Raised on tensor shape contract violations. Derives from InvalidArgument
+/// so existing EXPECT_THROW(..., InvalidArgument) call sites keep working.
+class ShapeError : public InvalidArgument {
+ public:
+  ShapeError(std::string op, Shape expected, Shape actual);
+
+  const std::string& op() const { return op_; }
+  /// The shape the op required. For rank/dim checks the wildcard dimension
+  /// is 0 (e.g. expected [0,3] means "any rows, exactly 3 columns").
+  const Shape& expected() const { return expected_; }
+  const Shape& actual() const { return actual_; }
+
+ private:
+  std::string op_;
+  Shape expected_;
+  Shape actual_;
+};
+
+/// a and b must have identical shapes.
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op);
+/// t must be rank 2.
+void check_rank2(const Tensor& t, const char* op);
+/// Validates A[m,k] @ B[k,n]: both rank 2 with matching inner dimension.
+void check_matmul_shapes(const Tensor& a, const Tensor& b, const char* op);
+/// x must be rank 2 with exactly `cols` columns (any row count).
+void check_cols(const Tensor& x, std::size_t cols, const char* op);
+/// x must be rank 2 and v a vector with one entry per column of x.
+void check_rowvec(const Tensor& x, const Tensor& v, const char* op);
+/// x must be rank 2 and s a vector with one entry per row of x.
+void check_colvec(const Tensor& x, const Tensor& s, const char* op);
+
+}  // namespace ns

@@ -5,6 +5,9 @@
 #include <numeric>
 #include <sstream>
 
+#include "tensor/kernels.hpp"
+#include "tensor/shape_check.hpp"
+
 namespace ns {
 namespace {
 
@@ -86,140 +89,72 @@ void Tensor::fill(float value) {
   std::fill(storage_->begin(), storage_->end(), value);
 }
 
-// ---------------------------------------------------------------- free ops
-
-namespace {
-
-void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
-  NS_REQUIRE(a.same_shape(b), op << ": shape mismatch "
-                                 << shape_to_string(a.shape()) << " vs "
-                                 << shape_to_string(b.shape()));
-}
-
-}  // namespace
+// ----------------------------------------------------------------- free ops
+// Allocating wrappers over the `_into` kernels in tensor/kernels.cpp. Kept
+// for cold paths; hot paths call the kernels against Workspace buffers.
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "add");
-  Tensor out(a.shape());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + pb[i];
+  Tensor out;
+  add_into(out, a, b);
   return out;
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "sub");
-  Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.numel(); ++i)
-    out.data()[i] = a.data()[i] - b.data()[i];
+  Tensor out;
+  sub_into(out, a, b);
   return out;
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "mul");
-  Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.numel(); ++i)
-    out.data()[i] = a.data()[i] * b.data()[i];
+  Tensor out;
+  mul_into(out, a, b);
   return out;
 }
 
 Tensor scale(const Tensor& a, float s) {
-  Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.numel(); ++i) out.data()[i] = a.data()[i] * s;
+  Tensor out;
+  scale_into(out, a, s);
   return out;
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
-  Tensor out(a.shape());
-  for (std::size_t i = 0; i < a.numel(); ++i) out.data()[i] = a.data()[i] + s;
+  Tensor out;
+  add_scalar_into(out, a, s);
   return out;
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  NS_REQUIRE(a.rank() == 2 && b.rank() == 2,
-             "matmul expects 2-D operands, got " << shape_to_string(a.shape())
-                                                 << " @ "
-                                                 << shape_to_string(b.shape()));
-  const std::size_t m = a.size(0), k = a.size(1), k2 = b.size(0),
-                    n = b.size(1);
-  NS_REQUIRE(k == k2, "matmul inner-dim mismatch " << k << " vs " << k2);
-  Tensor out(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // i-k-j loop order: streams B rows, accumulates into C rows (cache friendly).
-  for (std::size_t i = 0; i < m; ++i) {
-    float* crow = po + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  Tensor out;
+  matmul_into(out, a, b);
   return out;
 }
 
 Tensor transpose2d(const Tensor& a) {
-  NS_REQUIRE(a.rank() == 2, "transpose2d expects a 2-D tensor");
-  const std::size_t r = a.size(0), c = a.size(1);
-  Tensor out(Shape{c, r});
-  for (std::size_t i = 0; i < r; ++i)
-    for (std::size_t j = 0; j < c; ++j) out.data()[j * r + i] = a.data()[i * c + j];
+  Tensor out;
+  transpose2d_into(out, a);
   return out;
 }
 
 Tensor add_rowvec(const Tensor& x, const Tensor& b) {
-  NS_REQUIRE(x.rank() == 2, "add_rowvec expects 2-D x");
-  NS_REQUIRE(b.numel() == x.size(1),
-             "add_rowvec: vector length " << b.numel() << " != cols "
-                                          << x.size(1));
-  Tensor out(x.shape());
-  const std::size_t rows = x.size(0), cols = x.size(1);
-  for (std::size_t i = 0; i < rows; ++i)
-    for (std::size_t j = 0; j < cols; ++j)
-      out.data()[i * cols + j] = x.data()[i * cols + j] + b.data()[j];
+  Tensor out;
+  add_rowvec_into(out, x, b);
   return out;
 }
 
 Tensor colwise_scale(const Tensor& x, const Tensor& s) {
-  NS_REQUIRE(x.rank() == 2, "colwise_scale expects 2-D x");
-  NS_REQUIRE(s.numel() == x.size(0),
-             "colwise_scale: scale length " << s.numel() << " != rows "
-                                            << x.size(0));
-  Tensor out(x.shape());
-  const std::size_t rows = x.size(0), cols = x.size(1);
-  for (std::size_t i = 0; i < rows; ++i) {
-    const float si = s.data()[i];
-    for (std::size_t j = 0; j < cols; ++j)
-      out.data()[i * cols + j] = x.data()[i * cols + j] * si;
-  }
+  Tensor out;
+  colwise_scale_into(out, x, s);
   return out;
 }
 
 Tensor softmax_rows(const Tensor& x) {
-  NS_REQUIRE(x.rank() == 2, "softmax_rows expects a 2-D tensor");
-  const std::size_t rows = x.size(0), cols = x.size(1);
-  Tensor out(x.shape());
-  for (std::size_t i = 0; i < rows; ++i) {
-    const float* in = x.data() + i * cols;
-    float* o = out.data() + i * cols;
-    float mx = in[0];
-    for (std::size_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
-    double denom = 0.0;
-    for (std::size_t j = 0; j < cols; ++j) {
-      o[j] = std::exp(in[j] - mx);
-      denom += o[j];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::size_t j = 0; j < cols; ++j) o[j] *= inv;
-  }
+  Tensor out;
+  softmax_rows_into(out, x);
   return out;
 }
 
 Tensor slice_cols(const Tensor& x, std::size_t c0, std::size_t c1) {
-  NS_REQUIRE(x.rank() == 2, "slice_cols expects a 2-D tensor");
+  check_rank2(x, "slice_cols");
   NS_REQUIRE(c0 < c1 && c1 <= x.size(1),
              "slice_cols range [" << c0 << ',' << c1 << ") out of cols "
                                   << x.size(1));
@@ -231,7 +166,7 @@ Tensor slice_cols(const Tensor& x, std::size_t c0, std::size_t c1) {
 }
 
 Tensor slice_rows(const Tensor& x, std::size_t r0, std::size_t r1) {
-  NS_REQUIRE(x.rank() == 2, "slice_rows expects a 2-D tensor");
+  check_rank2(x, "slice_rows");
   NS_REQUIRE(r0 < r1 && r1 <= x.size(0),
              "slice_rows range [" << r0 << ',' << r1 << ") out of rows "
                                   << x.size(0));

@@ -87,6 +87,11 @@ class Tensor {
 
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 
+  /// True when no other Tensor (or captured copy) shares this storage.
+  /// Workspace recycling and in-place kernels rely on this to avoid
+  /// mutating data visible through another handle.
+  bool storage_unique() const { return storage_.use_count() == 1; }
+
  private:
   Shape shape_;
   std::size_t numel_ = 0;
@@ -95,6 +100,13 @@ class Tensor {
 
 // ---- Non-differentiable tensor math (used by backward passes and by all
 // ---- non-NN numeric code). Shapes are validated; results are new tensors.
+//
+// NOTE (soft-deprecated on hot paths): each op below that has an `_into`
+// counterpart in tensor/kernels.hpp is now a thin allocating wrapper over
+// that kernel. New hot-path code (nn forward/backward, serve scoring)
+// should call the `_into` variants against Workspace buffers instead; these
+// wrappers remain for cold paths and existing call sites. See
+// src/tensor/README.md for the contract.
 
 Tensor add(const Tensor& a, const Tensor& b);
 Tensor sub(const Tensor& a, const Tensor& b);
