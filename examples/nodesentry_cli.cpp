@@ -7,10 +7,12 @@
 //       from Prometheus exports + `sacct` job lists.
 //
 //   nodesentry_cli run <data-dir> [--train-fraction F] [--epochs N]
-//       [--save-model <dir>] [--out <results.csv>]
+//       [--save-model <dir>] [--out <results.csv>] [--metrics-out <prefix>]
 //       Trains NodeSentry on the first F of the timeline, detects anomalies
 //       on the rest, writes per-node anomaly intervals, and — when the
 //       dataset ships ground-truth labels — prints point-adjusted metrics.
+//       --metrics-out dumps the pipeline-stage metrics registry as
+//       <prefix>.prom (Prometheus text) + <prefix>.json.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -21,6 +23,7 @@
 #include "eval/metrics.hpp"
 #include "io/csv.hpp"
 #include "io/dataset_io.hpp"
+#include "obs/export.hpp"
 #include "sim/dataset_builder.hpp"
 
 namespace {
@@ -119,6 +122,13 @@ int cmd_run(int argc, char** argv) {
     std::printf("cluster library saved to %s\n", model_dir);
   }
 
+  const char* metrics_out = arg_value(argc, argv, "--metrics-out", "");
+  if (metrics_out[0] != '\0') {
+    obs::write_metrics_files(obs::Registry::global(), metrics_out);
+    std::printf("metrics written to %s.prom / %s.json\n", metrics_out,
+                metrics_out);
+  }
+
   // Evaluate against shipped labels when present.
   bool has_labels = false;
   for (const auto& labels : dataset.labels)
@@ -145,7 +155,8 @@ int main(int argc, char** argv) {
                  "  simulate <dir> [--preset d1|d2] [--seed N] [--scale F] "
                  "[--anomaly-ratio R]\n"
                  "  run <data-dir> [--train-fraction F] [--epochs N] "
-                 "[--save-model <dir>] [--out <csv>]\n");
+                 "[--save-model <dir>] [--out <csv>] "
+                 "[--metrics-out <prefix>]\n");
     return 2;
   }
   if (std::strcmp(argv[1], "simulate") == 0) return cmd_simulate(argc, argv);

@@ -8,11 +8,17 @@
 //       [--speedup F] [--threads N] [--batch-tokens N] [--slack N]
 //       [--late-prob P] [--max-delay N]
 //       [--out-dir <dir>] [--verify]
+//       [--metrics-out <prefix>] [--metrics-every N] [--trace-out <file>]
 //
 //   --data-dir      load a CSV dataset instead of simulating one
 //   --restore       warm-start from --checkpoint instead of fitting
 //   --speedup       pace replay at F x real time (0 = as fast as possible)
 //   --verify        also run batch detect() and report the max score delta
+//   --metrics-out   write <prefix>.prom (Prometheus text) + <prefix>.json
+//                   snapshots of the shared metrics registry (fit stages +
+//                   serve ingest/match/score histograms)
+//   --metrics-every also refresh the snapshots every N streamed samples
+//   --trace-out     JSONL span trace (one line per match/score span)
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -23,6 +29,8 @@
 #include "eval/metrics.hpp"
 #include "io/csv.hpp"
 #include "io/dataset_io.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "serve/replay.hpp"
 #include "sim/dataset_builder.hpp"
 
@@ -62,8 +70,16 @@ int main(int argc, char** argv) {
                  "[--threads N]\n"
                  "  [--batch-tokens N] [--slack N] [--late-prob P] "
                  "[--max-delay N]\n"
-                 "  [--out-dir DIR] [--verify]\n");
+                 "  [--out-dir DIR] [--verify]\n"
+                 "  [--metrics-out PREFIX] [--metrics-every N] "
+                 "[--trace-out FILE]\n");
     return 2;
+  }
+
+  const char* trace_out = arg_value(argc, argv, "--trace-out", "");
+  if (trace_out[0] != '\0') {
+    obs::TraceLog::global().open(trace_out);
+    std::printf("tracing spans to %s\n", trace_out);
   }
 
   // ---- Data: load a CSV tree or simulate one of the paper's datasets.
@@ -139,6 +155,18 @@ int main(int argc, char** argv) {
   replay.jitter.max_delay = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--max-delay", "0")));
   replay.jitter.seed = seed;
+  const std::string metrics_out =
+      arg_value(argc, argv, "--metrics-out", "");
+  const std::size_t metrics_every = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--metrics-every", "0")));
+  if (!metrics_out.empty() && metrics_every > 0) {
+    // Periodic exposition: a scraper can pick up <prefix>.prom while the
+    // replay is still streaming (files are swapped atomically).
+    replay.progress_every = metrics_every;
+    replay.on_progress = [&metrics_out](std::size_t) {
+      obs::write_metrics_files(obs::Registry::global(), metrics_out);
+    };
+  }
   const ReplayReport report =
       serve_replay(engine, dataset, train_end, replay);
   const ServeStats& stats = report.result.stats;
@@ -166,6 +194,12 @@ int main(int argc, char** argv) {
   print_latency("ingest", stats.ingest_latency);
   print_latency("match", stats.match_latency);
   print_latency("score", stats.score_latency);
+
+  if (!metrics_out.empty()) {
+    obs::write_metrics_files(obs::Registry::global(), metrics_out);
+    std::printf("metrics written to %s.prom / %s.json\n",
+                metrics_out.c_str(), metrics_out.c_str());
+  }
 
   // ---- Export flagged intervals under the output directory.
   const std::string out_dir =

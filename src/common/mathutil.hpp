@@ -36,16 +36,45 @@ inline double stddev(std::span<const float> xs) {
   return std::sqrt(variance(xs));
 }
 
+/// One type-7 quantile (linear interpolation between order statistics) of
+/// an already-sorted, NaN-free sample. Callers that need several quantiles
+/// of the same sample should sort once and call this (or
+/// quantiles_from_sorted) per q instead of paying a copy + sort per
+/// quantile the way percentile() does.
+inline double quantile_from_sorted(std::span<const float> sorted, double q) {
+  NS_REQUIRE(!sorted.empty(), "quantile of empty range");
+  NS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]: " << q);
+  // NaN breaks the sort order itself, so sorted input cannot contain one
+  // anywhere without contaminating an end; checking both ends is O(1).
+  NS_REQUIRE(!std::isnan(sorted.front()) && !std::isnan(sorted.back()),
+             "quantile of NaN-contaminated range");
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return (1.0 - frac) * sorted[lo] + frac * sorted[hi];
+}
+
+/// Batch form: one quantile per entry of `qs`, all from a single sorted
+/// pass over the data.
+inline std::vector<double> quantiles_from_sorted(std::span<const float> sorted,
+                                                 std::span<const double> qs) {
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(quantile_from_sorted(sorted, q));
+  return out;
+}
+
 /// q in [0,1]; linear interpolation between order statistics (type-7).
+/// Rejects NaN samples (sorting them is undefined and every quantile of
+/// such a sample is meaningless).
 inline double percentile(std::vector<float> xs, double q) {
   NS_REQUIRE(!xs.empty(), "percentile of empty range");
   NS_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]: " << q);
+  for (const float x : xs)
+    NS_REQUIRE(!std::isnan(x), "percentile of NaN-contaminated range");
   std::sort(xs.begin(), xs.end());
-  const double pos = q * static_cast<double>(xs.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return (1.0 - frac) * xs[lo] + frac * xs[hi];
+  return quantile_from_sorted(xs, q);
 }
 
 inline double median(std::vector<float> xs) {

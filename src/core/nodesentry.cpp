@@ -12,6 +12,7 @@
 #include "common/thread_pool.hpp"
 #include "features/extract.hpp"
 #include "nn/optim.hpp"
+#include "obs/timer.hpp"
 
 namespace ns {
 
@@ -57,6 +58,14 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
   FitReport report;
   Stopwatch total;
   train_end_ = train_end;
+  // Stage durations also land in the shared metrics registry so one
+  // exposition (obs/export.hpp) covers offline fit next to the serve path.
+  obs::Registry& metrics = obs::Registry::global();
+  const auto fit_stage_hist = [&metrics](const char* stage) -> obs::Histogram& {
+    return metrics.histogram(
+        "ns_fit_stage_seconds", "Offline fit stage duration in seconds",
+        obs::default_duration_buckets(), {{"stage", stage}}, 256);
+  };
 
   // ---- Preprocessing (§3.2) behind the data-quality guard
   Stopwatch sw;
@@ -72,6 +81,7 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
   raw_metrics_ = raw.num_metrics();
   report.quality = std::move(pre.quality);
   report.preprocess_seconds = sw.elapsed_s();
+  fit_stage_hist("preprocess").observe(report.preprocess_seconds);
   report.metrics_after_reduction = processed_.num_metrics();
   if (!report.quality.clean())
     NS_LOG_INFO("quality guard masked " << report.quality.points_invalid
@@ -121,6 +131,7 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
     library_.pca().transform_in_place(features);
   }
   report.feature_seconds = sw.elapsed_s();
+  fit_stage_hist("features").observe(report.feature_seconds);
   report.num_segments = segments.size();
 
   // ---- Coarse-grained clustering (§3.3)
@@ -154,6 +165,7 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
     }
   }
   report.clustering_seconds = sw.elapsed_s();
+  fit_stage_hist("clustering").observe(report.clustering_seconds);
 
   // ---- Fine-grained model sharing (§3.4)
   sw.restart();
@@ -172,10 +184,15 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
   const std::size_t wave =
       checkpointing && config_.checkpoint_every > 0 ? config_.checkpoint_every
                                                     : nonempty.size();
+  obs::Histogram& cluster_train_hist = metrics.histogram(
+      "ns_fit_cluster_train_seconds",
+      "Per-cluster shared-model training duration in seconds",
+      obs::default_duration_buckets(), {}, 256);
   for (std::size_t base = 0; base < nonempty.size(); base += wave) {
     const std::size_t stop = std::min(nonempty.size(), base + wave);
     ThreadPool::global().parallel_for(base, stop, 1, [&](std::size_t idx) {
       const std::size_t c = nonempty[idx];
+      obs::ScopedTimer timer(&cluster_train_hist, "fit.train_cluster");
       library_.clusters()[c] = build_cluster(
           segments, features, members[c], config_.seed + 1000 + c);
     });
@@ -196,6 +213,7 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
                                 }),
                  clusters.end());
   report.training_seconds = sw.elapsed_s();
+  fit_stage_hist("training").observe(report.training_seconds);
   report.num_clusters = library_.size();
   report.total_seconds = total.elapsed_s();
   NS_LOG_INFO("NodeSentry fit: " << report.num_segments << " segments -> "
@@ -532,9 +550,13 @@ std::vector<float> score_reference_levels(
   for (const auto& [begin, end] : segment_ranges) {
     NS_REQUIRE(begin <= end && end <= scores.size(),
                "score_reference_levels: bad range");
-    std::vector<float> seg_scores(
-        scores.begin() + static_cast<std::ptrdiff_t>(begin),
-        scores.begin() + static_cast<std::ptrdiff_t>(end));
+    // Non-finite scores never enter the reference (same policy as
+    // ksigma_flags: a NaN burst must not poison the threshold).
+    std::vector<float> seg_scores;
+    seg_scores.reserve(end - begin);
+    for (std::size_t t = begin; t < end; ++t)
+      if (std::isfinite(scores[t])) seg_scores.push_back(scores[t]);
+    if (seg_scores.empty()) continue;
     // 25th percentile, not median: a fault can cover a large fraction of a
     // short (clipped) test segment, and the reference must track the
     // *normal* level, not the contaminated bulk.
@@ -585,6 +607,14 @@ NodeSentry::DetectReport NodeSentry::detect() {
   const std::vector<CoreSegment> segments =
       test_segments(processed_, train_end_, config_);
   Rng rng(config_.seed ^ 0xDE7EC7);
+  obs::Registry& metrics = obs::Registry::global();
+  const char* kDetectHelp = "Batch detect stage latency in seconds";
+  obs::Histogram& detect_match_hist = metrics.histogram(
+      "ns_detect_stage_seconds", kDetectHelp, obs::default_latency_buckets(),
+      {{"stage", "match"}}, 4096);
+  obs::Histogram& detect_score_hist = metrics.histogram(
+      "ns_detect_stage_seconds", kDetectHelp, obs::default_latency_buckets(),
+      {{"stage", "score"}}, 4096);
   double match_seconds = 0.0;
   const bool have_mask = !mask_.empty();
   std::size_t clusters_since_checkpoint = 0;
@@ -667,7 +697,9 @@ NodeSentry::DetectReport NodeSentry::detect() {
             : library_.scale_masked(segment_features(window), feature_valid);
     const MatchResult match =
         library_.match(feats, config_.match_threshold_factor);
-    match_seconds += match_sw.elapsed_s();
+    const double match_elapsed = match_sw.elapsed_s();
+    detect_match_hist.observe(match_elapsed);
+    match_seconds += match_elapsed;
 
     std::size_t cluster_index = match.cluster;
     if (match.matched) {
@@ -821,6 +853,7 @@ NodeSentry::DetectReport NodeSentry::detect() {
     }
 
     // ---- Reconstruction scoring with the matched shared model.
+    obs::ScopedTimer score_timer(&detect_score_hist, "detect.score");
     const ClusterEntry& entry = library_.clusters()[cluster_index];
     const std::size_t segment_id =
         library_.nearest_member(cluster_index, feats);

@@ -1,0 +1,217 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/fileio.hpp"
+#include "common/mathutil.hpp"
+
+namespace ns::obs {
+namespace {
+
+void append_escaped(std::string& out, const std::string& value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+/// `{a="b",c="d"}` — with `extra` ("le", bound) appended when given.
+/// Empty label set without extra renders as nothing.
+void append_label_block(std::string& out, const LabelSet& labels,
+                        const char* extra_key = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    append_escaped(out, value);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+}
+
+std::string format_bound(double bound) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", bound);
+  return buf;
+}
+
+const char* kind_name(Registry::Kind kind) {
+  switch (kind) {
+    case Registry::Kind::kCounter: return "counter";
+    case Registry::Kind::kGauge: return "gauge";
+    case Registry::Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& registry) {
+  const std::vector<Registry::Entry> entries = registry.entries();
+  std::string out;
+  out.reserve(entries.size() * 128);
+  std::string last_family;
+  for (const Registry::Entry& entry : entries) {
+    if (entry.name != last_family) {
+      // entries() sorts by name, so one HELP/TYPE header covers every
+      // label combination of the family.
+      out += "# HELP " + entry.name + " ";
+      append_escaped(out, entry.help);
+      out += "\n# TYPE " + entry.name + " ";
+      out += kind_name(entry.kind);
+      out += '\n';
+      last_family = entry.name;
+    }
+    switch (entry.kind) {
+      case Registry::Kind::kCounter: {
+        out += entry.name;
+        append_label_block(out, entry.labels);
+        out += ' ';
+        out += std::to_string(entry.counter->value());
+        out += '\n';
+        break;
+      }
+      case Registry::Kind::kGauge: {
+        out += entry.name;
+        append_label_block(out, entry.labels);
+        out += ' ';
+        append_double(out, entry.gauge->value());
+        out += '\n';
+        break;
+      }
+      case Registry::Kind::kHistogram: {
+        const Histogram::Snapshot snap = entry.histogram->snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+          cumulative += snap.buckets[b];
+          const std::string le = b < snap.upper_bounds.size()
+                                     ? format_bound(snap.upper_bounds[b])
+                                     : std::string("+Inf");
+          out += entry.name + "_bucket";
+          append_label_block(out, entry.labels, "le", le);
+          out += ' ';
+          out += std::to_string(cumulative);
+          out += '\n';
+        }
+        out += entry.name + "_sum";
+        append_label_block(out, entry.labels);
+        out += ' ';
+        append_double(out, snap.sum);
+        out += '\n';
+        out += entry.name + "_count";
+        append_label_block(out, entry.labels);
+        out += ' ';
+        out += std::to_string(snap.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Registry& registry) {
+  const std::vector<Registry::Entry> entries = registry.entries();
+  std::string out = "{\n  \"metrics\": [";
+  bool first_metric = true;
+  for (const Registry::Entry& entry : entries) {
+    out += first_metric ? "\n" : ",\n";
+    first_metric = false;
+    out += "    {\"name\": \"" + entry.name + "\", \"type\": \"";
+    out += kind_name(entry.kind);
+    out += "\", \"labels\": {";
+    bool first_label = true;
+    for (const auto& [key, value] : entry.labels) {
+      if (!first_label) out += ", ";
+      first_label = false;
+      out += "\"" + key + "\": \"";
+      append_escaped(out, value);
+      out += '"';
+    }
+    out += '}';
+    switch (entry.kind) {
+      case Registry::Kind::kCounter:
+        out += ", \"value\": " + std::to_string(entry.counter->value());
+        break;
+      case Registry::Kind::kGauge:
+        out += ", \"value\": ";
+        append_double(out, entry.gauge->value());
+        break;
+      case Registry::Kind::kHistogram: {
+        const Histogram::Snapshot snap = entry.histogram->snapshot();
+        out += ", \"count\": " + std::to_string(snap.count);
+        out += ", \"sum\": ";
+        append_double(out, snap.sum);
+        out += ", \"buckets\": [";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+          cumulative += snap.buckets[b];
+          if (b > 0) out += ", ";
+          out += "{\"le\": ";
+          if (b < snap.upper_bounds.size())
+            append_double(out, snap.upper_bounds[b]);
+          else
+            out += "\"+Inf\"";
+          out += ", \"count\": " + std::to_string(cumulative) + "}";
+        }
+        out += ']';
+        if (!snap.window.empty()) {
+          std::vector<float> window = snap.window;
+          std::sort(window.begin(), window.end());
+          static constexpr double kQs[] = {0.5, 0.9, 0.99};
+          const std::vector<double> qs = quantiles_from_sorted(window, kQs);
+          out += ", \"window\": {\"samples\": " +
+                 std::to_string(window.size());
+          out += ", \"p50\": ";
+          append_double(out, qs[0]);
+          out += ", \"p90\": ";
+          append_double(out, qs[1]);
+          out += ", \"p99\": ";
+          append_double(out, qs[2]);
+          out += ", \"max\": ";
+          append_double(out, window.back());
+          out += '}';
+        }
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void write_metrics_files(const Registry& registry,
+                         const std::string& path_prefix) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path_prefix).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  write_file_atomic(path_prefix + ".prom", to_prometheus(registry));
+  write_file_atomic(path_prefix + ".json", to_json(registry));
+}
+
+}  // namespace ns::obs

@@ -1,0 +1,27 @@
+// Exposition: renders a Registry as Prometheus text format (one scrape
+// body) or as a structured JSON snapshot (machine-readable, includes the
+// windowed latency quantiles that the text format cannot carry).
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace ns::obs {
+
+/// Prometheus text exposition format 0.0.4: `# HELP` / `# TYPE` per
+/// family, cumulative `_bucket{le=...}` rows plus `_sum` / `_count` for
+/// histograms.
+std::string to_prometheus(const Registry& registry);
+
+/// JSON snapshot: {"metrics":[{name, type, labels, ...}]}. Histograms
+/// carry cumulative count/sum/buckets plus p50/p90/p99/max over the
+/// recent-sample window.
+std::string to_json(const Registry& registry);
+
+/// Writes `<path_prefix>.prom` and `<path_prefix>.json` atomically
+/// (tmp + rename, via write_file_atomic). Creates parent directories.
+void write_metrics_files(const Registry& registry,
+                         const std::string& path_prefix);
+
+}  // namespace ns::obs

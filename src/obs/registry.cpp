@@ -1,0 +1,169 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ns::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds,
+                     std::size_t window_capacity)
+    : bounds_(std::move(upper_bounds)), window_capacity_(window_capacity) {
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i)
+    NS_REQUIRE(bounds_[i] < bounds_[i + 1],
+               "histogram bounds not strictly increasing at index " << i);
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  if (window_capacity_ > 0) {
+    window_ = std::make_unique<std::atomic<float>[]>(window_capacity_);
+    for (std::size_t i = 0; i < window_capacity_; ++i)
+      window_[i].store(0.0f, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.buckets.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t written =
+      window_written_.load(std::memory_order_relaxed);
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(written, window_capacity_));
+  snap.window.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    snap.window[i] = window_[i].load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> default_latency_buckets() {
+  return {1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+          1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,  1.0,  2.5,    5.0, 10.0};
+}
+
+std::vector<double> default_duration_buckets() {
+  return {1e-3, 5e-3, 2.5e-2, 0.1, 0.5, 1.0, 5.0, 15.0,
+          60.0, 300.0, 900.0, 3600.0};
+}
+
+struct Registry::Stored {
+  std::string name;
+  std::string help;
+  LabelSet labels;
+  Kind kind = Kind::kCounter;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Stored* Registry::find_locked(const std::string& name,
+                                        const LabelSet& labels) {
+  for (const auto& m : metrics_)
+    if (m->name == name && m->labels == labels) return m.get();
+  return nullptr;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Stored* existing = find_locked(name, labels)) {
+    NS_REQUIRE(existing->kind == Kind::kCounter,
+               "metric '" << name << "' already registered as a non-counter");
+    return *existing->counter;
+  }
+  auto stored = std::make_unique<Stored>();
+  stored->name = name;
+  stored->help = help;
+  stored->labels = std::move(labels);
+  stored->kind = Kind::kCounter;
+  stored->counter = std::make_unique<Counter>();
+  Counter& ref = *stored->counter;
+  metrics_.push_back(std::move(stored));
+  return ref;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       LabelSet labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Stored* existing = find_locked(name, labels)) {
+    NS_REQUIRE(existing->kind == Kind::kGauge,
+               "metric '" << name << "' already registered as a non-gauge");
+    return *existing->gauge;
+  }
+  auto stored = std::make_unique<Stored>();
+  stored->name = name;
+  stored->help = help;
+  stored->labels = std::move(labels);
+  stored->kind = Kind::kGauge;
+  stored->gauge = std::make_unique<Gauge>();
+  Gauge& ref = *stored->gauge;
+  metrics_.push_back(std::move(stored));
+  return ref;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> upper_bounds,
+                               LabelSet labels,
+                               std::size_t window_capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Stored* existing = find_locked(name, labels)) {
+    NS_REQUIRE(existing->kind == Kind::kHistogram,
+               "metric '" << name
+                          << "' already registered as a non-histogram");
+    return *existing->histogram;
+  }
+  auto stored = std::make_unique<Stored>();
+  stored->name = name;
+  stored->help = help;
+  stored->labels = std::move(labels);
+  stored->kind = Kind::kHistogram;
+  stored->histogram =
+      std::make_unique<Histogram>(std::move(upper_bounds), window_capacity);
+  Histogram& ref = *stored->histogram;
+  metrics_.push_back(std::move(stored));
+  return ref;
+}
+
+std::vector<Registry::Entry> Registry::entries() const {
+  std::vector<Entry> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(metrics_.size());
+    for (const auto& m : metrics_) {
+      Entry e;
+      e.name = m->name;
+      e.help = m->help;
+      e.labels = m->labels;
+      e.kind = m->kind;
+      e.counter = m->counter.get();
+      e.gauge = m->gauge.get();
+      e.histogram = m->histogram.get();
+      out.push_back(std::move(e));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
+  });
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.size();
+}
+
+}  // namespace ns::obs

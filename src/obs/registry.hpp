@@ -1,0 +1,172 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms with a lock-free (atomic) hot path, designed so that every
+// pipeline stage — offline fit, online detect, and the serve engine — can
+// record into one shared substrate that the exporters (obs/export.hpp)
+// expose as Prometheus text or a JSON snapshot.
+//
+// Concurrency contract: observe()/inc()/set() are wait-free on the caller
+// side (relaxed atomics; the only loop is a CAS retry on the float
+// accumulators) and safe from any thread. Registration
+// (counter()/gauge()/histogram()) takes a mutex and is meant for setup
+// paths; re-registering the same (name, labels) returns the existing
+// instance, so instruments can be looked up wherever they are needed.
+// Snapshots are taken with relaxed loads: under concurrent writers the
+// pieces of a histogram snapshot (count / sum / buckets) may disagree by
+// the handful of observations that landed mid-snapshot, which is the usual
+// Prometheus scrape semantics; after writers quiesce they agree exactly.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ns::obs {
+
+/// Label key/value pairs, fixed at registration (e.g. {{"stage","ingest"}}).
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram plus a bounded window of the most recent raw
+/// samples. The buckets give cheap cumulative exposition (Prometheus
+/// `le`-style); the window gives exact recent quantiles (the serve
+/// engine's latency view) without unbounded memory on endless streams.
+/// `count()`/`sum()` are cumulative over every observation ever made —
+/// they do NOT reset when the window wraps.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit +Inf bucket
+  /// is appended. `window_capacity` may be 0 to disable the sample window.
+  Histogram(std::vector<double> upper_bounds, std::size_t window_capacity);
+
+  void observe(double value) {
+    std::size_t b = 0;
+    const std::size_t nb = bounds_.size();
+    while (b < nb && value > bounds_[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + value,
+                                       std::memory_order_relaxed)) {
+    }
+    if (window_capacity_ > 0) {
+      const std::uint64_t slot =
+          window_written_.fetch_add(1, std::memory_order_relaxed);
+      window_[slot % window_capacity_].store(static_cast<float>(value),
+                                             std::memory_order_relaxed);
+    }
+  }
+
+  struct Snapshot {
+    std::vector<double> upper_bounds;      ///< finite bounds; +Inf implicit
+    std::vector<std::uint64_t> buckets;    ///< per-bucket (NOT cumulative)
+    std::uint64_t count = 0;               ///< cumulative observations
+    double sum = 0.0;                      ///< cumulative sum
+    /// Up to window_capacity most recent samples, in no particular order.
+    std::vector<float> window;
+  };
+  Snapshot snapshot() const;
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  std::size_t window_capacity() const { return window_capacity_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::size_t window_capacity_ = 0;
+  std::unique_ptr<std::atomic<float>[]> window_;
+  std::atomic<std::uint64_t> window_written_{0};
+};
+
+/// Exponential bucket ladder for sub-second stage latencies
+/// (10 µs … 10 s); the serve engine's per-sample/per-batch timings.
+std::vector<double> default_latency_buckets();
+
+/// Wider ladder for offline pipeline stages (1 ms … ~1 h); fit-time
+/// preprocessing/feature/clustering/training durations.
+std::vector<double> default_duration_buckets();
+
+class Registry {
+ public:
+  Registry();   // out of line: Stored is incomplete here
+  ~Registry();  // ditto
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every instrument defaults to.
+  static Registry& global();
+
+  /// Finds or creates. Throws ns::InvalidArgument when (name, labels) is
+  /// already registered as a different metric kind. `help` and histogram
+  /// shape parameters are fixed by the first registration.
+  Counter& counter(const std::string& name, const std::string& help,
+                   LabelSet labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               LabelSet labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> upper_bounds, LabelSet labels = {},
+                       std::size_t window_capacity = 1024);
+
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  /// One registered metric, for the exporters. Pointers stay valid for the
+  /// registry's lifetime (metrics are never unregistered).
+  struct Entry {
+    std::string name;
+    std::string help;
+    LabelSet labels;
+    Kind kind = Kind::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  /// Stable-order (name, then labels) listing of every registered metric.
+  std::vector<Entry> entries() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Stored;
+  Stored* find_locked(const std::string& name, const LabelSet& labels);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Stored>> metrics_;
+};
+
+}  // namespace ns::obs

@@ -1,0 +1,49 @@
+// RAII trace spans: a ScopedTimer measures its own lifetime, feeds the
+// elapsed seconds into a Histogram, and — when the global TraceLog is
+// enabled — appends a JSONL span record. stop() ends the span early
+// (e.g. to exclude follow-on work from the measurement) and returns the
+// elapsed seconds; the destructor is then a no-op.
+#pragma once
+
+#include "common/stopwatch.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace ns::obs {
+
+class ScopedTimer {
+ public:
+  /// `histogram` may be null (span is then trace-only); `span` names the
+  /// trace record and must outlive the timer (string literals).
+  explicit ScopedTimer(Histogram* histogram, const char* span = nullptr)
+      : histogram_(histogram), span_(span) {
+    if (span_ != nullptr && TraceLog::global().enabled())
+      trace_start_s_ = TraceLog::global().now_s();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Ends the span (idempotent) and returns the measured seconds.
+  double stop() {
+    if (stopped_) return seconds_;
+    stopped_ = true;
+    seconds_ = watch_.elapsed_s();
+    if (histogram_ != nullptr) histogram_->observe(seconds_);
+    if (span_ != nullptr && trace_start_s_ >= 0.0)
+      TraceLog::global().record(span_, trace_start_s_, seconds_);
+    return seconds_;
+  }
+
+ private:
+  Histogram* histogram_;
+  const char* span_;
+  double trace_start_s_ = -1.0;
+  Stopwatch watch_;
+  bool stopped_ = false;
+  double seconds_ = 0.0;
+};
+
+}  // namespace ns::obs

@@ -1,0 +1,40 @@
+#include "obs/trace.hpp"
+
+#include "common/error.hpp"
+
+namespace ns::obs {
+
+TraceLog::~TraceLog() { close(); }
+
+TraceLog& TraceLog::global() {
+  static TraceLog* instance = new TraceLog();  // leaked: outlive all spans
+  return *instance;
+}
+
+void TraceLog::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_) std::fclose(file_);
+  file_ = std::fopen(path.c_str(), "w");
+  NS_REQUIRE(file_ != nullptr, "trace: cannot open " << path);
+  epoch_.restart();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceLog::close() {
+  enabled_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void TraceLog::record(const char* span, double start_s, double duration_s) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!file_) return;
+  std::fprintf(file_, "{\"span\":\"%s\",\"start_s\":%.6f,\"dur_s\":%.6f}\n",
+               span, start_s, duration_s);
+}
+
+}  // namespace ns::obs

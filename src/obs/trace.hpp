@@ -1,0 +1,49 @@
+// Optional per-span JSONL trace log. Disabled (and free apart from one
+// relaxed atomic load per span) until open() is called; once enabled,
+// every completed ScopedTimer span appends one line:
+//
+//   {"span":"serve.score","start_s":1.234567,"dur_s":0.004321}
+//
+// start_s is relative to open() so traces from one run line up without
+// wall-clock coordination. Writing is serialized by a mutex — traces are
+// a debugging tool, not a hot-path citizen; keep them off in production
+// benchmarking runs.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/stopwatch.hpp"
+
+namespace ns::obs {
+
+class TraceLog {
+ public:
+  ~TraceLog();
+
+  /// The process-wide trace sink ScopedTimer reports to.
+  static TraceLog& global();
+
+  /// Starts (or restarts) tracing into `path`, truncating it. Throws
+  /// ns::IoError when the file cannot be created.
+  void open(const std::string& path);
+  void close();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Seconds since open() — capture before the span body, pass to record().
+  double now_s() const { return epoch_.elapsed_s(); }
+
+  void record(const char* span, double start_s, double duration_s);
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  Stopwatch epoch_;
+};
+
+}  // namespace ns::obs

@@ -8,8 +8,31 @@
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "features/extract.hpp"
+#include "obs/timer.hpp"
 
 namespace ns {
+
+namespace {
+
+/// Thin view over a shared latency histogram: cumulative count, quantiles
+/// over the recent-sample window via one sort (quantiles_from_sorted)
+/// instead of the historic copy+sort per percentile.
+LatencySummary summarize_histogram(const obs::Histogram& histogram) {
+  LatencySummary summary;
+  obs::Histogram::Snapshot snap = histogram.snapshot();
+  summary.count = snap.count;
+  if (snap.window.empty()) return summary;
+  std::sort(snap.window.begin(), snap.window.end());
+  static constexpr double kQs[] = {0.50, 0.90, 0.99};
+  const std::vector<double> qs = quantiles_from_sorted(snap.window, kQs);
+  summary.p50_ms = 1e3 * qs[0];
+  summary.p90_ms = 1e3 * qs[1];
+  summary.p99_ms = 1e3 * qs[2];
+  summary.max_ms = 1e3 * snap.window.back();
+  return summary;
+}
+
+}  // namespace
 
 ServeEngine::ServeEngine(NodeSentry& sentry, ServeConfig config)
     : sentry_(&sentry),
@@ -43,7 +66,21 @@ ServeEngine::ServeEngine(NodeSentry& sentry, ServeConfig config)
   } else {
     pool_ = &ThreadPool::global();
   }
-  ingest_lat_.reserve(std::min<std::size_t>(config_.latency_reservoir, 4096));
+  registry_ = config_.registry ? config_.registry : &obs::Registry::global();
+  const std::vector<double> buckets = obs::default_latency_buckets();
+  const std::size_t window = std::max<std::size_t>(config_.latency_reservoir, 1);
+  const char* kStageHelp = "Serve-path stage latency in seconds";
+  ingest_hist_ = &registry_->histogram("ns_serve_stage_seconds", kStageHelp,
+                                       buckets, {{"stage", "ingest"}}, window);
+  match_hist_ = &registry_->histogram("ns_serve_stage_seconds", kStageHelp,
+                                      buckets, {{"stage", "match"}}, window);
+  score_hist_ = &registry_->histogram("ns_serve_stage_seconds", kStageHelp,
+                                      buckets, {{"stage", "score"}}, window);
+  queue_depth_gauge_ = &registry_->gauge(
+      "ns_serve_queue_depth", "Scoring units pending dispatch right now");
+  units_dropped_counter_ = &registry_->counter(
+      "ns_serve_units_dropped_total",
+      "Scoring units dropped (oldest-first) by queue backpressure");
 }
 
 ServeEngine::~ServeEngine() {
@@ -85,10 +122,9 @@ void ServeEngine::ingest(const StreamSample& sample) {
   stashed.job_id = sample.job_id;
   st.stash.insert_or_assign(sample.t, std::move(stashed));
   advance_node(sample.node);
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    record_latency(ingest_lat_, lat_cursor_ingest_, sw.elapsed_s());
-  }
+  // Latency excludes any piggybacked pump below (that work is accounted
+  // to the score stage); atomic observe, no lock on the hot path.
+  ingest_hist_->observe(sw.elapsed_s());
   if (pending_.size() >= config_.pump_watermark) pump();
 }
 
@@ -199,7 +235,7 @@ void ServeEngine::maybe_match(std::size_t node) {
 }
 
 void ServeEngine::match_segment(std::size_t node) {
-  Stopwatch sw;
+  obs::ScopedTimer timer(match_hist_, "serve.match");
   OpenSegment& seg = *nodes_[node].open;
   const NodeSentryConfig& cfg = sentry_->config();
   const std::size_t win = std::min(seg.rows.size(), cfg.match_period);
@@ -216,7 +252,6 @@ void ServeEngine::match_segment(std::size_t node) {
       seg.insufficient = true;
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.segments_insufficient;
-      record_latency(match_lat_, lat_cursor_match_, sw.elapsed_s());
       return;
     }
   }
@@ -269,7 +304,6 @@ void ServeEngine::match_segment(std::size_t node) {
     ++stats_.segments_matched;
   else
     ++stats_.segments_unmatched;
-  record_latency(match_lat_, lat_cursor_match_, sw.elapsed_s());
 }
 
 void ServeEngine::emit_ready_chunks(std::size_t node, bool closing,
@@ -320,6 +354,10 @@ void ServeEngine::enqueue_unit(PendingUnit unit) {
     pending_.pop_front();
     ++dropped;
   }
+  if (dropped > 0) units_dropped_counter_->inc(dropped);
+  queue_depth_gauge_->set(static_cast<double>(pending_.size()));
+  // Publish the depth into the stats block: pending_ itself belongs to the
+  // ingest thread, so a monitor polling stats() must read this copy.
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.units_dropped += dropped;
   stats_.queue_depth = pending_.size();
@@ -351,6 +389,7 @@ std::size_t ServeEngine::pump() {
     return true;
   });
   drain_scored();
+  queue_depth_gauge_->set(0.0);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.queue_depth = 0;
@@ -378,7 +417,7 @@ void ServeEngine::score_cluster_units(std::size_t cluster,
         ++j;
       }
     }
-    Stopwatch sw;
+    obs::ScopedTimer batch_timer(score_hist_, "serve.score");
     Tensor x(Shape{rows, M});
     std::vector<std::size_t> offsets;
     std::vector<std::size_t> seg_ids;
@@ -428,7 +467,7 @@ void ServeEngine::score_cluster_units(std::size_t cluster,
       points += scored.scored_points;
       results.push_back(std::move(scored));
     }
-    const double seconds = sw.elapsed_s();
+    batch_timer.stop();  // the batched forward + scoring, not the fold-in
     {
       std::lock_guard<std::mutex> lock(results_mutex_);
       for (ScoredUnit& scored : results)
@@ -440,7 +479,6 @@ void ServeEngine::score_cluster_units(std::size_t cluster,
       units_batched_total_ += j - i;
       stats_.chunks_scored += j - i;
       stats_.points_scored += points;
-      record_latency(score_lat_, lat_cursor_score_, seconds);
     }
     i = j;
   }
@@ -531,44 +569,24 @@ ServeResult ServeEngine::finalize() {
 }
 
 ServeStats ServeEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ServeStats snapshot = stats_;
-  snapshot.queue_depth = pending_.size();
-  snapshot.mean_batch_occupancy =
-      snapshot.batches_run > 0
-          ? static_cast<double>(units_batched_total_) /
-                static_cast<double>(snapshot.batches_run)
-          : 0.0;
-  snapshot.ingest_latency = summarize_latency(ingest_lat_);
-  snapshot.match_latency = summarize_latency(match_lat_);
-  snapshot.score_latency = summarize_latency(score_lat_);
-  return snapshot;
-}
-
-void ServeEngine::record_latency(std::vector<float>& reservoir,
-                                 std::size_t& cursor, double seconds) {
-  const float sample = static_cast<float>(seconds);
-  if (reservoir.size() < config_.latency_reservoir) {
-    reservoir.push_back(sample);
-    return;
+  ServeStats snapshot;
+  {
+    // queue_depth comes from the copy published under stats_mutex_ at
+    // every pending_ mutation — stats() must never touch pending_ itself
+    // (the deque is owned by the ingest thread; reading its size here was
+    // a data race when a monitor thread polled during ingest).
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+    snapshot.mean_batch_occupancy =
+        snapshot.batches_run > 0
+            ? static_cast<double>(units_batched_total_) /
+                  static_cast<double>(snapshot.batches_run)
+            : 0.0;
   }
-  // Bounded memory on endless streams: overwrite round-robin so the
-  // reservoir tracks recent behaviour.
-  reservoir[cursor] = sample;
-  cursor = (cursor + 1) % reservoir.size();
-}
-
-LatencySummary ServeEngine::summarize_latency(
-    const std::vector<float>& samples) {
-  LatencySummary summary;
-  summary.count = samples.size();
-  if (samples.empty()) return summary;
-  summary.p50_ms = 1e3 * percentile(samples, 0.50);
-  summary.p90_ms = 1e3 * percentile(samples, 0.90);
-  summary.p99_ms = 1e3 * percentile(samples, 0.99);
-  summary.max_ms =
-      1e3 * *std::max_element(samples.begin(), samples.end());
-  return summary;
+  snapshot.ingest_latency = summarize_histogram(*ingest_hist_);
+  snapshot.match_latency = summarize_histogram(*match_hist_);
+  snapshot.score_latency = summarize_histogram(*score_hist_);
+  return snapshot;
 }
 
 }  // namespace ns

@@ -17,7 +17,9 @@
 //
 // Threading contract: ingest/pump/finalize are called from one thread (the
 // collector loop); pool tasks only touch the completed-unit queue and the
-// stats block, each behind its own mutex. A cluster's model never runs two
+// stats block, each behind its own mutex; stats() may be polled from any
+// monitor thread (it reads only the mutex-guarded stats block and the
+// atomic obs histograms — never ingest-owned state). A cluster's model never runs two
 // forwards concurrently (MoE layers keep mutable routing state), enforced
 // by a per-cluster mutex; parallelism comes from scoring different
 // clusters' batches at the same time. Ingest never blocks on scoring: the
@@ -35,6 +37,7 @@
 #include <vector>
 
 #include "core/nodesentry.hpp"
+#include "obs/registry.hpp"
 #include "ts/stream.hpp"
 
 namespace ns {
@@ -55,12 +58,22 @@ struct ServeConfig {
   std::size_t max_batch_tokens = 384;
   /// ingest() auto-pumps once this many units are pending.
   std::size_t pump_watermark = 64;
-  /// Cap on retained per-stage latency samples.
+  /// Window capacity of the per-stage latency histograms: quantiles/max
+  /// are computed over this many most-recent samples (counts stay
+  /// cumulative).
   std::size_t latency_reservoir = 4096;
+  /// Metrics registry the engine's histograms/gauges live in; null means
+  /// the process-global obs::Registry (shared with the fit pipeline, so
+  /// one exposition carries both). Tests pass a private registry.
+  obs::Registry* registry = nullptr;
 };
 
 struct LatencySummary {
+  /// Cumulative observations over the engine's lifetime — NOT capped by
+  /// the quantile window (a wrapped window no longer understates
+  /// throughput).
   std::size_t count = 0;
+  /// Quantiles/max over the most recent `latency_reservoir` samples.
   double p50_ms = 0.0;
   double p90_ms = 0.0;
   double p99_ms = 0.0;
@@ -123,7 +136,8 @@ class ServeEngine {
   /// scores + thresholded predictions. Call once, after the stream ends.
   ServeResult finalize();
 
-  /// Snapshot of the running counters (callable any time before finalize).
+  /// Snapshot of the running counters (callable any time before finalize,
+  /// from any thread — safe to poll concurrently with ingest).
   ServeStats stats() const;
 
   const ServeConfig& config() const { return config_; }
@@ -191,9 +205,6 @@ class ServeEngine {
   void score_cluster_units(std::size_t cluster,
                            std::vector<PendingUnit> units);
   void drain_scored();
-  void record_latency(std::vector<float>& reservoir, std::size_t& cursor,
-                      double seconds);
-  static LatencySummary summarize_latency(const std::vector<float>& samples);
 
   NodeSentry* sentry_;
   ServeConfig config_;
@@ -221,12 +232,23 @@ class ServeEngine {
   mutable std::mutex results_mutex_;
   std::vector<ScoredUnit> scored_ready_;
 
+  /// Guards stats_ and units_batched_total_. stats_.queue_depth is the
+  /// published queue depth: pending_ itself is only ever touched by the
+  /// ingest thread, so stats() must read the published copy, never
+  /// pending_.size() (that was a data race against ingest).
   mutable std::mutex stats_mutex_;
   ServeStats stats_;
-  std::vector<float> ingest_lat_, match_lat_, score_lat_;
-  std::size_t lat_cursor_ingest_ = 0, lat_cursor_match_ = 0,
-              lat_cursor_score_ = 0;
   std::size_t units_batched_total_ = 0;  ///< for mean occupancy accounting
+
+  /// Shared per-stage instruments (owned by the registry, not the
+  /// engine). ServeStats is a thin view over these: counts are the
+  /// histograms' cumulative counts, quantiles their recent-sample window.
+  obs::Registry* registry_ = nullptr;
+  obs::Histogram* ingest_hist_ = nullptr;
+  obs::Histogram* match_hist_ = nullptr;
+  obs::Histogram* score_hist_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Counter* units_dropped_counter_ = nullptr;
 };
 
 }  // namespace ns

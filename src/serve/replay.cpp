@@ -28,6 +28,9 @@ ReplayReport serve_replay(ServeEngine& engine, const MtsDataset& raw,
       engine.pump();
       since_pump = 0;
     }
+    if (options.progress_every > 0 && options.on_progress &&
+        report.samples_streamed % options.progress_every == 0)
+      options.on_progress(report.samples_streamed);
     if (tick_seconds > 0.0 && report.samples_streamed % nodes_per_tick == 0)
       std::this_thread::sleep_for(
           std::chrono::duration<double>(tick_seconds));

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "serve/engine.hpp"
@@ -20,6 +21,11 @@ struct ReplayOptions {
   /// Explicit engine.pump() every this many samples (0 = rely purely on
   /// the engine's pump watermark).
   std::size_t pump_every = 256;
+  /// Invoked on the streaming thread every `progress_every` samples (0 =
+  /// never) with the running sample count — the periodic metrics-dump
+  /// hook for long replays (see nodesentry_serve --metrics-every).
+  std::size_t progress_every = 0;
+  std::function<void(std::size_t samples_streamed)> on_progress;
   ReplayJitterConfig jitter;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/mathutil.hpp"
 #include "common/thread_pool.hpp"
 
 namespace ns {
@@ -163,18 +164,18 @@ void scan_spikes(SeriesGuard& g, double spike_mad_factor) {
   for (std::size_t t = 0; t < g.series.size(); ++t)
     if (!std::isnan(g.series[t])) finite.push_back(g.series[t]);
   if (finite.size() < 8) return;
-  const auto percentile_of = [](std::vector<float>& xs, double q) {
-    const std::size_t k = static_cast<std::size_t>(
-        q * static_cast<double>(xs.size() - 1) + 0.5);
-    std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(k),
-                     xs.end());
-    return static_cast<double>(xs[k]);
-  };
-  const double med = percentile_of(finite, 0.5);
-  const double p5 = percentile_of(finite, 0.05);
-  const double p95 = percentile_of(finite, 0.95);
+  // Sort once and take every quantile from the same order statistics
+  // (type-7, shared with percentile()) instead of one nth_element pass per
+  // quantile; the deviations need their own order, so one more sort.
+  std::sort(finite.begin(), finite.end());
+  static constexpr double kQs[] = {0.05, 0.5, 0.95};
+  const std::vector<double> qs = quantiles_from_sorted(finite, kQs);
+  const double p5 = qs[0];
+  const double med = qs[1];
+  const double p95 = qs[2];
   for (float& v : finite) v = static_cast<float>(std::abs(v - med));
-  const double mad = percentile_of(finite, 0.5);
+  std::sort(finite.begin(), finite.end());
+  const double mad = quantile_from_sorted(finite, 0.5);
   // Workload telemetry is often bimodal (idle floor vs busy plateau): the
   // MAD hugs the idle mode and would flag legitimate busy samples. Floor
   // the robust scale with the central 90% range so only values far outside

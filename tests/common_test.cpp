@@ -119,6 +119,54 @@ TEST(MathUtil, PercentileInterpolates) {
 TEST(MathUtil, PercentileRejectsBadArgs) {
   EXPECT_THROW(percentile({}, 0.5), InvalidArgument);
   EXPECT_THROW(percentile({1.0f}, 1.5), InvalidArgument);
+  EXPECT_THROW(percentile({1.0f, std::nanf(""), 3.0f}, 0.5),
+               InvalidArgument);
+}
+
+TEST(MathUtil, QuantileFromSortedGoldenType7) {
+  // Type-7 (linear interpolation between order statistics): the values R's
+  // quantile() and numpy.quantile() default to.
+  const std::vector<float> xs{10.0f, 20.0f, 30.0f, 40.0f};
+  EXPECT_NEAR(quantile_from_sorted(xs, 0.25), 17.5, 1e-9);
+  EXPECT_NEAR(quantile_from_sorted(xs, 0.75), 32.5, 1e-9);
+  EXPECT_NEAR(quantile_from_sorted(xs, 0.5), 25.0, 1e-9);
+  EXPECT_NEAR(quantile_from_sorted(xs, 1.0 / 3.0), 20.0, 1e-6);
+}
+
+TEST(MathUtil, QuantileFromSortedEndpointsAndSingleton) {
+  const std::vector<float> xs{10.0f, 20.0f, 30.0f, 40.0f};
+  EXPECT_DOUBLE_EQ(quantile_from_sorted(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_from_sorted(xs, 1.0), 40.0);
+  const std::vector<float> one{7.0f};
+  EXPECT_DOUBLE_EQ(quantile_from_sorted(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile_from_sorted(one, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile_from_sorted(one, 1.0), 7.0);
+}
+
+TEST(MathUtil, QuantileFromSortedRejectsBadInput) {
+  const std::vector<float> xs{10.0f, 20.0f};
+  EXPECT_THROW(quantile_from_sorted({}, 0.5), InvalidArgument);
+  EXPECT_THROW(quantile_from_sorted(xs, -0.1), InvalidArgument);
+  EXPECT_THROW(quantile_from_sorted(xs, 1.1), InvalidArgument);
+  const std::vector<float> nan_tail{1.0f, std::nanf("")};
+  EXPECT_THROW(quantile_from_sorted(nan_tail, 0.5), InvalidArgument);
+}
+
+TEST(MathUtil, QuantilesFromSortedMatchesSingleCalls) {
+  const std::vector<float> xs{1.0f, 2.0f, 3.0f, 5.0f, 8.0f, 13.0f};
+  static constexpr double kQs[] = {0.0, 0.1, 0.5, 0.9, 0.99, 1.0};
+  const std::vector<double> batch = quantiles_from_sorted(xs, kQs);
+  ASSERT_EQ(batch.size(), 6u);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_DOUBLE_EQ(batch[i], quantile_from_sorted(xs, kQs[i])) << "q " << i;
+}
+
+TEST(MathUtil, PercentileAgreesWithQuantileOnUnsortedInput) {
+  const std::vector<float> unsorted{30.0f, 10.0f, 40.0f, 20.0f};
+  const std::vector<float> sorted{10.0f, 20.0f, 30.0f, 40.0f};
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0})
+    EXPECT_DOUBLE_EQ(percentile(unsorted, q), quantile_from_sorted(sorted, q))
+        << "q " << q;
 }
 
 TEST(MathUtil, TrimmedMomentsDropsOutliers) {

@@ -1,0 +1,259 @@
+// Tests for src/obs: registry semantics, atomic histogram correctness
+// (cumulative counts across window wrap, multi-threaded exactness),
+// scoped timers, and both exposition formats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+
+namespace {
+
+using namespace ns;
+using namespace ns::obs;
+
+TEST(Counter, IncrementsAndReads) {
+  Registry registry;
+  Counter& c = registry.counter("events_total", "events");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Registry registry;
+  Gauge& g = registry.gauge("depth", "queue depth");
+  g.set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.add(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 6.5);
+}
+
+TEST(Histogram, BucketsCountAndSum) {
+  Registry registry;
+  Histogram& h =
+      registry.histogram("lat", "latency", {0.1, 1.0, 10.0}, {}, 16);
+  h.observe(0.05);   // bucket 0 (<= 0.1)
+  h.observe(0.1);    // bucket 0 (le is inclusive)
+  h.observe(0.5);    // bucket 1
+  h.observe(100.0);  // +Inf bucket
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.buckets.size(), 4u);  // 3 finite + Inf
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 0u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_NEAR(snap.sum, 100.65, 1e-9);
+  EXPECT_EQ(snap.window.size(), 4u);
+}
+
+TEST(Histogram, CumulativeCountSurvivesWindowWrap) {
+  Registry registry;
+  Histogram& h = registry.histogram("lat", "latency", {1.0}, {}, 8);
+  for (int i = 0; i < 100; ++i) h.observe(0.5);
+  // The window holds only the 8 most recent samples, but count() is
+  // cumulative — the LatencySummary.count bug this guards against
+  // reported the reservoir capacity instead.
+  EXPECT_EQ(h.count(), 100u);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.window.size(), 8u);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  Registry registry;
+  EXPECT_THROW(registry.histogram("bad", "x", {1.0, 1.0}), Error);
+  EXPECT_THROW(registry.histogram("bad2", "x", {2.0, 1.0}), Error);
+}
+
+TEST(Histogram, ZeroWindowDisablesSampleCapture) {
+  Registry registry;
+  Histogram& h = registry.histogram("lat", "latency", {1.0}, {}, 0);
+  h.observe(0.5);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_TRUE(snap.window.empty());
+}
+
+TEST(Registry, FindOrCreateReturnsSameInstance) {
+  Registry registry;
+  Counter& a = registry.counter("hits", "hits");
+  Counter& b = registry.counter("hits", "hits");
+  EXPECT_EQ(&a, &b);
+  // Distinct labels are a distinct instrument.
+  Counter& c = registry.counter("hits", "hits", {{"stage", "x"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Registry, KindConflictThrows) {
+  Registry registry;
+  registry.counter("metric", "as counter");
+  EXPECT_THROW(registry.gauge("metric", "as gauge"), Error);
+  EXPECT_THROW(registry.histogram("metric", "as histogram", {1.0}), Error);
+}
+
+TEST(Registry, EntriesSortedByNameThenLabels) {
+  Registry registry;
+  registry.counter("zzz", "z");
+  registry.counter("aaa", "a", {{"stage", "score"}});
+  registry.counter("aaa", "a", {{"stage", "ingest"}});
+  const std::vector<Registry::Entry> entries = registry.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "aaa");
+  EXPECT_EQ(entries[0].labels[0].second, "ingest");
+  EXPECT_EQ(entries[1].labels[0].second, "score");
+  EXPECT_EQ(entries[2].name, "zzz");
+}
+
+TEST(ScopedTimer, ObservesExactlyOnce) {
+  Registry registry;
+  Histogram& h = registry.histogram("span", "span", {10.0}, {}, 4);
+  {
+    ScopedTimer timer(&h);
+    const double first = timer.stop();
+    EXPECT_GE(first, 0.0);
+    EXPECT_DOUBLE_EQ(timer.stop(), first);  // idempotent
+  }  // destructor must not double-observe
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ScopedTimer, NullHistogramIsSafe) {
+  ScopedTimer timer(nullptr);
+  EXPECT_GE(timer.stop(), 0.0);
+}
+
+// Concurrent writers must lose no observation: the wait-free hot path is
+// the whole point of the registry. Run under tsan via the race label.
+TEST(Histogram, ConcurrentObserveIsExact) {
+  Registry registry;
+  Histogram& h =
+      registry.histogram("mt", "mt", default_latency_buckets(), {}, 256);
+  Counter& c = registry.counter("mt_total", "mt");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&h, &c, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(1e-5 * static_cast<double>((t + 1) * (i % 17 + 1)));
+        c.inc();
+      }
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  const Histogram::Snapshot snap = h.snapshot();
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// Concurrent snapshot()/entries() readers against live writers: the scrape
+// path a monitor thread exercises while the pipeline records.
+TEST(Registry, SnapshotWhileWriting) {
+  Registry registry;
+  Histogram& h = registry.histogram("live", "live", {1e-3, 1.0}, {}, 64);
+  std::atomic<bool> done{false};
+  std::thread reader([&registry, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::string prom = to_prometheus(registry);
+      EXPECT_NE(prom.find("live"), std::string::npos);
+    }
+  });
+  for (int i = 0; i < 50000; ++i) h.observe(1e-4);
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(h.count(), 50000u);
+}
+
+TEST(Exposition, PrometheusTextFormat) {
+  Registry registry;
+  registry.counter("ns_events_total", "Total events").inc(7);
+  registry.gauge("ns_depth", "Queue depth", {{"stage", "ingest"}}).set(3.0);
+  Histogram& h =
+      registry.histogram("ns_lat_seconds", "Latency", {0.1, 1.0}, {}, 8);
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("# HELP ns_events_total Total events"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ns_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("ns_events_total 7"), std::string::npos);
+  EXPECT_NE(text.find("ns_depth{stage=\"ingest\"} 3"), std::string::npos);
+  // Histogram buckets are cumulative and end in +Inf == count.
+  EXPECT_NE(text.find("ns_lat_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ns_lat_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ns_lat_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ns_lat_seconds_count 3"), std::string::npos);
+  EXPECT_NE(text.find("ns_lat_seconds_sum"), std::string::npos);
+}
+
+TEST(Exposition, JsonCarriesWindowQuantiles) {
+  Registry registry;
+  Histogram& h = registry.histogram("lat", "Latency", {10.0}, {}, 16);
+  for (int i = 1; i <= 10; ++i) h.observe(static_cast<double>(i));
+  const std::string json = to_json(registry);
+  EXPECT_NE(json.find("\"name\": \"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"window\""), std::string::npos);
+  EXPECT_NE(json.find("\"samples\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\": 5.5"), std::string::npos);  // type-7 median
+  EXPECT_NE(json.find("\"max\": 10"), std::string::npos);
+}
+
+TEST(Exposition, WriteMetricsFilesProducesBothFormats) {
+  Registry registry;
+  registry.counter("c_total", "c").inc(3);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ns_obs_test";
+  std::filesystem::remove_all(dir);
+  const std::string prefix = (dir / "metrics").string();
+  write_metrics_files(registry, prefix);
+  std::ifstream prom(prefix + ".prom");
+  ASSERT_TRUE(prom.good());
+  std::stringstream prom_body;
+  prom_body << prom.rdbuf();
+  EXPECT_NE(prom_body.str().find("c_total 3"), std::string::npos);
+  std::ifstream json(prefix + ".json");
+  ASSERT_TRUE(json.good());
+  std::stringstream json_body;
+  json_body << json.rdbuf();
+  EXPECT_NE(json_body.str().find("\"c_total\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Trace, ScopedTimerWritesSpans) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "ns_obs_trace.jsonl";
+  std::filesystem::remove(path);
+  TraceLog::global().open(path.string());
+  {
+    ScopedTimer timer(nullptr, "test.span");
+  }
+  TraceLog::global().close();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  EXPECT_NE(line.find("\"span\":\"test.span\""), std::string::npos);
+  EXPECT_NE(line.find("\"dur_s\":"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

@@ -5,13 +5,16 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "core/nodesentry.hpp"
+#include "obs/export.hpp"
 #include "serve/replay.hpp"
 #include "sim/dataset_builder.hpp"
 
@@ -232,6 +235,92 @@ TEST_F(ServeFixture, WarmStartFromCheckpointMatchesBatch) {
   EXPECT_LE(delta.max_abs_score_delta, 1e-6);
   EXPECT_EQ(delta.prediction_mismatches, 0u);
   fs::remove_all(dir);
+}
+
+// Regression for the stats() data race: stats() used to read
+// pending_.size() while the ingest thread mutated pending_ without a
+// lock. The fix publishes queue depth into the mutex-guarded stats block
+// at every mutation, so a monitor thread may poll stats() freely. Run
+// under tsan via the race label.
+TEST_F(ServeFixture, StatsPollingDuringIngestIsRaceFree) {
+  obs::Registry registry;
+  ServeConfig config;
+  config.registry = &registry;
+  ServeEngine engine(*sentry_, config);
+
+  std::atomic<bool> done{false};
+  std::thread monitor([&engine, &done] {
+    std::uint64_t last_ingested = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const ServeStats snap = engine.stats();
+      // Monotone counters never run backwards across polls.
+      EXPECT_GE(snap.samples_ingested, last_ingested);
+      last_ingested = snap.samples_ingested;
+      EXPECT_LE(snap.queue_depth, snap.max_queue_depth);
+    }
+  });
+  TelemetryReplaySource source(sim_->data, sim_->train_end);
+  StreamSample sample;
+  while (source.next(sample)) engine.ingest(sample);
+  done.store(true, std::memory_order_release);
+  monitor.join();
+
+  const ServeResult result = engine.finalize();
+  EXPECT_EQ(result.stats.queue_depth, 0u);
+  const DetectionDelta delta =
+      compare_detections(result.detections, batch_->detections);
+  EXPECT_LE(delta.max_abs_score_delta, 1e-6);
+}
+
+// Regression for LatencySummary.count: after the reservoir wrapped it
+// used to report the capacity (e.g. 4096) instead of the cumulative
+// number of samples observed.
+TEST_F(ServeFixture, LatencyCountIsCumulativeAcrossWindowWrap) {
+  obs::Registry registry;
+  ServeConfig config;
+  config.registry = &registry;
+  config.latency_reservoir = 32;  // force many wraps
+  ServeEngine engine(*sentry_, config);
+  const ReplayReport rep = serve_replay(engine, sim_->data, sim_->train_end);
+
+  const ServeStats& stats = rep.result.stats;
+  ASSERT_GT(stats.samples_ingested, 32u);
+  // Clean replay: every ingested sample is timed exactly once.
+  EXPECT_EQ(stats.ingest_latency.count, stats.samples_ingested);
+  EXPECT_GT(stats.ingest_latency.count, config.latency_reservoir);
+  // Quantiles still come from the bounded window, so they stay finite
+  // and ordered even after thousands of wraps.
+  EXPECT_LE(stats.ingest_latency.p50_ms, stats.ingest_latency.p90_ms);
+  EXPECT_LE(stats.ingest_latency.p90_ms, stats.ingest_latency.p99_ms);
+  EXPECT_LE(stats.ingest_latency.p99_ms, stats.ingest_latency.max_ms);
+}
+
+// ServeStats is a thin view over the shared histograms: both must agree
+// exactly once the engine quiesces.
+TEST_F(ServeFixture, StatsViewMatchesRegistryHistograms) {
+  obs::Registry registry;
+  ServeConfig config;
+  config.registry = &registry;
+  ServeEngine engine(*sentry_, config);
+  const ReplayReport rep = serve_replay(engine, sim_->data, sim_->train_end);
+  const ServeStats& stats = rep.result.stats;
+
+  const obs::Histogram& ingest = registry.histogram(
+      "ns_serve_stage_seconds", "", obs::default_latency_buckets(),
+      {{"stage", "ingest"}});
+  const obs::Histogram& score = registry.histogram(
+      "ns_serve_stage_seconds", "", obs::default_latency_buckets(),
+      {{"stage", "score"}});
+  EXPECT_EQ(stats.ingest_latency.count, ingest.count());
+  EXPECT_EQ(ingest.count(), stats.samples_ingested);
+  // One score span per batched forward.
+  EXPECT_EQ(score.count(), stats.batches_run);
+  // The exposition carries the same engine state.
+  const std::string prom = obs::to_prometheus(registry);
+  EXPECT_NE(prom.find("ns_serve_stage_seconds_count{stage=\"ingest\"} " +
+                      std::to_string(stats.samples_ingested)),
+            std::string::npos);
+  EXPECT_NE(prom.find("ns_serve_units_dropped_total 0"), std::string::npos);
 }
 
 TEST(ReplaySource, EmitsEveryTestSampleInOrderWithoutJitter) {
