@@ -1,0 +1,144 @@
+// Fit-throughput bench for the batched mini-batch trainer (DESIGN.md §11):
+// trains the paper-artifact model on a fixed chunk set at batch size 1 (the
+// classic one-step-per-chunk trainer, reproduced bit for bit) and at the
+// batched default, and reports chunks/second plus the speedup. Exits
+// non-zero if batched training is slower than the sequential baseline, so
+// the `bench` target doubles as a perf regression gate. Writes
+// BENCH_train.json (path via --json=<path>).
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "core/config.hpp"
+#include "core/trainer.hpp"
+
+namespace {
+
+using namespace ns;
+
+// The paper-artifact model at its real size, fed W-token chunks exactly as
+// NodeSentry::train_cluster produces them (two member segments' worth).
+TransformerConfig bench_model_config(std::size_t input_dim) {
+  TransformerConfig cfg;
+  cfg.input_dim = input_dim;
+  return cfg;
+}
+
+std::vector<TrainChunk> make_chunks(std::size_t num_chunks, std::size_t window,
+                                    std::size_t M) {
+  Rng rng(101);
+  std::vector<TrainChunk> chunks(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    // Structured tokens (shared sinusoid + noise) so the model has a real
+    // pattern to fit, as in the sim datasets.
+    Tensor tokens(Shape{window, M});
+    for (std::size_t t = 0; t < window; ++t)
+      for (std::size_t m = 0; m < M; ++m)
+        tokens.at(t, m) = static_cast<float>(
+            0.8 * std::sin(0.15 * static_cast<double>(t) +
+                           0.4 * static_cast<double>(m)) +
+            0.2 * rng.gaussian(0.0, 1.0));
+    chunks[c].tokens = std::move(tokens);
+    chunks[c].offsets.resize(window);
+    std::iota(chunks[c].offsets.begin(), chunks[c].offsets.end(),
+              (c / 4) * window);
+    chunks[c].segment_id = c % 4;
+    }
+  return chunks;
+}
+
+struct Measurement {
+  double seconds = 0.0;
+  double chunks_per_second = 0.0;
+};
+
+Measurement run_trainer(const std::vector<TrainChunk>& chunks,
+                        const Tensor& weights, std::size_t batch,
+                        std::size_t epochs) {
+  NodeSentryConfig defaults;  // trainer knobs mirror the pipeline defaults
+  TrainOptions options;
+  options.epochs = epochs;
+  options.learning_rate = defaults.learning_rate;
+  options.batch = batch;
+  options.denoise_noise = defaults.denoise_noise;
+  options.denoise_token_drop = defaults.denoise_token_drop;
+
+  Rng init(42);
+  TransformerReconstructor model(bench_model_config(weights.numel()), init);
+  Stopwatch timer;
+  train_reconstructor(model, chunks, weights, options, 9);
+  Measurement m;
+  m.seconds = timer.elapsed_s();
+  m.chunks_per_second =
+      static_cast<double>(chunks.size() * epochs) / m.seconds;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_train.json";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+
+  const std::size_t M = 16;       // paper-artifact input width
+  const std::size_t window = 48;  // config.train_window default
+  const std::size_t num_chunks = 16;
+  const std::size_t epochs = 6;   // config.train_epochs default
+  const NodeSentryConfig defaults;
+  const std::size_t batch = defaults.train_batch;
+
+  const auto chunks = make_chunks(num_chunks, window, M);
+  const Tensor weights = Tensor::ones(Shape{M});
+
+  // Untimed warm-up (allocator pools, lazy thread-pool construction).
+  run_trainer(chunks, weights, batch, 1);
+
+  const Measurement sequential = run_trainer(chunks, weights, 1, epochs);
+  const Measurement batched = run_trainer(chunks, weights, batch, epochs);
+  const double speedup =
+      batched.chunks_per_second / sequential.chunks_per_second;
+
+  std::printf("fit throughput: %zu chunks x %zu epochs, window %zu, M %zu\n",
+              num_chunks, epochs, window, M);
+  std::printf("  B=1   %8.1f chunks/s  (%.3f s)\n",
+              sequential.chunks_per_second, sequential.seconds);
+  std::printf("  B=%-3zu %8.1f chunks/s  (%.3f s)\n", batch,
+              batched.chunks_per_second, batched.seconds);
+  std::printf("  speedup: %.2fx\n", speedup);
+
+  if (FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"num_chunks\": %zu,\n", num_chunks);
+    std::fprintf(f, "  \"epochs\": %zu,\n", epochs);
+    std::fprintf(f, "  \"train_window\": %zu,\n", window);
+    std::fprintf(f, "  \"metrics\": %zu,\n", M);
+    std::fprintf(f, "  \"batch_size\": %zu,\n", batch);
+    std::fprintf(f, "  \"sequential_seconds\": %.6f,\n", sequential.seconds);
+    std::fprintf(f, "  \"sequential_chunks_per_second\": %.2f,\n",
+                 sequential.chunks_per_second);
+    std::fprintf(f, "  \"batched_seconds\": %.6f,\n", batched.seconds);
+    std::fprintf(f, "  \"batched_chunks_per_second\": %.2f,\n",
+                 batched.chunks_per_second);
+    std::fprintf(f, "  \"speedup_vs_sequential\": %.3f\n", speedup);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  if (speedup < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: batched training slower than sequential baseline "
+                 "(%.2fx)\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

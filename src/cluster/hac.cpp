@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <unordered_map>
 
 #include "common/error.hpp"
 
@@ -102,21 +103,20 @@ std::vector<std::size_t> Hac::cut(std::size_t k) const {
     parent[find(merges_[step].a)] = node;
     parent[find(merges_[step].b)] = node;
   }
-  // Compact labels in first-appearance order.
+  // Compact labels in first-appearance order. A hash map keeps the
+  // compaction O(n); a linear scan over the seen roots would make cut()
+  // O(n*k), which the silhouette sweep calls k_max times.
   std::vector<std::size_t> labels(n_);
-  std::vector<std::size_t> roots;
+  std::unordered_map<std::size_t, std::size_t> root_label;
+  root_label.reserve(k);
   for (std::size_t i = 0; i < n_; ++i) {
-    const std::size_t root = find(i);
-    const auto it = std::find(roots.begin(), roots.end(), root);
-    if (it == roots.end()) {
-      labels[i] = roots.size();
-      roots.push_back(root);
-    } else {
-      labels[i] = static_cast<std::size_t>(it - roots.begin());
-    }
+    const auto [it, inserted] =
+        root_label.try_emplace(find(i), root_label.size());
+    labels[i] = it->second;
   }
-  NS_CHECK(roots.size() == k, "cut produced " << roots.size()
-                                              << " clusters, expected " << k);
+  NS_CHECK(root_label.size() == k,
+           "cut produced " << root_label.size() << " clusters, expected "
+                           << k);
   return labels;
 }
 

@@ -61,6 +61,13 @@ struct NodeSentryConfig {
   /// scaled-down benches use a larger step with fewer epochs.
   float learning_rate = 2e-3f;
   std::size_t train_window = 48;           ///< tokens per training chunk
+  /// Training chunks packed into one block-diagonal mini-batch per Adam
+  /// step. 1 reproduces the classic one-step-per-chunk trainer bit for
+  /// bit; larger values take one step on the batch-mean gradient, which
+  /// amortizes the optimizer and graph overhead over B chunks (the fit
+  /// throughput win) at the cost of a different — not worse — optimizer
+  /// trajectory. Residual statistics are batch-size-invariant.
+  std::size_t train_batch = 8;
   std::size_t max_tokens_per_segment = 192;
   /// Denoising training: inputs are corrupted with Gaussian noise (and
   /// random token drops) while the loss targets the clean tokens. This

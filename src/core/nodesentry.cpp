@@ -10,6 +10,7 @@
 #include "common/mathutil.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "core/trainer.hpp"
 #include "features/extract.hpp"
 #include "nn/optim.hpp"
 #include "obs/timer.hpp"
@@ -144,16 +145,21 @@ NodeSentry::FitReport NodeSentry::fit(const MtsDataset& raw,
   } else {
     Hac hac(features, config_.linkage);
     const DistanceMatrix dist = DistanceMatrix::build(features);
-    const std::size_t k_max =
-        std::min(config_.k_max, segments.size());
-    const AutoKResult auto_k = choose_k_by_silhouette(
-        hac, dist, std::min(config_.k_min, k_max), k_max);
-    auto_k_ = auto_k.k;
-    report.silhouette = auto_k.silhouette;
     if (config_.forced_k > 0) {
+      // Forced k: the O(n^2 * k_max) silhouette sweep would only produce a
+      // result we discard, so cut directly and report the silhouette of
+      // the cut actually used. auto_k() stays 0 — no sweep ran.
       k = std::min(config_.forced_k, segments.size());
       labels = hac.cut(k);
+      report.silhouette = silhouette_score(dist, labels);
+      auto_k_ = 0;
     } else {
+      const std::size_t k_max =
+          std::min(config_.k_max, segments.size());
+      const AutoKResult auto_k = choose_k_by_silhouette(
+          hac, dist, std::min(config_.k_min, k_max), k_max);
+      auto_k_ = auto_k.k;
+      report.silhouette = auto_k.silhouette;
       k = auto_k.k;
       labels = auto_k.labels;
     }
@@ -317,17 +323,8 @@ ClusterEntry NodeSentry::build_cluster(
 
 void NodeSentry::train_cluster(ClusterEntry& entry, std::size_t epochs,
                                std::uint64_t seed) {
-  Rng rng(seed);
-  entry.model->set_training(true);
-  Adam optimizer(entry.model->parameters(), config_.learning_rate);
-
   // Pre-build token chunks: (tokens, offsets, segment id).
-  struct Chunk {
-    Tensor tokens;
-    std::vector<std::size_t> offsets;
-    std::size_t segment_id;
-  };
-  std::vector<Chunk> chunks;
+  std::vector<TrainChunk> chunks;
   const std::size_t W = std::max<std::size_t>(config_.train_window, 4);
   for (std::size_t s = 0; s < entry.members.size(); ++s) {
     const Tensor tokens =
@@ -336,7 +333,7 @@ void NodeSentry::train_cluster(ClusterEntry& entry, std::size_t epochs,
     for (std::size_t start = 0; start < len; start += W) {
       const std::size_t stop = std::min(len, start + W);
       if (stop - start < 4) break;
-      Chunk chunk;
+      TrainChunk chunk;
       chunk.tokens = slice_rows(tokens, start, stop);
       chunk.offsets.resize(stop - start);
       std::iota(chunk.offsets.begin(), chunk.offsets.end(), start);
@@ -345,93 +342,18 @@ void NodeSentry::train_cluster(ClusterEntry& entry, std::size_t epochs,
       chunks.push_back(std::move(chunk));
     }
   }
-  if (chunks.empty()) {
-    // Degenerate members (too short to chunk): neutral scoring statistics.
-    entry.residual_scale = Tensor::ones(Shape{processed_.num_metrics()});
-    entry.baseline_error = 1.0;
-    return;
-  }
 
-  std::vector<std::size_t> order(chunks.size());
-  std::iota(order.begin(), order.end(), 0);
-  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
-    // Fisher–Yates shuffle for stochastic chunk order.
-    for (std::size_t i = order.size(); i > 1; --i)
-      std::swap(order[i - 1],
-                order[static_cast<std::size_t>(
-                    rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
-    for (std::size_t idx : order) {
-      const Chunk& chunk = chunks[idx];
-      optimizer.zero_grad();
-      const std::vector<std::size_t> seg_ids(chunk.tokens.size(0),
-                                             chunk.segment_id);
-      // Denoising corruption: additive Gaussian noise plus whole-token
-      // drops; the loss targets the clean tokens.
-      Tensor corrupted = chunk.tokens.clone();
-      const std::size_t rows = corrupted.size(0), cols = corrupted.size(1);
-      for (std::size_t t = 0; t < rows; ++t) {
-        if (config_.denoise_token_drop > 0.0f &&
-            rng.bernoulli(config_.denoise_token_drop)) {
-          for (std::size_t m = 0; m < cols; ++m) corrupted.at(t, m) = 0.0f;
-          continue;
-        }
-        if (config_.denoise_noise > 0.0f)
-          for (std::size_t m = 0; m < cols; ++m)
-            corrupted.at(t, m) += static_cast<float>(
-                rng.gaussian(0.0, config_.denoise_noise));
-      }
-      Var out = entry.model->forward(Var::constant(corrupted),
-                                     chunk.offsets, seg_ids, rng);
-      Var loss = vwmse_loss(out, chunk.tokens, entry.metric_weights);
-      Var aux = entry.model->aux_loss();
-      if (aux.defined()) loss = vadd(loss, aux);
-      loss.backward();
-      optimizer.step();
-    }
-  }
-  entry.model->set_training(false);
-
-  // Residual statistics on the clean member chunks: per-metric mean squared
-  // residual (for whitening) and the resulting whitened baseline error.
-  const std::size_t M = processed_.num_metrics();
-  std::vector<double> resid(M, 0.0);
-  std::size_t err_count = 0;
-  std::vector<Tensor> outputs;
-  outputs.reserve(chunks.size());
-  for (const Chunk& chunk : chunks) {
-    const std::vector<std::size_t> seg_ids(chunk.tokens.size(0),
-                                           chunk.segment_id);
-    const Var out = entry.model->forward(Var::constant(chunk.tokens),
-                                         chunk.offsets, seg_ids, rng);
-    outputs.push_back(out.value());
-    for (std::size_t t = 0; t < chunk.tokens.size(0); ++t) {
-      for (std::size_t m = 0; m < M; ++m) {
-        const double d = out.value().at(t, m) - chunk.tokens.at(t, m);
-        resid[m] += d * d;
-      }
-      ++err_count;
-    }
-  }
-  entry.residual_scale = Tensor(Shape{M});
-  for (std::size_t m = 0; m < M; ++m)
-    entry.residual_scale.at(m) = static_cast<float>(std::max(
-        1e-6, err_count > 0 ? resid[m] / static_cast<double>(err_count)
-                            : 1.0));
-  // Whitened baseline (mean over member tokens of the online score form).
-  double err_sum = 0.0;
-  for (std::size_t c = 0; c < chunks.size(); ++c) {
-    const Chunk& chunk = chunks[c];
-    for (std::size_t t = 0; t < chunk.tokens.size(0); ++t) {
-      double err = 0.0;
-      for (std::size_t m = 0; m < M; ++m) {
-        const double d = outputs[c].at(t, m) - chunk.tokens.at(t, m);
-        err += entry.metric_weights.at(m) * d * d / entry.residual_scale.at(m);
-      }
-      err_sum += err / static_cast<double>(M);
-    }
-  }
-  entry.baseline_error =
-      err_count > 0 ? std::max(1e-6, err_sum / err_count) : 1.0;
+  TrainOptions options;
+  options.epochs = epochs;
+  options.learning_rate = config_.learning_rate;
+  options.batch = config_.train_batch;
+  options.denoise_noise = config_.denoise_noise;
+  options.denoise_token_drop = config_.denoise_token_drop;
+  TrainStats stats =
+      train_reconstructor(*entry.model, chunks, entry.metric_weights, options,
+                          seed);
+  entry.residual_scale = std::move(stats.residual_scale);
+  entry.baseline_error = stats.baseline_error;
 }
 
 std::vector<std::uint8_t> ksigma_flags(const std::vector<float>& scores,
@@ -450,10 +372,16 @@ std::vector<std::uint8_t> ksigma_flags(const std::vector<float>& scores,
   std::vector<float> ring(window, 0.0f);
   double sum = 0.0, sum_sq = 0.0;
   std::size_t count = 0, head = 0;
+  // Warm-up gate: wait for enough history before trusting the estimate.
+  // `count` is capped at `window` once the ring fills, so the gate must be
+  // clamped to the window length — a fixed `count >= 8` can never be
+  // satisfied when window < 8 and silently produced zero flags for
+  // small-window configs.
+  const std::size_t warmup = std::min<std::size_t>(window, 8);
   for (std::size_t t = begin; t < end; ++t) {
     const float score = scores[t];
     if (!std::isfinite(score)) continue;
-    if (count >= 8) {  // enough history for a stable estimate
+    if (count >= warmup) {  // enough history for a stable estimate
       const double mu = sum / static_cast<double>(count);
       const double var =
           std::max(0.0, sum_sq / static_cast<double>(count) - mu * mu);

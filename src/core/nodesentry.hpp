@@ -120,7 +120,9 @@ class NodeSentry {
   }
   /// Number of raw (pre-aggregation) metrics seen at fit time.
   std::size_t raw_metrics() const { return raw_metrics_; }
-  /// Silhouette-optimal k found during fit (before forced_k overrides).
+  /// Silhouette-optimal k found during fit. 0 when fit ran with
+  /// config.forced_k set — the silhouette sweep is skipped entirely then
+  /// (FitReport.silhouette reports the forced cut's own score).
   std::size_t auto_k() const { return auto_k_; }
 
   /// Feature vector of a segment of the processed dataset (exposed for the
@@ -134,7 +136,11 @@ class NodeSentry {
                       std::size_t max_tokens = 0) const;
 
  private:
-  /// Trains one cluster's shared model on its member segments.
+  /// Chunks the member segments and trains the entry's shared model with
+  /// the batched mini-batch trainer (core/trainer.hpp, DESIGN.md §11):
+  /// config.train_batch chunks per Adam step through one block-diagonal
+  /// forward, then a batch-size-invariant, thread-count-invariant
+  /// residual-statistics pass.
   void train_cluster(ClusterEntry& entry, std::size_t epochs,
                      std::uint64_t seed);
   /// Builds a fully-populated entry (centroid, radius, weights, members)
@@ -202,7 +208,9 @@ std::vector<std::uint8_t> detection_flags(const std::vector<float>& scores,
 /// Returns per-point flags for [begin, end) of `scores` (zeros elsewhere).
 /// Non-finite scores are never flagged and never enter the window
 /// statistics (a NaN burst must not poison the threshold); `window` must
-/// be >= 1.
+/// be >= 1. Flagging starts once min(window, 8) finite scores of history
+/// have accumulated — the warm-up is clamped to the window length so
+/// small-window configs threshold instead of silently never flagging.
 std::vector<std::uint8_t> ksigma_flags(const std::vector<float>& scores,
                                        std::size_t begin, std::size_t end,
                                        std::size_t window, double k_sigma,

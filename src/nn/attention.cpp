@@ -43,6 +43,33 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t dim,
   register_child(&out_proj_);
 }
 
+Var MultiHeadSelfAttention::forward_blocked(
+    const Var& x, std::span<const std::size_t> block_lens) const {
+  if (block_lens.size() <= 1) return forward(x);
+  check_cols(x.value(), dim_, "MultiHeadSelfAttention::forward_blocked");
+  std::size_t total = 0;
+  for (std::size_t len : block_lens) total += len;
+  NS_REQUIRE(total == x.shape()[0],
+             "attention block lengths sum to "
+                 << total << " but input has " << x.shape()[0] << " rows");
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Var> head_outputs;
+  head_outputs.reserve(heads_);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    // Projections run over the whole batch (each output row depends only on
+    // its own input row); only the quadratic score stage is per block, fused
+    // into a single graph node (bitwise identical to the composed per-block
+    // op chain — see vblock_attention).
+    Var q = vmatmul(x, wq_[h]);                       // [T, dh]
+    Var k = vmatmul(x, wk_[h]);                       // [T, dh]
+    Var v = vmatmul(x, wv_[h]);                       // [T, dh]
+    head_outputs.push_back(
+        vblock_attention(q, k, v, block_lens, inv_sqrt_dh));  // [T, dh]
+  }
+  Var merged = vconcat_cols(head_outputs);            // [T, dim]
+  return out_proj_.forward(merged);
+}
+
 Var MultiHeadSelfAttention::forward(const Var& x,
                                     const Tensor* attn_bias) const {
   check_cols(x.value(), dim_, "MultiHeadSelfAttention::forward");

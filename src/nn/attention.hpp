@@ -29,6 +29,19 @@ class MultiHeadSelfAttention : public Module {
   /// block_diagonal_attention_bias).
   Var forward(const Var& x, const Tensor* attn_bias = nullptr) const;
 
+  /// Block-diagonal attention: x stacks independent blocks of
+  /// `block_lens[i]` rows (summing to T) and attention is computed per
+  /// block — scores, softmax and the value mix never cross a block
+  /// boundary. Bitwise identical to forward() with a
+  /// block_diagonal_attention_bias (exp(-inf) == 0 exactly, and the GEMM
+  /// accumulates each element in fixed ascending-k order, so the masked
+  /// cross terms contribute exactly nothing) while costing
+  /// sum(len_i^2) instead of T^2 score work — the difference between
+  /// batched training being faster or slower than sequential. One or zero
+  /// blocks degrade to the dense forward().
+  Var forward_blocked(const Var& x,
+                      std::span<const std::size_t> block_lens) const;
+
   std::size_t heads() const { return heads_; }
 
  private:

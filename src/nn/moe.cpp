@@ -33,10 +33,10 @@ Var MoELayer::forward(const Var& x) const {
   Var gate_probs = vsoftmax_rows(gate_logits);     // [T, N]
   last_gate_probs_ = gate_probs;
 
-  // Hard top-k routing mask (constant; selection is non-differentiable).
-  // Scratch: vmask clones it, so the buffer recycles via the workspace.
-  Tensor mask = workspace().acquire_zero(Shape{tokens, n_experts});
+  // Hard top-k routing (selection is non-differentiable): per-expert token
+  // index lists in ascending token order.
   last_load_.assign(n_experts, 0);
+  std::vector<std::vector<std::size_t>> routed(n_experts);
   std::vector<std::size_t> order(n_experts);
   for (std::size_t t = 0; t < tokens; ++t) {
     const float* row = gate_probs.value().data() + t * n_experts;
@@ -46,27 +46,29 @@ Var MoELayer::forward(const Var& x) const {
                         return row[a] > row[b];
                       });
     for (std::size_t k = 0; k < top_k_; ++k) {
-      mask.at(t, order[k]) = 1.0f;
+      routed[order[k]].push_back(t);
       last_load_[order[k]]++;
     }
   }
 
-  // Eq. 4: y = Σ_{i∈n} p_i(x) E_i(x). Every expert runs on the full token
-  // matrix (N is small); masked gate columns zero out unselected tokens and
-  // carry the gradient into both the gate and the expert.
+  // Eq. 4: y = Σ_{i∈n} p_i(x) E_i(x), computed sparsely — each expert runs
+  // only on the tokens routed to it (gathered rows), scaled by its gate
+  // probability and scattered back into position. All expert stages are
+  // row-wise, so every routed token's contribution matches the historic
+  // dense masked evaluation exactly, at 1/N of the expert FLOPs under
+  // top-1 routing. Experts with no routed tokens are skipped: their dense
+  // contribution (and gradient) was identically zero.
   Var output;
-  Tensor col_mask = workspace().acquire(Shape{tokens, 1});
   for (std::size_t i = 0; i < n_experts; ++i) {
-    for (std::size_t t = 0; t < tokens; ++t)
-      col_mask.at(t, 0) = mask.at(t, i);
-    Var gate_col = vslice_cols(gate_probs, i, i + 1);  // [T, 1]
-    Var masked_gate = vmask(gate_col, col_mask);       // zero when unrouted
-    Var expert_out = experts_[i]->forward(x);          // [T, dim]
-    Var weighted = vcolwise_scale(expert_out, masked_gate);
-    output = output.defined() ? vadd(output, weighted) : weighted;
+    if (routed[i].empty()) continue;
+    Var xi = vgather_rows(x, routed[i]);               // [T_i, dim]
+    Var gate_i =
+        vgather_rows(vslice_cols(gate_probs, i, i + 1), routed[i]);  // [T_i,1]
+    Var weighted = vcolwise_scale(experts_[i]->forward(xi), gate_i);
+    Var scattered = vscatter_rows(weighted, routed[i], tokens);
+    output = output.defined() ? vadd(output, scattered) : scattered;
   }
-  workspace().release(std::move(col_mask));
-  workspace().release(std::move(mask));
+  NS_CHECK(output.defined(), "MoE routed no tokens");
   return output;
 }
 

@@ -27,9 +27,11 @@ TransformerReconstructor::EncoderLayer::EncoderLayer(
 
 Var TransformerReconstructor::EncoderLayer::forward(
     const Var& x, float dropout, Rng& rng, bool is_training,
-    const Tensor* attn_bias) const {
+    std::span<const std::size_t> attn_blocks) const {
   // Pre-LN residual blocks.
-  Var attn_out = attention.forward(ln1.forward(x), attn_bias);
+  Var attn_out = attn_blocks.size() > 1
+                     ? attention.forward_blocked(ln1.forward(x), attn_blocks)
+                     : attention.forward(ln1.forward(x));
   attn_out = vdropout(attn_out, dropout, rng, is_training);
   Var h = vadd(x, attn_out);
   Var block_in = ln2.forward(h);
@@ -82,11 +84,10 @@ Var TransformerReconstructor::forward_blocked(
   NS_REQUIRE(total == x.shape()[0],
              "block lengths sum to " << total << " but input has "
                                      << x.shape()[0] << " rows");
-  const Tensor bias = block_diagonal_attention_bias(block_lens);
   Var h = input_proj_.forward(x);
   h = posenc_.forward(h, offsets, segment_ids);
   for (const auto& layer : layers_)
-    h = layer->forward(h, config_.dropout, rng, training(), &bias);
+    h = layer->forward(h, config_.dropout, rng, training(), block_lens);
   h = final_norm_.forward(h);
   return decoder_.forward(h);
 }

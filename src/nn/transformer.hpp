@@ -47,12 +47,15 @@ class TransformerReconstructor : public Module {
               std::span<const std::size_t> segment_ids, Rng& rng) const;
 
   /// Batched variant: x stacks several independent chunks row-wise
-  /// (block_lens[i] rows each, summing to T). Attention is confined to each
-  /// block via block_diagonal_attention_bias, and every other stage is
-  /// per-token, so the result equals running forward() on each chunk
-  /// separately and concatenating — one pass serves many nodes (the serve
-  /// engine's cross-node batching). An empty or single-entry block_lens
-  /// degrades to the plain forward().
+  /// (block_lens[i] rows each, summing to T). Attention is computed per
+  /// block (MultiHeadSelfAttention::forward_blocked), and every other stage
+  /// is per-token, so the result is bitwise equal to running forward() on
+  /// each chunk separately and concatenating — one pass serves many nodes
+  /// (the serve engine's cross-node batching) or trains on many chunks (the
+  /// fit-side mini-batch trainer). Works in training mode: the autograd
+  /// tape covers the whole batch, so a backward() through the result yields
+  /// the batch-mean gradient. An empty or single-entry block_lens degrades
+  /// to the plain forward().
   Var forward_blocked(const Var& x, std::span<const std::size_t> offsets,
                       std::span<const std::size_t> segment_ids, Rng& rng,
                       std::span<const std::size_t> block_lens) const;
@@ -72,8 +75,11 @@ class TransformerReconstructor : public Module {
  private:
   struct EncoderLayer : public Module {
     EncoderLayer(const TransformerConfig& config, Rng& rng);
+    /// `attn_blocks` with >= 2 entries confines attention to consecutive
+    /// row blocks of those lengths; empty (or singleton) means dense
+    /// attention over all rows.
     Var forward(const Var& x, float dropout, Rng& rng, bool training,
-                const Tensor* attn_bias = nullptr) const;
+                std::span<const std::size_t> attn_blocks = {}) const;
 
     LayerNorm ln1, ln2;
     MultiHeadSelfAttention attention;

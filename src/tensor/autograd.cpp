@@ -272,6 +272,164 @@ Var vsoftmax_rows(const Var& x) {
   }));
 }
 
+Var vblock_attention(const Var& q, const Var& k, const Var& v,
+                     std::span<const std::size_t> block_lens, float scale) {
+  const Tensor& qv = q.value();
+  const Tensor& kv = k.value();
+  const Tensor& vv = v.value();
+  NS_REQUIRE(qv.rank() == 2 && kv.rank() == 2 && vv.rank() == 2,
+             "vblock_attention expects rank-2 q/k/v");
+  NS_REQUIRE(qv.shape() == kv.shape() && qv.shape() == vv.shape(),
+             "vblock_attention q/k/v shapes differ");
+  const std::size_t T = qv.size(0);
+  const std::size_t dh = qv.size(1);
+  std::size_t total = 0;
+  for (std::size_t len : block_lens) {
+    NS_REQUIRE(len > 0, "vblock_attention block of zero rows");
+    total += len;
+  }
+  NS_REQUIRE(total == T, "vblock_attention block lengths sum to "
+                             << total << " but q has " << T << " rows");
+
+  // Forward: per block, the exact kernel sequence of the composed op chain
+  // (matmul / scale / softmax_rows / matmul on row-slices), so the output
+  // is bitwise identical to it. Per-block attention weights are kept for
+  // the backward pass; every other temporary comes from the thread-local
+  // arena.
+  Workspace& ws = backward_workspace();
+  Tensor out(Shape{T, dh});
+  std::vector<Tensor> attn_cache;
+  attn_cache.reserve(block_lens.size());
+  std::size_t base = 0;
+  for (std::size_t len : block_lens) {
+    Tensor qb = ws.acquire(Shape{len, dh});
+    Tensor kb = ws.acquire(Shape{len, dh});
+    Tensor vb = ws.acquire(Shape{len, dh});
+    std::copy_n(qv.data() + base * dh, len * dh, qb.data());
+    std::copy_n(kv.data() + base * dh, len * dh, kb.data());
+    std::copy_n(vv.data() + base * dh, len * dh, vb.data());
+    Tensor kt = ws.acquire(Shape{dh, len});
+    transpose2d_into(kt, kb);
+    Tensor raw = ws.acquire(Shape{len, len});
+    matmul_into(raw, qb, kt);
+    scale_into(raw, raw, scale);
+    Tensor attn(Shape{len, len});  // owned: cached for backward
+    softmax_rows_into(attn, raw);
+    Tensor ob = ws.acquire(Shape{len, dh});
+    matmul_into(ob, attn, vb);
+    std::copy_n(ob.data(), len * dh, out.data() + base * dh);
+    attn_cache.push_back(std::move(attn));
+    ws.release(std::move(qb));
+    ws.release(std::move(kb));
+    ws.release(std::move(vb));
+    ws.release(std::move(kt));
+    ws.release(std::move(raw));
+    ws.release(std::move(ob));
+    base += len;
+  }
+
+  auto pq = q.node();
+  auto pk = k.node();
+  auto pv = v.node();
+  std::vector<std::size_t> lens(block_lens.begin(), block_lens.end());
+  // Backward: per block, dAttn = dY_b @ v_b^T and dv_b = attn^T @ dY_b
+  // (the vmatmul rules), the vsoftmax_rows row loop, the scale, then
+  // dq_b = dS @ k_b and dk_b = dS^T @ q_b. These reproduce the composed
+  // chain bit for bit: dq_b matches dS @ (k_b^T)^T with (k_b^T)^T == k_b
+  // exactly, and dS^T @ q_b equals the chain's (q_b^T @ dS)^T because both
+  // sum the same factor pairs in the same ascending-t order (float multiply
+  // is commutative bitwise). Each row belongs to exactly one block, so
+  // per-block accumulation into the zeroed full-size grads is a plain copy.
+  return Var(make_node(
+      std::move(out), {pq, pk, pv},
+      [pq, pk, pv, lens = std::move(lens), scale,
+       attn_cache = std::move(attn_cache)](Node& n) {
+        const std::size_t dh = pq->value.size(1);
+        const bool need_q = pq->requires_grad;
+        const bool need_k = pk->requires_grad;
+        const bool need_v = pv->requires_grad;
+        Workspace& ws = backward_workspace();
+        Tensor dq, dk, dv;
+        if (need_q) dq = ws.acquire_zero(pq->value.shape());
+        if (need_k) dk = ws.acquire_zero(pk->value.shape());
+        if (need_v) dv = ws.acquire_zero(pv->value.shape());
+        std::size_t base = 0;
+        for (std::size_t b = 0; b < lens.size(); ++b) {
+          const std::size_t len = lens[b];
+          const Tensor& attn = attn_cache[b];
+          Tensor dy = ws.acquire(Shape{len, dh});
+          std::copy_n(n.grad.data() + base * dh, len * dh, dy.data());
+          // dAttn = dY_b @ v_b^T
+          Tensor vb = ws.acquire(Shape{len, dh});
+          std::copy_n(pv->value.data() + base * dh, len * dh, vb.data());
+          Tensor vbt = ws.acquire(Shape{dh, len});
+          transpose2d_into(vbt, vb);
+          Tensor dattn = ws.acquire(Shape{len, len});
+          matmul_into(dattn, dy, vbt);
+          ws.release(std::move(vb));
+          ws.release(std::move(vbt));
+          if (need_v) {
+            // dv_b = attn^T @ dY_b
+            Tensor attnt = ws.acquire(Shape{len, len});
+            transpose2d_into(attnt, attn);
+            Tensor dvb = ws.acquire(Shape{len, dh});
+            matmul_into(dvb, attnt, dy);
+            float* dst = dv.data() + base * dh;
+            const float* src = dvb.data();
+            for (std::size_t i = 0; i < len * dh; ++i) dst[i] += src[i];
+            ws.release(std::move(attnt));
+            ws.release(std::move(dvb));
+          }
+          ws.release(std::move(dy));
+          if (need_q || need_k) {
+            // Softmax backward (in place on dAttn), then the scale.
+            for (std::size_t i = 0; i < len; ++i) {
+              const float* y = attn.data() + i * len;
+              float* g = dattn.data() + i * len;
+              double dot = 0.0;
+              for (std::size_t j = 0; j < len; ++j)
+                dot += static_cast<double>(g[j]) * y[j];
+              for (std::size_t j = 0; j < len; ++j)
+                g[j] = y[j] * (g[j] - static_cast<float>(dot));
+            }
+            scale_into(dattn, dattn, scale);
+            if (need_q) {
+              // dq_b = dS @ k_b
+              Tensor kb = ws.acquire(Shape{len, dh});
+              std::copy_n(pk->value.data() + base * dh, len * dh, kb.data());
+              Tensor dqb = ws.acquire(Shape{len, dh});
+              matmul_into(dqb, dattn, kb);
+              float* dst = dq.data() + base * dh;
+              const float* src = dqb.data();
+              for (std::size_t i = 0; i < len * dh; ++i) dst[i] += src[i];
+              ws.release(std::move(kb));
+              ws.release(std::move(dqb));
+            }
+            if (need_k) {
+              // dk_b = dS^T @ q_b
+              Tensor qb = ws.acquire(Shape{len, dh});
+              std::copy_n(pq->value.data() + base * dh, len * dh, qb.data());
+              Tensor dst_t = ws.acquire(Shape{len, len});
+              transpose2d_into(dst_t, dattn);
+              Tensor dkb = ws.acquire(Shape{len, dh});
+              matmul_into(dkb, dst_t, qb);
+              float* dst = dk.data() + base * dh;
+              const float* src = dkb.data();
+              for (std::size_t i = 0; i < len * dh; ++i) dst[i] += src[i];
+              ws.release(std::move(qb));
+              ws.release(std::move(dst_t));
+              ws.release(std::move(dkb));
+            }
+          }
+          ws.release(std::move(dattn));
+          base += len;
+        }
+        if (need_q) accumulate_scratch(*pq, std::move(dq), ws);
+        if (need_k) accumulate_scratch(*pk, std::move(dk), ws);
+        if (need_v) accumulate_scratch(*pv, std::move(dv), ws);
+      }));
+}
+
 Var vlayernorm_rows(const Var& x, const Var& gain, const Var& bias,
                     float eps) {
   const Tensor& xv = x.value();
@@ -334,31 +492,20 @@ Var vrelu(const Var& a) {
 }
 
 namespace {
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
-constexpr float kGeluA = 0.044715f;
 }  // namespace
 
 Var vgelu(const Var& a) {
-  // tanh approximation of GELU; derivative computed analytically.
+  // tanh approximation of GELU; derivative computed analytically. Both
+  // directions live in the kernel layer (canonical scalar loop, or the
+  // vectorized variant inside a FastKernelScope).
   Tensor value(a.value().shape());
-  for (std::size_t i = 0; i < value.numel(); ++i) {
-    const float x = a.value().data()[i];
-    const float t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
-    value.data()[i] = 0.5f * x * (1.0f + t);
-  }
+  gelu_into(value, a.value());
   auto pa = a.node();
   return Var(make_node(std::move(value), {pa}, [pa](Node& n) {
     if (!pa->requires_grad) return;
     Workspace& ws = backward_workspace();
     Tensor dx = ws.acquire(n.value.shape());
-    for (std::size_t i = 0; i < dx.numel(); ++i) {
-      const float x = pa->value.data()[i];
-      const float u = kGeluC * (x + kGeluA * x * x * x);
-      const float t = std::tanh(u);
-      const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
-      const float dgelu = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
-      dx.data()[i] = n.grad.data()[i] * dgelu;
-    }
+    gelu_backward_into(dx, pa->value, n.grad);
     accumulate_scratch(*pa, std::move(dx), ws);
   }));
 }
@@ -466,6 +613,66 @@ Var vslice_rows(const Var& x, std::size_t r0, std::size_t r1) {
     std::copy_n(n.grad.data(), (r1 - r0) * cols, dx.data() + r0 * cols);
     accumulate_scratch(*px, std::move(dx), ws);
   }));
+}
+
+Var vgather_rows(const Var& x, std::span<const std::size_t> rows) {
+  const Tensor& xv = x.value();
+  NS_REQUIRE(xv.rank() == 2, "vgather_rows expects a rank-2 input");
+  const std::size_t T = xv.size(0);
+  const std::size_t cols = xv.size(1);
+  Tensor value(Shape{rows.size(), cols});
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    NS_REQUIRE(rows[r] < T,
+               "vgather_rows index " << rows[r] << " out of " << T << " rows");
+    std::copy_n(xv.data() + rows[r] * cols, cols, value.data() + r * cols);
+  }
+  auto px = x.node();
+  std::vector<std::size_t> idx(rows.begin(), rows.end());
+  return Var(make_node(
+      std::move(value), {px}, [px, idx = std::move(idx)](Node& n) {
+        if (!px->requires_grad) return;
+        const std::size_t cols = px->value.size(1);
+        Workspace& ws = backward_workspace();
+        Tensor dx = ws.acquire_zero(px->value.shape());
+        for (std::size_t r = 0; r < idx.size(); ++r) {
+          float* dst = dx.data() + idx[r] * cols;
+          const float* src = n.grad.data() + r * cols;
+          for (std::size_t j = 0; j < cols; ++j) dst[j] += src[j];
+        }
+        accumulate_scratch(*px, std::move(dx), ws);
+      }));
+}
+
+Var vscatter_rows(const Var& x, std::span<const std::size_t> rows,
+                  std::size_t total_rows) {
+  const Tensor& xv = x.value();
+  NS_REQUIRE(xv.rank() == 2, "vscatter_rows expects a rank-2 input");
+  NS_REQUIRE(xv.size(0) == rows.size(),
+             "vscatter_rows got " << rows.size() << " indices for "
+                                  << xv.size(0) << " rows");
+  const std::size_t cols = xv.size(1);
+  Tensor value = Tensor::zeros(Shape{total_rows, cols});
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    NS_REQUIRE(rows[r] < total_rows, "vscatter_rows index "
+                                         << rows[r] << " out of "
+                                         << total_rows << " rows");
+    float* dst = value.data() + rows[r] * cols;
+    const float* src = xv.data() + r * cols;
+    for (std::size_t j = 0; j < cols; ++j) dst[j] += src[j];
+  }
+  auto px = x.node();
+  std::vector<std::size_t> idx(rows.begin(), rows.end());
+  return Var(make_node(
+      std::move(value), {px}, [px, idx = std::move(idx)](Node& n) {
+        if (!px->requires_grad) return;
+        const std::size_t cols = px->value.size(1);
+        Workspace& ws = backward_workspace();
+        Tensor dx = ws.acquire(px->value.shape());
+        for (std::size_t r = 0; r < idx.size(); ++r)
+          std::copy_n(n.grad.data() + idx[r] * cols, cols,
+                      dx.data() + r * cols);
+        accumulate_scratch(*px, std::move(dx), ws);
+      }));
 }
 
 Var vconcat_cols(std::span<const Var> parts) {

@@ -98,8 +98,29 @@ Var vsum(const Var& a);   // -> scalar [1]
 Var vmean(const Var& a);  // -> scalar [1]
 Var vslice_cols(const Var& x, std::size_t c0, std::size_t c1);
 Var vslice_rows(const Var& x, std::size_t r0, std::size_t r1);
+/// out[r, :] = x[rows[r], :]. Indices may repeat; gradients scatter-add
+/// back into the source rows. Backbone of sparse expert routing.
+Var vgather_rows(const Var& x, std::span<const std::size_t> rows);
+/// Inverse of vgather_rows: a [total_rows, C] tensor that is zero except
+/// out[rows[r], :] += x[r, :] (repeated indices accumulate). Gradients
+/// gather the corresponding rows of the upstream gradient.
+Var vscatter_rows(const Var& x, std::span<const std::size_t> rows,
+                  std::size_t total_rows);
 Var vconcat_cols(std::span<const Var> parts);
 Var vconcat_rows(std::span<const Var> parts);
+/// Fused block-diagonal attention for one head. q/k/v are [T, dh]; rows
+/// split into consecutive blocks whose lengths (summing to T) are given in
+/// `block_lens`, and each block attends only within itself:
+///   out_b = softmax(q_b @ k_b^T * scale) @ v_b,   out = concat_rows(out_b).
+/// Forward values are bitwise identical to the composed per-block chain
+/// (vslice_rows / vmatmul / vtranspose / vscale / vsoftmax_rows /
+/// vconcat_rows) — the same kernels run in the same order — but the whole
+/// stage is a single graph node, which removes ~8 node allocations per
+/// (head, block) from the batched trainer's hot loop. Gradients are also
+/// bitwise identical to the composed chain (see the impl notes).
+Var vblock_attention(const Var& q, const Var& k, const Var& v,
+                     std::span<const std::size_t> block_lens, float scale);
+
 /// Elementwise multiply by a constant mask tensor (no gradient to the mask).
 Var vmask(const Var& x, const Tensor& mask);
 /// Inverted dropout; identity when !training or p == 0.

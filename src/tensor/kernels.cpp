@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define NS_X86_64 1
+#endif
+
 #include "common/thread_pool.hpp"
 #include "tensor/shape_check.hpp"
 
@@ -70,7 +75,305 @@ void gemm_rows(const float* a, const float* b, float* c, std::size_t i0,
   }
 }
 
+// ---- FastKernelScope: opt-in AVX2/FMA variants of the hot kernels.
+//
+// The fast gemm keeps the same row-range interface and the same
+// ascending-k accumulation per output element, but each multiply-add is
+// fused (one rounding instead of two) and 8/16 columns are processed per
+// vector; the fast softmax/gelu replace scalar libm calls with polynomial
+// vector math. Results differ from the canonical kernels in the last
+// ulps. Only opted into by paths without a bitwise-reproducibility
+// contract (see kernels.hpp).
+thread_local int fast_kernel_depth = 0;
+
+// tanh-approximation GELU constants (shared by both kernel variants).
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+#ifdef NS_X86_64
+bool cpu_has_avx2_fma() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+
+__attribute__((target("avx2,fma"))) void gemm_rows_fma(
+    const float* a, const float* b, float* c, std::size_t i0, std::size_t i1,
+    std::size_t k, std::size_t n) {
+  std::size_t j0 = 0;
+  // 4 rows x 16 columns: 8 ymm accumulators + 2 B vectors + 1 broadcast.
+  for (; j0 + 16 <= n; j0 += 16) {
+    std::size_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      __m256 acc0[4], acc1[4];
+      for (std::size_t r = 0; r < 4; ++r) {
+        acc0[r] = _mm256_setzero_ps();
+        acc1[r] = _mm256_setzero_ps();
+      }
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* brow = b + kk * n + j0;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        for (std::size_t r = 0; r < 4; ++r) {
+          const __m256 av = _mm256_set1_ps(a[(i + r) * k + kk]);
+          acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+          acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+        }
+      }
+      for (std::size_t r = 0; r < 4; ++r) {
+        _mm256_storeu_ps(c + (i + r) * n + j0, acc0[r]);
+        _mm256_storeu_ps(c + (i + r) * n + j0 + 8, acc1[r]);
+      }
+    }
+    for (; i < i1; ++i) {
+      __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* brow = b + kk * n + j0;
+        const __m256 av = _mm256_set1_ps(a[i * k + kk]);
+        acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), acc0);
+        acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), acc1);
+      }
+      _mm256_storeu_ps(c + i * n + j0, acc0);
+      _mm256_storeu_ps(c + i * n + j0 + 8, acc1);
+    }
+  }
+  // One 8-wide column panel.
+  for (; j0 + 8 <= n; j0 += 8) {
+    std::size_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      __m256 acc[4];
+      for (std::size_t r = 0; r < 4; ++r) acc[r] = _mm256_setzero_ps();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256 bv = _mm256_loadu_ps(b + kk * n + j0);
+        for (std::size_t r = 0; r < 4; ++r)
+          acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(a[(i + r) * k + kk]), bv,
+                                   acc[r]);
+      }
+      for (std::size_t r = 0; r < 4; ++r)
+        _mm256_storeu_ps(c + (i + r) * n + j0, acc[r]);
+    }
+    for (; i < i1; ++i) {
+      __m256 acc = _mm256_setzero_ps();
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(a[i * k + kk]),
+                              _mm256_loadu_ps(b + kk * n + j0), acc);
+      _mm256_storeu_ps(c + i * n + j0, acc);
+    }
+  }
+  // Tail columns (< 8): 4-wide FMA, then scalar fmaf.
+  if (j0 < n) {
+    std::size_t j4 = j0;
+    for (; j4 + 4 <= n; j4 += 4) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        __m128 acc = _mm_setzero_ps();
+        for (std::size_t kk = 0; kk < k; ++kk)
+          acc = _mm_fmadd_ps(_mm_set1_ps(a[i * k + kk]),
+                             _mm_loadu_ps(b + kk * n + j4), acc);
+        _mm_storeu_ps(c + i * n + j4, acc);
+      }
+    }
+    for (std::size_t j = j4; j < n; ++j) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        float acc = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk)
+          acc = std::fmaf(a[i * k + kk], b[kk * n + j], acc);
+        c[i * n + j] = acc;
+      }
+    }
+  }
+}
+
+// 8-lane exp, Cephes-style range reduction + degree-5 polynomial (a few
+// ulps of relative error; clamps instead of overflowing).
+__attribute__((target("avx2,fma"))) __m256 exp256_ps(__m256 x) {
+  x = _mm256_min_ps(_mm256_max_ps(x, _mm256_set1_ps(-87.336548f)),
+                    _mm256_set1_ps(88.376259f));
+  __m256 fx = _mm256_fmadd_ps(x, _mm256_set1_ps(1.44269504088896341f),
+                              _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693359375f), x);
+  x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.12194440e-4f), x);
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, z, x);
+  y = _mm256_add_ps(y, _mm256_set1_ps(1.0f));
+  const __m256i n = _mm256_cvtps_epi32(fx);
+  const __m256i pow2n =
+      _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(pow2n));
+}
+
+// 8-lane tanh via exp: 1 - 2 / (exp(2u) + 1); saturates correctly because
+// exp256_ps clamps its argument.
+__attribute__((target("avx2,fma"))) __m256 tanh256_ps(__m256 u) {
+  const __m256 e2 = exp256_ps(_mm256_add_ps(u, u));
+  const __m256 two = _mm256_set1_ps(2.0f);
+  return _mm256_sub_ps(
+      _mm256_set1_ps(1.0f),
+      _mm256_div_ps(two, _mm256_add_ps(e2, _mm256_set1_ps(1.0f))));
+}
+
+__attribute__((target("avx2,fma"))) void softmax_rows_fast(float* o,
+                                                           const float* in,
+                                                           std::size_t rows,
+                                                           std::size_t cols) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* x = in + i * cols;
+    float* y = o + i * cols;
+    float mx = x[0];
+    for (std::size_t j = 1; j < cols; ++j) mx = std::max(mx, x[j]);
+    const __m256 vmx = _mm256_set1_ps(mx);
+    __m256 vsum = _mm256_setzero_ps();
+    std::size_t j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      const __m256 e = exp256_ps(_mm256_sub_ps(_mm256_loadu_ps(x + j), vmx));
+      _mm256_storeu_ps(y + j, e);
+      vsum = _mm256_add_ps(vsum, e);
+    }
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, vsum);
+    double denom = 0.0;
+    for (float lane : lanes) denom += lane;
+    for (; j < cols; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      denom += y[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t jj = 0; jj < cols; ++jj) y[jj] *= inv;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void gelu_fast(float* o, const float* in,
+                                                   std::size_t n) {
+  const __m256 c = _mm256_set1_ps(kGeluC);
+  const __m256 a3 = _mm256_set1_ps(kGeluA);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(in + i);
+    const __m256 x2 = _mm256_mul_ps(x, x);
+    const __m256 u =
+        _mm256_mul_ps(c, _mm256_fmadd_ps(_mm256_mul_ps(a3, x2), x, x));
+    const __m256 t = tanh256_ps(u);
+    _mm256_storeu_ps(
+        o + i, _mm256_mul_ps(_mm256_mul_ps(half, x), _mm256_add_ps(one, t)));
+  }
+  for (; i < n; ++i) {
+    const float x = in[i];
+    const float t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
+    o[i] = 0.5f * x * (1.0f + t);
+  }
+}
+
+__attribute__((target("avx2,fma"))) float hsum256_ps(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+// Single-precision layernorm (the canonical kernel accumulates mean and
+// variance in double; under the fast scope float accumulation is fine).
+__attribute__((target("avx2,fma"))) void layernorm_rows_fast(
+    float* out, const float* xp, const float* pg, const float* pb,
+    std::size_t rows, std::size_t cols, float eps, float* xhat,
+    float* inv_std) {
+  const float inv_cols = 1.0f / static_cast<float>(cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* in = xp + i * cols;
+    float* o = out + i * cols;
+    __m256 vsum = _mm256_setzero_ps();
+    std::size_t j = 0;
+    for (; j + 8 <= cols; j += 8)
+      vsum = _mm256_add_ps(vsum, _mm256_loadu_ps(in + j));
+    float mu = hsum256_ps(vsum);
+    for (; j < cols; ++j) mu += in[j];
+    mu *= inv_cols;
+    const __m256 vmu = _mm256_set1_ps(mu);
+    __m256 vvar = _mm256_setzero_ps();
+    j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(in + j), vmu);
+      vvar = _mm256_fmadd_ps(d, d, vvar);
+    }
+    float var = hsum256_ps(vvar);
+    for (; j < cols; ++j) {
+      const float d = in[j] - mu;
+      var += d * d;
+    }
+    var *= inv_cols;
+    const float istd = 1.0f / std::sqrt(var + eps);
+    if (inv_std != nullptr) inv_std[i] = istd;
+    const __m256 vistd = _mm256_set1_ps(istd);
+    j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      const __m256 xh =
+          _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(in + j), vmu), vistd);
+      if (xhat != nullptr) _mm256_storeu_ps(xhat + i * cols + j, xh);
+      _mm256_storeu_ps(
+          o + j, _mm256_fmadd_ps(xh, _mm256_loadu_ps(pg + j),
+                                 _mm256_loadu_ps(pb + j)));
+    }
+    for (; j < cols; ++j) {
+      const float xh = (in[j] - mu) * istd;
+      if (xhat != nullptr) xhat[i * cols + j] = xh;
+      o[j] = xh * pg[j] + pb[j];
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void gelu_backward_fast(
+    float* dx, const float* in, const float* dy, std::size_t n) {
+  const __m256 c = _mm256_set1_ps(kGeluC);
+  const __m256 a3 = _mm256_set1_ps(kGeluA);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 three_a = _mm256_set1_ps(3.0f * kGeluA);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(in + i);
+    const __m256 x2 = _mm256_mul_ps(x, x);
+    const __m256 u =
+        _mm256_mul_ps(c, _mm256_fmadd_ps(_mm256_mul_ps(a3, x2), x, x));
+    const __m256 t = tanh256_ps(u);
+    const __m256 du = _mm256_mul_ps(c, _mm256_fmadd_ps(three_a, x2, one));
+    const __m256 sech2 = _mm256_fnmadd_ps(t, t, one);  // 1 - t^2
+    const __m256 dgelu = _mm256_fmadd_ps(
+        _mm256_mul_ps(_mm256_mul_ps(half, x), sech2), du,
+        _mm256_mul_ps(half, _mm256_add_ps(one, t)));
+    _mm256_storeu_ps(dx + i, _mm256_mul_ps(_mm256_loadu_ps(dy + i), dgelu));
+  }
+  for (; i < n; ++i) {
+    const float x = in[i];
+    const float u = kGeluC * (x + kGeluA * x * x * x);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+    const float dgelu = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+    dx[i] = dy[i] * dgelu;
+  }
+}
+#endif  // NS_X86_64
+
 }  // namespace
+
+FastKernelScope::FastKernelScope() { ++fast_kernel_depth; }
+FastKernelScope::~FastKernelScope() { --fast_kernel_depth; }
+
+bool fast_kernels_enabled() {
+#ifdef NS_X86_64
+  return fast_kernel_depth > 0 && cpu_has_avx2_fma();
+#else
+  return false;
+#endif
+}
 
 void ensure_shape(Tensor& dst, const Shape& shape) {
   if (dst.shape() == shape) return;
@@ -136,14 +439,22 @@ void matmul_into(Tensor& dst, const Tensor& a, const Tensor& b,
   float* po = dst.data();
   const std::size_t flops = 2 * m * n * k;
   if (pool == nullptr) pool = &ThreadPool::global();
+  // Sample the fast-gemm flag on the calling thread so every row-block of
+  // this call uses the same kernel regardless of which worker runs it.
+  using GemmFn = void (*)(const float*, const float*, float*, std::size_t,
+                          std::size_t, std::size_t, std::size_t);
+  GemmFn kernel = &gemm_rows;
+#ifdef NS_X86_64
+  if (fast_kernels_enabled()) kernel = &gemm_rows_fma;
+#endif
   if (flops < kMatmulParallelFlops || m <= kRowBlock) {
-    gemm_rows(pa, pb, po, 0, m, k, n);
+    kernel(pa, pb, po, 0, m, k, n);
     return;
   }
   const std::size_t blocks = (m + kRowBlock - 1) / kRowBlock;
   pool->parallel_for(0, blocks, 1, [&](std::size_t blk) {
     const std::size_t lo = blk * kRowBlock;
-    gemm_rows(pa, pb, po, lo, std::min(m, lo + kRowBlock), k, n);
+    kernel(pa, pb, po, lo, std::min(m, lo + kRowBlock), k, n);
   });
 }
 
@@ -189,6 +500,12 @@ void softmax_rows_into(Tensor& dst, const Tensor& x) {
   check_rank2(x, "softmax_rows");
   ensure_shape(dst, x.shape());
   const std::size_t rows = x.size(0), cols = x.size(1);
+#ifdef NS_X86_64
+  if (fast_kernels_enabled()) {
+    softmax_rows_fast(dst.data(), x.data(), rows, cols);
+    return;
+  }
+#endif
   for (std::size_t i = 0; i < rows; ++i) {
     const float* in = x.data() + i * cols;
     float* o = dst.data() + i * cols;
@@ -201,6 +518,43 @@ void softmax_rows_into(Tensor& dst, const Tensor& x) {
     }
     const float inv = static_cast<float>(1.0 / denom);
     for (std::size_t j = 0; j < cols; ++j) o[j] *= inv;
+  }
+}
+
+void gelu_into(Tensor& dst, const Tensor& x) {
+  ensure_shape(dst, x.shape());
+  const std::size_t n = x.numel();
+#ifdef NS_X86_64
+  if (fast_kernels_enabled()) {
+    gelu_fast(dst.data(), x.data(), n);
+    return;
+  }
+#endif
+  // Canonical scalar loop: bitwise identical to the historic vgelu op.
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = x.data()[i];
+    const float t = std::tanh(kGeluC * (v + kGeluA * v * v * v));
+    dst.data()[i] = 0.5f * v * (1.0f + t);
+  }
+}
+
+void gelu_backward_into(Tensor& dx, const Tensor& x, const Tensor& dy) {
+  NS_REQUIRE(x.numel() == dy.numel(), "gelu_backward operand size mismatch");
+  ensure_shape(dx, x.shape());
+  const std::size_t n = x.numel();
+#ifdef NS_X86_64
+  if (fast_kernels_enabled()) {
+    gelu_backward_fast(dx.data(), x.data(), dy.data(), n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = x.data()[i];
+    const float u = kGeluC * (v + kGeluA * v * v * v);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+    const float dgelu = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    dx.data()[i] = dy.data()[i] * dgelu;
   }
 }
 
@@ -218,6 +572,14 @@ void layernorm_rows_into(Tensor& dst, const Tensor& x, const Tensor& gain,
   if (inv_std != nullptr) ensure_shape(*inv_std, Shape{rows});
   const float* pg = gain.data();
   const float* pb = bias.data();
+#ifdef NS_X86_64
+  if (fast_kernels_enabled()) {
+    layernorm_rows_fast(dst.data(), x.data(), pg, pb, rows, cols, eps,
+                        xhat != nullptr ? xhat->data() : nullptr,
+                        inv_std != nullptr ? inv_std->data() : nullptr);
+    return;
+  }
+#endif
   for (std::size_t i = 0; i < rows; ++i) {
     const float* in = x.data() + i * cols;
     float* out = dst.data() + i * cols;

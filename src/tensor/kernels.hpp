@@ -49,6 +49,32 @@ void add_scalar_into(Tensor& dst, const Tensor& a, float s);
 /// row-block parallel on `pool` (global pool when nullptr).
 void matmul_into(Tensor& dst, const Tensor& a, const Tensor& b,
                  ThreadPool* pool = nullptr);
+
+/// Thread-local opt-in for the fast AVX2/FMA kernel variants: the fused
+/// multiply-add gemm in matmul_into, the vectorized-exp softmax in
+/// softmax_rows_into, and the vectorized tanh-approximation gelu kernels.
+/// The fast gemm keeps the ascending-k accumulation per output element but
+/// fuses each multiply-add; the fast softmax/gelu replace scalar libm
+/// calls with polynomial vector math accurate to a few ulps. Results are
+/// therefore *not* bitwise identical to the canonical kernels — they are
+/// equally valid float evaluations. Only paths without a
+/// bitwise-reproducibility contract may opt in (the batched trainer at
+/// batch > 1 does; eval, serving, residual statistics and the batch-1
+/// trainer never do). The scope nests, applies to the constructing thread
+/// only, and is a no-op on CPUs without AVX2+FMA. Each kernel samples the
+/// flag on the calling thread, so parallel row-blocks of one call always
+/// agree on the variant.
+class FastKernelScope {
+ public:
+  FastKernelScope();
+  ~FastKernelScope();
+  FastKernelScope(const FastKernelScope&) = delete;
+  FastKernelScope& operator=(const FastKernelScope&) = delete;
+};
+
+/// True when the calling thread is inside a FastKernelScope and the CPU
+/// supports the fast kernels.
+bool fast_kernels_enabled();
 void transpose2d_into(Tensor& dst, const Tensor& a);
 /// dst[T,D] = x[T,D] + b[D] broadcast over rows.
 void add_rowvec_into(Tensor& dst, const Tensor& x, const Tensor& b);
@@ -56,6 +82,12 @@ void add_rowvec_into(Tensor& dst, const Tensor& x, const Tensor& b);
 void colwise_scale_into(Tensor& dst, const Tensor& x, const Tensor& s);
 /// Row-wise, max-subtracted softmax of a 2-D tensor.
 void softmax_rows_into(Tensor& dst, const Tensor& x);
+/// Elementwise tanh-approximation GELU: 0.5x(1 + tanh(c(x + a x^3))).
+/// The canonical path reproduces the historic autograd loop bit for bit;
+/// inside a FastKernelScope a vectorized variant is used instead.
+void gelu_into(Tensor& dst, const Tensor& x);
+/// dx = dy * dGELU(x) with the analytic derivative of the tanh form.
+void gelu_backward_into(Tensor& dx, const Tensor& x, const Tensor& dy);
 /// Row-wise layer norm with learned gain/bias over the last dimension.
 /// When xhat / inv_std are non-null they receive the normalized
 /// activations [T,D] and per-row 1/std [T] needed by the backward pass.
