@@ -7,6 +7,7 @@
 //       [--checkpoint <dir>] [--restore]
 //       [--speedup F] [--threads N] [--batch-tokens N] [--slack N]
 //       [--late-prob P] [--max-delay N]
+//       [--generations G] [--consensus Q] [--retrain-every MS]
 //       [--out-dir <dir>] [--verify]
 //       [--metrics-out <prefix>] [--metrics-every N] [--trace-out <file>]
 //
@@ -19,9 +20,18 @@
 //                   serve ingest/match/score histograms)
 //   --metrics-every also refresh the snapshots every N streamed samples
 //   --trace-out     JSONL span trace (one line per match/score span)
+//   --generations   serve G rolling model generations per cluster through
+//                   the generation registry (1..8; default 1)
+//   --consensus     flag a point when >= Q of the live generations agree
+//                   (default 1; implies consensus scoring when set)
+//   --retrain-every run the background retrainer every MS milliseconds
+//                   while the replay streams (0 = no retraining); fresh
+//                   matched segments feed it, publishes hot-swap in
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,7 +41,9 @@
 #include "io/dataset_io.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
+#include "serve/model_registry.hpp"
 #include "serve/replay.hpp"
+#include "serve/retrainer.hpp"
 #include "sim/dataset_builder.hpp"
 
 namespace {
@@ -70,6 +82,7 @@ int main(int argc, char** argv) {
                  "[--threads N]\n"
                  "  [--batch-tokens N] [--slack N] [--late-prob P] "
                  "[--max-delay N]\n"
+                 "  [--generations G] [--consensus Q] [--retrain-every MS]\n"
                  "  [--out-dir DIR] [--verify]\n"
                  "  [--metrics-out PREFIX] [--metrics-every N] "
                  "[--trace-out FILE]\n");
@@ -146,7 +159,36 @@ int main(int argc, char** argv) {
       std::atoi(arg_value(argc, argv, "--batch-tokens", "384")));
   serve_config.reorder_slack = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--slack", "8")));
+
+  // ---- Rolling generations + consensus (DESIGN.md §12).
+  const std::size_t generations = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--generations", "1")));
+  const std::size_t quorum = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--consensus", "0")));
+  const std::size_t retrain_every_ms = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--retrain-every", "0")));
+  std::unique_ptr<GenerationRegistry> registry;
+  std::unique_ptr<Retrainer> retrainer;
+  if (generations > 1 || quorum > 0 || retrain_every_ms > 0) {
+    serve_config.consensus_scoring = true;
+    serve_config.generations = generations > 0 ? generations : 1;
+    serve_config.consensus_quorum = quorum > 0 ? quorum : 1;
+    registry = std::make_unique<GenerationRegistry>(
+        sentry.library().size(), serve_config.generations);
+    serve_config.generation_registry = registry.get();
+    if (retrain_every_ms > 0) {
+      retrainer = std::make_unique<Retrainer>(
+          *registry, sentry.library(), sentry.model_config(),
+          RetrainerConfig{});
+      serve_config.retrainer = retrainer.get();
+    }
+    std::printf("consensus scoring: G=%zu Q=%zu%s\n",
+                serve_config.generations, serve_config.consensus_quorum,
+                retrain_every_ms > 0 ? ", background retrainer on" : "");
+  }
   ServeEngine engine(sentry, serve_config);
+  if (retrainer)
+    retrainer->start(std::chrono::milliseconds(retrain_every_ms));
 
   ReplayOptions replay;
   replay.speedup = std::atof(arg_value(argc, argv, "--speedup", "0"));
@@ -169,6 +211,7 @@ int main(int argc, char** argv) {
   }
   const ReplayReport report =
       serve_replay(engine, dataset, train_end, replay);
+  if (retrainer) retrainer->stop();
   const ServeStats& stats = report.result.stats;
 
   std::printf("\nstreamed %zu samples in %.2f s (%.0f samples/s)\n",
@@ -194,6 +237,17 @@ int main(int argc, char** argv) {
   print_latency("ingest", stats.ingest_latency);
   print_latency("match", stats.match_latency);
   print_latency("score", stats.score_latency);
+  if (serve_config.consensus_scoring)
+    std::printf("consensus: %zu points voted, %zu disagreements "
+                "(%.2f%% of voted points)\n",
+                stats.consensus_points, stats.consensus_disagreements,
+                stats.consensus_points > 0
+                    ? 100.0 * static_cast<double>(stats.consensus_disagreements) /
+                          static_cast<double>(stats.consensus_points)
+                    : 0.0);
+  if (retrainer)
+    std::printf("retrainer: %llu cycles run during the replay\n",
+                static_cast<unsigned long long>(retrainer->cycles()));
 
   if (!metrics_out.empty()) {
     obs::write_metrics_files(obs::Registry::global(), metrics_out);

@@ -434,6 +434,17 @@ std::size_t chunk_point_scores(const ClusterEntry& entry, const Tensor& out,
                                const Tensor& chunk, const ValidityMask* mask,
                                std::size_t mask_node, std::size_t mask_begin,
                                float* out_scores) {
+  return chunk_point_scores(entry.metric_weights, entry.residual_scale,
+                            entry.baseline_error, out, chunk, mask, mask_node,
+                            mask_begin, out_scores);
+}
+
+std::size_t chunk_point_scores(const Tensor& metric_weights,
+                               const Tensor& residual_scale,
+                               double baseline_error, const Tensor& out,
+                               const Tensor& chunk, const ValidityMask* mask,
+                               std::size_t mask_node, std::size_t mask_begin,
+                               float* out_scores) {
   const std::size_t len = chunk.size(0);
   const std::size_t M = chunk.size(1);
   NS_REQUIRE(out.size(0) == len && out.size(1) == M,
@@ -445,11 +456,10 @@ std::size_t chunk_point_scores(const ClusterEntry& entry, const Tensor& out,
     if (!have_mask) {
       for (std::size_t m = 0; m < M; ++m) {
         const double d = out.at(t, m) - chunk.at(t, m);
-        err += entry.metric_weights.at(m) * d * d /
-               entry.residual_scale.at(m);
+        err += metric_weights.at(m) * d * d / residual_scale.at(m);
       }
       out_scores[t] = static_cast<float>(
-          err / static_cast<double>(M) / entry.baseline_error);
+          err / static_cast<double>(M) / baseline_error);
       ++scored;
       continue;
     }
@@ -460,12 +470,11 @@ std::size_t chunk_point_scores(const ClusterEntry& entry, const Tensor& out,
     for (std::size_t m = 0; m < M; ++m) {
       if (!mask->valid(mask_node, m, mask_begin + t)) continue;
       const double d = out.at(t, m) - chunk.at(t, m);
-      err += entry.metric_weights.at(m) * d * d /
-             entry.residual_scale.at(m);
-      weight += entry.metric_weights.at(m);
+      err += metric_weights.at(m) * d * d / residual_scale.at(m);
+      weight += metric_weights.at(m);
     }
     if (weight <= 0.0) continue;  // fully-dead timestamp: score untouched
-    out_scores[t] = static_cast<float>(err / weight / entry.baseline_error);
+    out_scores[t] = static_cast<float>(err / weight / baseline_error);
     ++scored;
   }
   return scored;

@@ -135,6 +135,11 @@ class NodeSentry {
   Tensor model_tokens(const CoreSegment& segment,
                       std::size_t max_tokens = 0) const;
 
+  /// Architecture of the fitted library's models (config.model with the
+  /// processed metric count folded in). The generation registry and
+  /// background retrainer clone/restore models from this description.
+  TransformerConfig model_config() const;
+
  private:
   /// Chunks the member segments and trains the entry's shared model with
   /// the batched mini-batch trainer (core/trainer.hpp, DESIGN.md §11):
@@ -149,7 +154,6 @@ class NodeSentry {
                              const std::vector<std::vector<float>>& features,
                              const std::vector<std::size_t>& member_indices,
                              std::uint64_t seed);
-  TransformerConfig model_config() const;
   /// Saves a consistent snapshot of `snapshot_clusters` (library order)
   /// into the configured checkpoint directory; `step` names the history
   /// subdirectory when checkpoint_history is on.
@@ -182,6 +186,18 @@ void center_tokens_leading(Tensor& tokens, std::size_t match_period);
 /// mode of batch detect(); with mask == nullptr (or empty) the clean
 /// err / M / baseline form is used.
 std::size_t chunk_point_scores(const ClusterEntry& entry, const Tensor& out,
+                               const Tensor& chunk, const ValidityMask* mask,
+                               std::size_t mask_node, std::size_t mask_begin,
+                               float* out_scores);
+
+/// Statistics-based overload: identical arithmetic, but the whitening
+/// divisor and baseline come from the caller instead of the ClusterEntry —
+/// the serve engine's consensus path scores each model generation against
+/// its *own* residual statistics (a retrained generation has its own
+/// notion of "normal" error). The ClusterEntry overload delegates here.
+std::size_t chunk_point_scores(const Tensor& metric_weights,
+                               const Tensor& residual_scale,
+                               double baseline_error, const Tensor& out,
                                const Tensor& chunk, const ValidityMask* mask,
                                std::size_t mask_node, std::size_t mask_begin,
                                float* out_scores);

@@ -80,20 +80,18 @@ Var MultiHeadSelfAttention::forward(const Var& x,
                "attention bias must be [" << tokens << "," << tokens << "]");
   const float inv_sqrt_dh =
       1.0f / std::sqrt(static_cast<float>(head_dim_));
-  // One shared constant node for the bias instead of a fresh [T,T] clone
-  // per head — every head adds the same immutable tensor.
-  Var bias_var;
-  if (attn_bias != nullptr) bias_var = Var::constant(attn_bias->clone());
+  // The dense forward is the one-block case of the fused attention node:
+  // the bias (if any) folds into its pre-softmax scores, so there is no
+  // separate composed vscale/vadd/vsoftmax chain to maintain.
+  const std::size_t one_block[1] = {tokens};
   std::vector<Var> head_outputs;
   head_outputs.reserve(heads_);
   for (std::size_t h = 0; h < heads_; ++h) {
     Var q = vmatmul(x, wq_[h]);                       // [T, dh]
     Var k = vmatmul(x, wk_[h]);                       // [T, dh]
     Var v = vmatmul(x, wv_[h]);                       // [T, dh]
-    Var scores = vscale(vmatmul(q, vtranspose(k)), inv_sqrt_dh);  // [T, T]
-    if (bias_var.defined()) scores = vadd(scores, bias_var);
-    Var attn = vsoftmax_rows(scores);
-    head_outputs.push_back(vmatmul(attn, v));         // [T, dh]
+    head_outputs.push_back(
+        vblock_attention(q, k, v, one_block, inv_sqrt_dh, attn_bias));
   }
   Var merged = vconcat_cols(head_outputs);            // [T, dim]
   return out_proj_.forward(merged);

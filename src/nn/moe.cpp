@@ -52,24 +52,37 @@ Var MoELayer::forward(const Var& x) const {
   }
 
   // Eq. 4: y = Σ_{i∈n} p_i(x) E_i(x), computed sparsely — each expert runs
-  // only on the tokens routed to it (gathered rows), scaled by its gate
-  // probability and scattered back into position. All expert stages are
-  // row-wise, so every routed token's contribution matches the historic
-  // dense masked evaluation exactly, at 1/N of the expert FLOPs under
-  // top-1 routing. Experts with no routed tokens are skipped: their dense
-  // contribution (and gradient) was identically zero.
-  Var output;
+  // only on the tokens routed to it, scaled by its gate probability. The
+  // routed lists concatenate into one sort-by-expert permutation, so the
+  // whole layer needs a single gather of the inputs (each expert reads a
+  // contiguous row slice), one gather of the gate rows, and a single
+  // scatter back into token order — instead of a gather/scatter pair per
+  // expert. vscatter_rows accumulates over repeated indices in permutation
+  // (expert-ascending) order, which is exactly the order the historic
+  // per-expert vadd chain summed contributions, so outputs are unchanged.
+  // Experts with no routed tokens are skipped: their dense contribution
+  // (and gradient) was identically zero.
+  std::vector<std::size_t> perm;
+  perm.reserve(tokens * top_k_);
+  for (const auto& list : routed)
+    perm.insert(perm.end(), list.begin(), list.end());
+  NS_CHECK(!perm.empty(), "MoE routed no tokens");
+  Var xg = vgather_rows(x, perm);              // [R, dim], expert-sorted
+  Var gates = vgather_rows(gate_probs, perm);  // [R, N]
+  std::vector<Var> parts;
+  parts.reserve(n_experts);
+  std::size_t base = 0;
   for (std::size_t i = 0; i < n_experts; ++i) {
     if (routed[i].empty()) continue;
-    Var xi = vgather_rows(x, routed[i]);               // [T_i, dim]
+    const std::size_t len = routed[i].size();
+    Var xi = vslice_rows(xg, base, base + len);        // [T_i, dim]
     Var gate_i =
-        vgather_rows(vslice_cols(gate_probs, i, i + 1), routed[i]);  // [T_i,1]
-    Var weighted = vcolwise_scale(experts_[i]->forward(xi), gate_i);
-    Var scattered = vscatter_rows(weighted, routed[i], tokens);
-    output = output.defined() ? vadd(output, scattered) : scattered;
+        vslice_cols(vslice_rows(gates, base, base + len), i, i + 1);
+    parts.push_back(vcolwise_scale(experts_[i]->forward(xi), gate_i));
+    base += len;
   }
-  NS_CHECK(output.defined(), "MoE routed no tokens");
-  return output;
+  Var packed = parts.size() == 1 ? parts.front() : vconcat_rows(parts);
+  return vscatter_rows(packed, perm, tokens);
 }
 
 Var MoELayer::aux_load_balance_loss() const {

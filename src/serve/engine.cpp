@@ -9,6 +9,8 @@
 #include "common/thread_pool.hpp"
 #include "features/extract.hpp"
 #include "obs/timer.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/retrainer.hpp"
 
 namespace ns {
 
@@ -81,6 +83,41 @@ ServeEngine::ServeEngine(NodeSentry& sentry, ServeConfig config)
   units_dropped_counter_ = &registry_->counter(
       "ns_serve_units_dropped_total",
       "Scoring units dropped (oldest-first) by queue backpressure");
+  if (config_.consensus_scoring) {
+    const std::size_t G = config_.generations;
+    NS_REQUIRE(G >= 1 && G <= 8,
+               "serve: generations " << G << " out of [1,8]");
+    NS_REQUIRE(config_.consensus_quorum >= 1 && config_.consensus_quorum <= G,
+               "serve: consensus_quorum " << config_.consensus_quorum
+                                          << " out of [1," << G << "]");
+    if (config_.generation_registry != nullptr) {
+      gen_registry_ = config_.generation_registry;
+      NS_REQUIRE(gen_registry_->num_clusters() == sentry.library().size(),
+                 "serve: registry has " << gen_registry_->num_clusters()
+                                        << " clusters, library has "
+                                        << sentry.library().size());
+      NS_REQUIRE(gen_registry_->max_generations() == G,
+                 "serve: registry cap " << gen_registry_->max_generations()
+                                        << " != generations " << G);
+      // Convenience: an external registry handed over empty gets the seed
+      // generation, same as the engine-owned path.
+      if (gen_registry_->snapshot(0)->generations.empty())
+        gen_registry_->seed_from_library(sentry.library());
+    } else {
+      owned_gen_registry_ = std::make_unique<GenerationRegistry>(
+          sentry.library().size(), G, registry_);
+      owned_gen_registry_->seed_from_library(sentry.library());
+      gen_registry_ = owned_gen_registry_.get();
+    }
+    lane_scores_.assign(G, std::vector<std::vector<float>>(N));
+    lane_active_.assign(N, {});
+    consensus_points_counter_ =
+        &registry_->counter("ns_serve_consensus_points_total",
+                            "Points decided by the consensus vote");
+    consensus_disagreements_counter_ = &registry_->counter(
+        "ns_serve_consensus_disagreements_total",
+        "Voted points where the active generations disagreed");
+  }
 }
 
 ServeEngine::~ServeEngine() {
@@ -377,7 +414,10 @@ std::size_t ServeEngine::pump() {
     dispatched += units.size();
     inflight_.push_back(pool_->submit(
         [this, cluster, batch = std::move(units)]() mutable {
-          score_cluster_units(cluster, std::move(batch));
+          if (config_.consensus_scoring)
+            score_cluster_units_consensus(cluster, std::move(batch));
+          else
+            score_cluster_units(cluster, std::move(batch));
         }));
   }
   // Reap finished futures so inflight_ stays bounded on long streams; a
@@ -484,6 +524,132 @@ void ServeEngine::score_cluster_units(std::size_t cluster,
   }
 }
 
+void ServeEngine::score_cluster_units_consensus(std::size_t cluster,
+                                                std::vector<PendingUnit> units) {
+  const ClusterEntry& entry = sentry_->library().clusters()[cluster];
+  // One snapshot for the whole batch: every unit in it is scored by the
+  // same generation set, and the snapshot keeps retired generations alive
+  // through our forwards (the RCU grace period).
+  const std::shared_ptr<const GenerationSet> snap =
+      gen_registry_->snapshot(cluster);
+  std::vector<const ModelGeneration*> gens;
+  gens.reserve(snap->generations.size());
+  for (const ModelGeneration& gen : snap->generations)
+    if (!gen.quarantined && gen.model) gens.push_back(&gen);
+  // Graceful degradation: an all-quarantined (or unseeded) cluster falls
+  // back to the fitted library entry as a stand-in lane-0 generation.
+  ModelGeneration fallback;
+  if (gens.empty()) {
+    fallback.model = entry.model;
+    fallback.residual_scale = entry.residual_scale.clone();
+    fallback.baseline_error = entry.baseline_error;
+    gens.push_back(&fallback);
+  }
+  const std::size_t G = config_.generations;
+  // The cluster lock serializes every generation's forward for this
+  // cluster (MoE routing state is per-model, but the retrainer clones from
+  // these models concurrently — one lock per cluster keeps the contract
+  // simple and the batches of different clusters still run in parallel).
+  std::lock_guard<std::mutex> cluster_lock(*cluster_locks_[cluster]);
+  Rng rng(0);  // eval-mode forwards are deterministic and never draw
+  const std::size_t M = num_metrics_;
+  std::size_t i = 0;
+  while (i < units.size()) {
+    std::size_t j = i + 1;
+    std::size_t rows = units[i].tokens.size(0);
+    if (config_.max_batch_tokens > 0) {
+      while (j < units.size() &&
+             rows + units[j].tokens.size(0) <= config_.max_batch_tokens) {
+        rows += units[j].tokens.size(0);
+        ++j;
+      }
+    }
+    obs::ScopedTimer batch_timer(score_hist_, "serve.score");
+    Tensor x(Shape{rows, M});
+    std::vector<std::size_t> offsets;
+    std::vector<std::size_t> seg_ids;
+    std::vector<std::size_t> block_lens;
+    offsets.reserve(rows);
+    seg_ids.reserve(rows);
+    block_lens.reserve(j - i);
+    std::size_t base = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      const PendingUnit& unit = units[k];
+      const std::size_t len = unit.tokens.size(0);
+      for (std::size_t r = 0; r < len; ++r) {
+        for (std::size_t m = 0; m < M; ++m)
+          x.at(base + r, m) = unit.tokens.at(r, m);
+        offsets.push_back(unit.offset + r);
+        seg_ids.push_back(unit.segment_id);
+      }
+      block_lens.push_back(len);
+      base += len;
+    }
+    // Per-unit validity masks are generation-independent: build them once.
+    std::vector<ValidityMask> masks;
+    if (masked_mode_) {
+      masks.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) {
+        const PendingUnit& unit = units[k];
+        const std::size_t len = unit.tokens.size(0);
+        ValidityMask mask(1, M, len, 1);
+        for (std::size_t r = 0; r < len; ++r)
+          for (std::size_t m = 0; m < M; ++m)
+            mask.at(0, m, r) = unit.valid[r * M + m];
+        masks.push_back(std::move(mask));
+      }
+    }
+    std::vector<ScoredUnit> results(j - i);
+    std::size_t points = 0;
+    for (std::size_t gi = 0; gi < gens.size(); ++gi) {
+      const ModelGeneration& gen = *gens[gi];
+      const bool newest = gi + 1 == gens.size();
+      const Var out = gen.model->forward_blocked(Var::constant(x.clone()),
+                                                 offsets, seg_ids, rng,
+                                                 block_lens);
+      base = 0;
+      for (std::size_t k = i; k < j; ++k) {
+        const PendingUnit& unit = units[k];
+        const std::size_t len = unit.tokens.size(0);
+        const Tensor rec = slice_rows(out.value(), base, base + len);
+        base += len;
+        ScoredUnit& scored = results[k - i];
+        std::vector<float> lane(len, 0.0f);
+        const std::size_t scored_points = chunk_point_scores(
+            entry.metric_weights, gen.residual_scale, gen.baseline_error, rec,
+            unit.tokens, masked_mode_ ? &masks[k - i] : nullptr, 0, 0,
+            lane.data());
+        scored.lanes.push_back(static_cast<std::uint8_t>(gen.gen_id % G));
+        if (newest) {
+          // The newest generation is the primary lane: its scores feed the
+          // reported timeline (and, with G == 1, reproduce the single-model
+          // path bitwise).
+          scored.node = unit.node;
+          scored.abs_begin = unit.abs_begin;
+          scored.scores = lane;
+          scored.scored_points = scored_points;
+          points += scored_points;
+        }
+        scored.lane_scores.push_back(std::move(lane));
+      }
+    }
+    batch_timer.stop();
+    {
+      std::lock_guard<std::mutex> lock(results_mutex_);
+      for (ScoredUnit& scored : results)
+        scored_ready_.push_back(std::move(scored));
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches_run;
+      units_batched_total_ += j - i;
+      stats_.chunks_scored += j - i;
+      stats_.points_scored += points;
+    }
+    i = j;
+  }
+}
+
 void ServeEngine::drain_scored() {
   std::vector<ScoredUnit> ready;
   {
@@ -498,6 +664,22 @@ void ServeEngine::drain_scored() {
     // unit are 0 in its buffer, matching batch detect() leaving them 0.
     std::copy(unit.scores.begin(), unit.scores.end(),
               timeline.begin() + static_cast<std::ptrdiff_t>(unit.abs_begin));
+    if (unit.lanes.empty()) continue;
+    // Consensus mode: fold every generation's scores into its lane
+    // timeline and record which lanes covered these points. Lanes within
+    // one snapshot are distinct (gen_ids are consecutive, G apart repeats).
+    std::vector<std::uint8_t>& active = lane_active_[unit.node];
+    if (active.size() < end) active.resize(end, 0);
+    for (std::size_t li = 0; li < unit.lanes.size(); ++li) {
+      const std::uint8_t lane = unit.lanes[li];
+      std::vector<float>& lane_timeline = lane_scores_[lane][unit.node];
+      if (lane_timeline.size() < end) lane_timeline.resize(end, 0.0f);
+      std::copy(
+          unit.lane_scores[li].begin(), unit.lane_scores[li].end(),
+          lane_timeline.begin() + static_cast<std::ptrdiff_t>(unit.abs_begin));
+      for (std::size_t t = unit.abs_begin; t < end; ++t)
+        active[t] |= static_cast<std::uint8_t>(1u << lane);
+    }
   }
 }
 
@@ -511,8 +693,26 @@ void ServeEngine::close_segment(std::size_t node, std::size_t end) {
     // Insufficient segments still define a reference range (their scores
     // stay 0), exactly like batch detect()'s outcome handling.
     ranges_[node].emplace_back(seg.begin, seg.begin + len);
-    if (seg.matched && !seg.insufficient)
+    if (seg.matched && !seg.insufficient) {
       emit_ready_chunks(node, /*closing=*/true, len);
+      if (config_.retrainer != nullptr) {
+        // Feed the retrainer the same representation the models score:
+        // centered tokens, capped to the leading max_tokens_per_segment
+        // rows (mirrors the fit pipeline's per-segment cap). The ring is
+        // bounded and the offer never blocks ingest.
+        const std::size_t cap = sentry_->config().max_tokens_per_segment;
+        const std::size_t rows = cap > 0 ? std::min(len, cap) : len;
+        if (rows >= 2) {
+          const std::size_t M = num_metrics_;
+          Tensor tokens(Shape{rows, M});
+          for (std::size_t r = 0; r < rows; ++r)
+            for (std::size_t m = 0; m < M; ++m)
+              tokens.at(r, m) = seg.rows[r][m] - seg.center_mu[m];
+          config_.retrainer->offer_segment(seg.cluster, std::move(tokens),
+                                           seg.segment_id);
+        }
+      }
+    }
   } else {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.segments_too_short;
@@ -560,12 +760,80 @@ ServeResult ServeEngine::finalize() {
     NodeDetection& det = result.detections[n];
     det.scores = std::move(scores_[n]);
     det.scores.resize(timeline_end, 0.0f);
-    const std::vector<float> reference =
-        score_reference_levels(det.scores, ranges_[n]);
-    det.predictions = detection_flags(det.scores, reference, start_t_, cfg);
+    if (!config_.consensus_scoring) {
+      const std::vector<float> reference =
+          score_reference_levels(det.scores, ranges_[n]);
+      det.predictions = detection_flags(det.scores, reference, start_t_, cfg);
+      return;
+    }
+    std::size_t points = 0;
+    std::size_t disagreements = 0;
+    consensus_node_predictions(n, det, timeline_end, &points, &disagreements);
+    if (points > 0) consensus_points_counter_->inc(points);
+    if (disagreements > 0)
+      consensus_disagreements_counter_->inc(disagreements);
+    if (points > 0 || disagreements > 0) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.consensus_points += points;
+      stats_.consensus_disagreements += disagreements;
+    }
   });
   result.stats = stats();
   return result;
+}
+
+void ServeEngine::consensus_node_predictions(
+    std::size_t node, NodeDetection& det, std::size_t timeline_end,
+    std::size_t* out_points, std::size_t* out_disagreements) const {
+  const NodeSentryConfig& cfg = sentry_->config();
+  const std::size_t G = config_.generations;
+  const std::vector<std::uint8_t>& active = lane_active_[node];
+  std::uint8_t node_mask = 0;
+  for (const std::uint8_t bits : active) node_mask |= bits;
+  // Each lane thresholds its own full timeline with the shared k-sigma
+  // machinery — identical arithmetic to the single-model path, so a lone
+  // lane (G == 1) reproduces it bitwise.
+  std::vector<std::vector<std::uint8_t>> lane_flags(G);
+  for (std::size_t lane = 0; lane < G; ++lane) {
+    if ((node_mask & (1u << lane)) == 0) continue;
+    std::vector<float> lane_timeline = lane_scores_[lane][node];
+    lane_timeline.resize(timeline_end, 0.0f);
+    const std::vector<float> reference =
+        score_reference_levels(lane_timeline, ranges_[node]);
+    lane_flags[lane] =
+        detection_flags(lane_timeline, reference, start_t_, cfg);
+  }
+  det.predictions.assign(timeline_end, 0);
+  const std::uint8_t all_mask =
+      static_cast<std::uint8_t>(G >= 8 ? 0xFFu : (1u << G) - 1u);
+  std::size_t points = 0;
+  std::size_t disagreements = 0;
+  for (std::size_t t = start_t_; t < timeline_end; ++t) {
+    std::uint8_t mask = t < active.size() ? active[t] : 0;
+    const bool voted = mask != 0;
+    // Unscored points fall back to the lanes that scored this node at all
+    // (their flags still cover t through smoothing), then to every lane:
+    // all-absent flags vote 0 and the point stays unflagged, matching the
+    // single-model path's score-0 handling.
+    if (mask == 0) mask = node_mask != 0 ? node_mask : all_mask;
+    std::size_t votes = 0;
+    std::size_t active_lanes = 0;
+    for (std::size_t lane = 0; lane < G; ++lane) {
+      if ((mask & (1u << lane)) == 0) continue;
+      ++active_lanes;
+      if (!lane_flags[lane].empty() && lane_flags[lane][t]) ++votes;
+    }
+    // Bootstrap/quarantine degradation: with fewer than Q live lanes, the
+    // ones that exist decide.
+    const std::size_t need = std::min(config_.consensus_quorum, active_lanes);
+    det.predictions[t] = (active_lanes > 0 && votes >= need) ? 1 : 0;
+    if (voted) {
+      ++points;
+      if (votes > 0 && votes < active_lanes) ++disagreements;
+    }
+  }
+  *out_points = points;
+  *out_disagreements = disagreements;
 }
 
 ServeStats ServeEngine::stats() const {

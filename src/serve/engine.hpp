@@ -43,6 +43,8 @@
 namespace ns {
 
 class ThreadPool;
+class GenerationRegistry;
+class Retrainer;
 
 struct ServeConfig {
   /// Worker threads for batched scoring; 0 = share the process-global pool.
@@ -66,6 +68,27 @@ struct ServeConfig {
   /// the process-global obs::Registry (shared with the fit pipeline, so
   /// one exposition carries both). Tests pass a private registry.
   obs::Registry* registry = nullptr;
+
+  // ---- rolling generations + consensus (DESIGN.md §12)
+  /// Score through the generation registry instead of the single library
+  /// model. Off (the default) is exactly the historic single-model path;
+  /// on with generations == consensus_quorum == 1 reproduces it bitwise
+  /// through the registry's seed generation.
+  bool consensus_scoring = false;
+  /// G: staggered model generations per cluster (1..8; the per-point lane
+  /// bitmap is a byte).
+  std::size_t generations = 1;
+  /// Q: a point is flagged when >= min(Q, lanes active at that point)
+  /// generations flag it — the bootstrap/quarantine fallback: with fewer
+  /// than Q generations alive, the ones that exist decide.
+  std::size_t consensus_quorum = 1;
+  /// External generation registry shared with a Retrainer; null makes the
+  /// engine own one, seeded from the fitted library. Ignored unless
+  /// consensus_scoring.
+  GenerationRegistry* generation_registry = nullptr;
+  /// When set, every matched closed segment's centered tokens are offered
+  /// to this retrainer (bounded ring, never blocks ingest).
+  Retrainer* retrainer = nullptr;
 };
 
 struct LatencySummary {
@@ -99,6 +122,10 @@ struct ServeStats {
   std::size_t units_dropped = 0;         ///< backpressure drops
   std::size_t queue_depth = 0;           ///< pending units right now
   std::size_t max_queue_depth = 0;
+  /// Consensus mode only: points voted on, and points where the active
+  /// generations disagreed (some flagged, some did not).
+  std::size_t consensus_points = 0;
+  std::size_t consensus_disagreements = 0;
   LatencySummary ingest_latency;
   LatencySummary match_latency;
   LatencySummary score_latency;          ///< per batched forward
@@ -142,6 +169,9 @@ class ServeEngine {
 
   const ServeConfig& config() const { return config_; }
   std::size_t start_t() const { return start_t_; }
+  /// The generation registry scoring reads (the external one, or the
+  /// engine-owned one seeded from the library); null in single-model mode.
+  GenerationRegistry* generation_registry() { return gen_registry_; }
 
  private:
   struct OpenSegment {
@@ -188,8 +218,14 @@ class ServeEngine {
   struct ScoredUnit {
     std::size_t node = 0;
     std::size_t abs_begin = 0;
+    /// Primary scores (consensus mode: the newest generation's lane).
     std::vector<float> scores;
     std::size_t scored_points = 0;
+    /// Consensus mode: one score timeline per generation that scored this
+    /// unit, with the lane index (gen_id % G) it belongs to. Empty in
+    /// single-model mode.
+    std::vector<std::uint8_t> lanes;
+    std::vector<std::vector<float>> lane_scores;
   };
 
   void commit_row(std::size_t node, std::size_t t, std::int64_t job_id,
@@ -204,7 +240,15 @@ class ServeEngine {
   void enqueue_unit(PendingUnit unit);
   void score_cluster_units(std::size_t cluster,
                            std::vector<PendingUnit> units);
+  void score_cluster_units_consensus(std::size_t cluster,
+                                     std::vector<PendingUnit> units);
   void drain_scored();
+  /// Consensus thresholding for one node (called from finalize's
+  /// parallel_for): per-lane reference levels + flags, then the >= Q vote.
+  void consensus_node_predictions(std::size_t node, NodeDetection& det,
+                                  std::size_t timeline_end,
+                                  std::size_t* out_points,
+                                  std::size_t* out_disagreements) const;
 
   NodeSentry* sentry_;
   ServeConfig config_;
@@ -219,6 +263,17 @@ class ServeEngine {
   /// One lock per cluster: a cluster's MoE layers keep mutable routing
   /// state across forward(), so its batches must run serialized.
   std::vector<std::unique_ptr<std::mutex>> cluster_locks_;
+
+  /// Consensus mode state. The engine owns the registry unless an external
+  /// one was supplied. Lane timelines mirror scores_ per generation lane
+  /// (lane = gen_id % G); lane_active_[node][t] is the bitmap of lanes
+  /// that scored point t — the bootstrap/quarantine fallback keys off it.
+  /// Lane state is written by pool tasks ONLY through drain_scored()
+  /// (ingest thread), same discipline as scores_.
+  std::unique_ptr<GenerationRegistry> owned_gen_registry_;
+  GenerationRegistry* gen_registry_ = nullptr;
+  std::vector<std::vector<std::vector<float>>> lane_scores_;  ///< [G][node][t]
+  std::vector<std::vector<std::uint8_t>> lane_active_;        ///< [node][t]
 
   std::vector<NodeState> nodes_;
   std::vector<std::vector<float>> scores_;  ///< [node][t], grows with ingest
@@ -249,6 +304,8 @@ class ServeEngine {
   obs::Histogram* score_hist_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Counter* units_dropped_counter_ = nullptr;
+  obs::Counter* consensus_points_counter_ = nullptr;
+  obs::Counter* consensus_disagreements_counter_ = nullptr;
 };
 
 }  // namespace ns

@@ -1,0 +1,262 @@
+#include "serve/model_registry.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <span>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fileio.hpp"
+#include "nn/module.hpp"
+
+namespace ns {
+
+namespace {
+
+void write_floats(std::ostream& os, std::span<const float> xs) {
+  const std::uint32_t n = static_cast<std::uint32_t>(xs.size());
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(reinterpret_cast<const char*>(xs.data()),
+           static_cast<std::streamsize>(xs.size() * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::istream& is, const char* what) {
+  std::uint32_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is.good())
+    throw ParseError(std::string("generation registry: truncated ") + what);
+  std::vector<float> xs(n);
+  is.read(reinterpret_cast<char*>(xs.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!is.good())
+    throw ParseError(std::string("generation registry: truncated ") + what);
+  return xs;
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& out, const char* what) {
+  is.read(reinterpret_cast<char*>(&out), sizeof(out));
+  if (!is.good())
+    throw ParseError(std::string("generation registry: truncated ") + what);
+}
+
+std::string gens_file(std::size_t c) {
+  return "gens_" + std::to_string(c) + ".bin";
+}
+
+}  // namespace
+
+GenerationRegistry::GenerationRegistry(std::size_t num_clusters,
+                                       std::size_t max_generations,
+                                       obs::Registry* obs_registry)
+    : max_generations_(max_generations) {
+  NS_REQUIRE(num_clusters > 0, "generation registry: no clusters");
+  NS_REQUIRE(max_generations_ >= 1 && max_generations_ <= 8,
+             "generation registry: max_generations " << max_generations_
+                                                     << " out of [1,8]");
+  slots_.reserve(num_clusters);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    slots_.push_back(std::make_unique<ClusterSlot>());
+    slots_.back()->current.store(std::make_shared<const GenerationSet>(),
+                                 std::memory_order_release);
+  }
+  obs_ = obs_registry ? obs_registry : &obs::Registry::global();
+  active_gauges_.reserve(num_clusters);
+  newest_gen_gauges_.reserve(num_clusters);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    const obs::LabelSet labels{{"cluster", std::to_string(c)}};
+    active_gauges_.push_back(
+        &obs_->gauge("ns_generations_active",
+                     "Scoring-eligible model generations in the set", labels));
+    newest_gen_gauges_.push_back(&obs_->gauge(
+        "ns_generation_newest_id",
+        "gen_id of the newest published generation", labels));
+  }
+  published_counter_ = &obs_->counter("ns_generations_published_total",
+                                      "Generations published (all clusters)");
+  retired_counter_ = &obs_->counter(
+      "ns_generations_retired_total",
+      "Generations retired past the cap (grace-period protected)");
+  quarantined_counter_ = &obs_->counter("ns_generations_quarantined_total",
+                                        "Generations quarantined");
+}
+
+void GenerationRegistry::seed_from_library(const ClusterLibrary& library) {
+  NS_REQUIRE(library.size() == slots_.size(),
+             "generation registry: seeded with " << library.size()
+                                                 << " clusters, expected "
+                                                 << slots_.size());
+  for (std::size_t c = 0; c < library.size(); ++c) {
+    const ClusterEntry& entry = library.clusters()[c];
+    NS_REQUIRE(entry.model != nullptr,
+               "generation registry: cluster " << c << " has no model");
+    ModelGeneration gen;
+    gen.model = entry.model;
+    gen.residual_scale = entry.residual_scale.clone();
+    gen.baseline_error = entry.baseline_error;
+    publish(c, std::move(gen));
+  }
+}
+
+std::shared_ptr<const GenerationSet> GenerationRegistry::snapshot(
+    std::size_t cluster) const {
+  NS_REQUIRE(cluster < slots_.size(),
+             "generation registry: cluster " << cluster << " out of range");
+  return slots_[cluster]->current.load(std::memory_order_acquire);
+}
+
+std::uint64_t GenerationRegistry::publish(std::size_t cluster,
+                                          ModelGeneration gen) {
+  NS_REQUIRE(cluster < slots_.size(),
+             "generation registry: cluster " << cluster << " out of range");
+  NS_REQUIRE(gen.model != nullptr, "generation registry: publish without model");
+  ClusterSlot& slot = *slots_[cluster];
+  std::lock_guard<std::mutex> lock(slot.writer_mutex);
+  gen.gen_id = slot.next_gen_id++;
+  const std::uint64_t id = gen.gen_id;
+  auto old = slot.current.load(std::memory_order_acquire);
+  auto next = std::make_shared<GenerationSet>(*old);
+  next->generations.push_back(std::move(gen));
+  std::size_t retired = 0;
+  while (next->generations.size() > max_generations_) {
+    // Retire the oldest. Readers still holding a snapshot that references
+    // it keep the model alive via shared_ptr — the grace period ends when
+    // the last in-flight forward drops its snapshot.
+    next->generations.erase(next->generations.begin());
+    ++retired;
+  }
+  update_gauges(cluster, *next);
+  slot.current.store(std::shared_ptr<const GenerationSet>(std::move(next)),
+                     std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  published_counter_->inc();
+  if (retired > 0) retired_counter_->inc(retired);
+  return id;
+}
+
+bool GenerationRegistry::quarantine(std::size_t cluster,
+                                    std::uint64_t gen_id) {
+  NS_REQUIRE(cluster < slots_.size(),
+             "generation registry: cluster " << cluster << " out of range");
+  ClusterSlot& slot = *slots_[cluster];
+  std::lock_guard<std::mutex> lock(slot.writer_mutex);
+  auto old = slot.current.load(std::memory_order_acquire);
+  auto next = std::make_shared<GenerationSet>(*old);
+  bool found = false;
+  for (ModelGeneration& gen : next->generations)
+    if (gen.gen_id == gen_id && !gen.quarantined) {
+      gen.quarantined = true;
+      found = true;
+    }
+  if (!found) return false;
+  update_gauges(cluster, *next);
+  slot.current.store(std::shared_ptr<const GenerationSet>(std::move(next)),
+                     std::memory_order_release);
+  quarantined_counter_->inc();
+  return true;
+}
+
+void GenerationRegistry::update_gauges(std::size_t cluster,
+                                       const GenerationSet& set) {
+  std::size_t active = 0;
+  std::uint64_t newest = 0;
+  for (const ModelGeneration& gen : set.generations) {
+    if (!gen.quarantined) ++active;
+    newest = std::max(newest, gen.gen_id);
+  }
+  active_gauges_[cluster]->set(static_cast<double>(active));
+  newest_gen_gauges_[cluster]->set(static_cast<double>(newest));
+}
+
+void GenerationRegistry::save(const std::string& directory) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  for (std::size_t c = 0; c < slots_.size(); ++c) {
+    const auto set = snapshot(c);
+    std::ostringstream os(std::ios::binary);
+    const std::uint32_t count =
+        static_cast<std::uint32_t>(set->generations.size());
+    os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const ModelGeneration& gen : set->generations) {
+      os.write(reinterpret_cast<const char*>(&gen.gen_id),
+               sizeof(gen.gen_id));
+      os.write(reinterpret_cast<const char*>(&gen.trained_cycle),
+               sizeof(gen.trained_cycle));
+      os.write(reinterpret_cast<const char*>(&gen.baseline_error),
+               sizeof(gen.baseline_error));
+      const std::uint8_t quarantined = gen.quarantined ? 1 : 0;
+      os.write(reinterpret_cast<const char*>(&quarantined),
+               sizeof(quarantined));
+      write_floats(os, gen.residual_scale.flat());
+      NS_REQUIRE(gen.model != nullptr, "generation without model");
+      save_parameters(*gen.model, os);
+    }
+    write_framed_file((fs::path(directory) / gens_file(c)).string(),
+                      std::move(os).str());
+  }
+  // The index commits the checkpoint (written last): a crash during any
+  // per-cluster write leaves the previously-indexed checkpoint loadable.
+  std::ostringstream os(std::ios::binary);
+  const std::uint32_t clusters = static_cast<std::uint32_t>(slots_.size());
+  const std::uint32_t cap = static_cast<std::uint32_t>(max_generations_);
+  os.write(reinterpret_cast<const char*>(&clusters), sizeof(clusters));
+  os.write(reinterpret_cast<const char*>(&cap), sizeof(cap));
+  write_framed_file((fs::path(directory) / "gens_index.bin").string(),
+                    std::move(os).str());
+}
+
+void GenerationRegistry::load(const std::string& directory,
+                              const TransformerConfig& model_config,
+                              std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  std::uint32_t clusters = 0;
+  std::uint32_t cap = 0;
+  {
+    std::istringstream is(
+        read_framed_file((fs::path(directory) / "gens_index.bin").string()),
+        std::ios::binary);
+    read_pod(is, clusters, "index");
+    read_pod(is, cap, "index cap");
+  }
+  if (clusters != slots_.size())
+    throw ParseError("generation registry: checkpoint has " +
+                     std::to_string(clusters) + " clusters, registry has " +
+                     std::to_string(slots_.size()));
+  Rng rng(seed);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    std::istringstream is(
+        read_framed_file((fs::path(directory) / gens_file(c)).string()),
+        std::ios::binary);
+    std::uint32_t count = 0;
+    read_pod(is, count, "generation count");
+    auto set = std::make_shared<GenerationSet>();
+    set->generations.reserve(count);
+    std::uint64_t max_id = 0;
+    for (std::uint32_t g = 0; g < count; ++g) {
+      ModelGeneration gen;
+      read_pod(is, gen.gen_id, "gen id");
+      read_pod(is, gen.trained_cycle, "trained cycle");
+      read_pod(is, gen.baseline_error, "baseline error");
+      std::uint8_t quarantined = 0;
+      read_pod(is, quarantined, "quarantine flag");
+      gen.quarantined = quarantined != 0;
+      gen.residual_scale =
+          Tensor::from_vector(read_floats(is, "residual scale"));
+      gen.model =
+          std::make_shared<TransformerReconstructor>(model_config, rng);
+      gen.model->set_training(false);
+      load_parameters(*gen.model, is);
+      max_id = std::max(max_id, gen.gen_id);
+      set->generations.push_back(std::move(gen));
+    }
+    ClusterSlot& slot = *slots_[c];
+    std::lock_guard<std::mutex> lock(slot.writer_mutex);
+    slot.next_gen_id = count > 0 ? max_id + 1 : 0;
+    update_gauges(c, *set);
+    slot.current.store(std::shared_ptr<const GenerationSet>(std::move(set)),
+                       std::memory_order_release);
+  }
+}
+
+}  // namespace ns

@@ -1,0 +1,129 @@
+// Generation registry: rolling model generations per cluster behind an
+// RCU-style epoch scheme (DESIGN.md §12).
+//
+// Each cluster holds up to G staggered generations of its shared
+// reconstruction model. Readers (the serve engine's scoring tasks) grab an
+// immutable snapshot of the whole generation set with one atomic
+// shared_ptr load and never block; writers (the background retrainer)
+// build a new set off to the side and publish it with one atomic store
+// under a per-cluster writer mutex. Publishing a generation past the cap
+// retires the oldest from the set — but a reader still holding the old
+// snapshot keeps the retired model alive through its shared_ptr until the
+// last in-flight forward finishes, which is exactly the RCU grace period:
+// no epoch counters, no reader registration, no blocking.
+//
+// The full generation set checkpoints through the CRC-framed machinery
+// (common/fileio.hpp): one framed file per cluster, index written last, so
+// a crash at any point leaves the previous checkpoint fully loadable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/cluster_library.hpp"
+#include "obs/registry.hpp"
+
+namespace ns {
+
+/// One immutable published generation. The model pointer is shared with
+/// every snapshot that references it; after publish nothing mutates the
+/// model's parameters (scoring forwards only read them), so sharing is
+/// safe. Each generation carries its *own* residual statistics — a
+/// retrained generation has its own notion of normal error, and consensus
+/// scoring whitens each lane by its own stats.
+struct ModelGeneration {
+  std::uint64_t gen_id = 0;  ///< monotonically increasing per cluster
+  std::shared_ptr<TransformerReconstructor> model;
+  Tensor residual_scale;     ///< [M] whitening divisor (see ClusterEntry)
+  double baseline_error = 1.0;
+  /// Retrainer cycle that produced this generation (0 for the seed).
+  std::uint64_t trained_cycle = 0;
+  /// Quarantined generations stay in the set (their slot keeps its lane)
+  /// but are excluded from scoring until replaced.
+  bool quarantined = false;
+};
+
+/// The immutable per-cluster set readers snapshot: generations in
+/// ascending gen_id order, newest last, size <= max_generations.
+struct GenerationSet {
+  std::vector<ModelGeneration> generations;
+};
+
+class GenerationRegistry {
+ public:
+  /// `max_generations` is G; capped at 8 so the serve engine can track
+  /// per-point lane activity in a byte. `obs_registry` null means the
+  /// process-global registry.
+  GenerationRegistry(std::size_t num_clusters, std::size_t max_generations,
+                     obs::Registry* obs_registry = nullptr);
+
+  GenerationRegistry(const GenerationRegistry&) = delete;
+  GenerationRegistry& operator=(const GenerationRegistry&) = delete;
+
+  /// Publishes generation 0 of every cluster from the fitted library:
+  /// shares the entry's model pointer (the engine puts it in eval mode)
+  /// and copies its residual statistics. Call once before serving.
+  void seed_from_library(const ClusterLibrary& library);
+
+  /// RCU read side: one acquire load, never blocks, never returns null
+  /// after seeding (an unseeded cluster returns an empty set). The caller
+  /// may keep the snapshot across a whole batched forward; retired
+  /// generations it references stay alive until it drops the pointer.
+  std::shared_ptr<const GenerationSet> snapshot(std::size_t cluster) const;
+
+  /// RCU write side: appends `gen` (gen_id assigned internally), retiring
+  /// the oldest generation when the set exceeds max_generations. The new
+  /// set becomes visible to readers in one atomic store; concurrent
+  /// publishes to the same cluster serialize on the writer mutex. Returns
+  /// the assigned gen_id.
+  std::uint64_t publish(std::size_t cluster, ModelGeneration gen);
+
+  /// Marks generation `gen_id` of `cluster` quarantined (excluded from
+  /// scoring) via a copy-and-swap of the set. Returns false when no such
+  /// generation is in the current set.
+  bool quarantine(std::size_t cluster, std::uint64_t gen_id);
+
+  std::size_t num_clusters() const { return slots_.size(); }
+  std::size_t max_generations() const { return max_generations_; }
+  /// Total publishes across all clusters (the global epoch).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Checkpoints every cluster's generation set into `directory` through
+  /// the CRC-framed atomic writer; the index commits last. Safe to call
+  /// while readers score (it reads snapshots) but assumes one writer.
+  void save(const std::string& directory) const;
+  /// Restores a checkpoint written by save(). Throws ns::ParseError on any
+  /// truncated or corrupted file. `model_config` must match the trained
+  /// architecture.
+  void load(const std::string& directory,
+            const TransformerConfig& model_config, std::uint64_t seed);
+
+ private:
+  struct ClusterSlot {
+    std::atomic<std::shared_ptr<const GenerationSet>> current;
+    std::mutex writer_mutex;
+    std::uint64_t next_gen_id = 0;  ///< guarded by writer_mutex
+  };
+
+  void update_gauges(std::size_t cluster, const GenerationSet& set);
+
+  std::size_t max_generations_;
+  std::vector<std::unique_ptr<ClusterSlot>> slots_;
+  std::atomic<std::uint64_t> epoch_{0};
+
+  obs::Registry* obs_ = nullptr;
+  std::vector<obs::Gauge*> active_gauges_;      ///< per cluster
+  std::vector<obs::Gauge*> newest_gen_gauges_;  ///< per cluster
+  obs::Counter* published_counter_ = nullptr;
+  obs::Counter* retired_counter_ = nullptr;
+  obs::Counter* quarantined_counter_ = nullptr;
+};
+
+}  // namespace ns

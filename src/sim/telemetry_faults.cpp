@@ -126,4 +126,77 @@ std::size_t apply_telemetry_faults(
   return corrupted;
 }
 
+const char* retrain_fault_name(RetrainFaultType type) {
+  switch (type) {
+    case RetrainFaultType::kCrashMidTrain: return "crash_mid_train";
+    case RetrainFaultType::kCrashMidPublish: return "crash_mid_publish";
+    case RetrainFaultType::kPoisonedSegments: return "poisoned_segments";
+  }
+  return "unknown";
+}
+
+void RetrainFaultInjector::arm(RetrainFaultType type, std::size_t cluster,
+                               std::size_t times) {
+  if (times == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.push_back({type, cluster, times});
+}
+
+void RetrainFaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.clear();
+}
+
+bool RetrainFaultInjector::consume_locked(RetrainFaultType type,
+                                          std::size_t cluster) {
+  for (Armed& a : armed_) {
+    if (a.type != type || a.remaining == 0) continue;
+    if (a.cluster != kEveryCluster && a.cluster != cluster) continue;
+    --a.remaining;
+    ++fired_;
+    return true;
+  }
+  return false;
+}
+
+void RetrainFaultInjector::at_stage(std::size_t cluster, bool publishing) {
+  const RetrainFaultType type = publishing ? RetrainFaultType::kCrashMidPublish
+                                           : RetrainFaultType::kCrashMidTrain;
+  bool fire;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fire = consume_locked(type, cluster);
+  }
+  if (fire)
+    throw RetrainCrash(std::string("injected ") + retrain_fault_name(type) +
+                       " on cluster " + std::to_string(cluster));
+}
+
+bool RetrainFaultInjector::poison(std::size_t cluster, Tensor& tokens,
+                                  Rng& rng) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!consume_locked(RetrainFaultType::kPoisonedSegments, cluster))
+      return false;
+  }
+  // Corrupt ~20% of cells with extreme out-of-range values and sprinkle a
+  // few NaN: the former must trip the baseline-inflation validation, the
+  // latter the finite-parameter validation — either alone must be enough
+  // to keep the poisoned clone out of the serving set.
+  float* data = tokens.data();
+  const std::size_t n = tokens.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.2)
+      data[i] = rng.uniform() < 0.5 ? 1e6f : -1e6f;
+    if (rng.uniform() < 0.02)
+      data[i] = std::numeric_limits<float>::quiet_NaN();
+  }
+  return true;
+}
+
+std::size_t RetrainFaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
 }  // namespace ns

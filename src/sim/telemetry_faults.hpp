@@ -10,10 +10,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
+#include "tensor/tensor.hpp"
 #include "ts/mts.hpp"
 
 namespace ns {
@@ -62,5 +65,68 @@ std::vector<TelemetryFaultEvent> plan_telemetry_faults(
 /// (node, metric, timestamp) points.
 std::size_t apply_telemetry_faults(MtsDataset& dataset,
                                    std::span<const TelemetryFaultEvent> events);
+
+// ---------------------------------------------------------------------------
+// Retrain faults: failure modes of the *maintenance* path (the serve-side
+// background retrainer), as opposed to the telemetry faults above which
+// corrupt the data path. Chaos tests arm these to prove a crashed or
+// poisoned retrain never disturbs the serving generation set.
+
+enum class RetrainFaultType : std::uint8_t {
+  kCrashMidTrain = 0,   ///< retrain task dies while training the clone
+  kCrashMidPublish,     ///< dies inside the publish sequence, before the swap
+  kPoisonedSegments,    ///< training segments arrive corrupted (NaN/extreme)
+};
+inline constexpr std::size_t kNumRetrainFaultTypes = 3;
+
+const char* retrain_fault_name(RetrainFaultType type);
+
+/// Thrown by RetrainFaultInjector to simulate a retrain task dying; the
+/// retrainer must treat it like any crash (retry / breaker), never letting
+/// it reach the serving set.
+class RetrainCrash : public Error {
+ public:
+  explicit RetrainCrash(const std::string& what) : Error(what) {}
+};
+
+/// Injects retrain faults at well-defined stage boundaries. The retrainer
+/// calls at_stage() when starting a training attempt and again when about
+/// to publish, and poison() on the training tokens it gathered; the
+/// injector operates purely on primitives (cluster index, token tensor),
+/// so sim stays independent of the serve layer. Thread-safe: chaos tests
+/// arm faults from the test thread while a background retrainer runs.
+class RetrainFaultInjector {
+ public:
+  /// Arms `times` firings of `type` against `cluster` (every cluster when
+  /// `cluster` == kEveryCluster). Repeated arms accumulate.
+  static constexpr std::size_t kEveryCluster = static_cast<std::size_t>(-1);
+  void arm(RetrainFaultType type, std::size_t cluster, std::size_t times = 1);
+  void disarm_all();
+
+  /// Stage hook: throws RetrainCrash when a matching crash fault is armed
+  /// (kCrashMidTrain when !publishing, kCrashMidPublish when publishing).
+  void at_stage(std::size_t cluster, bool publishing);
+
+  /// Corrupts `tokens` in place when kPoisonedSegments is armed for the
+  /// cluster: a slice of cells turns into extreme out-of-range values and a
+  /// few into NaN (both must be caught by retrain validation). Returns
+  /// true when the fault fired.
+  bool poison(std::size_t cluster, Tensor& tokens, Rng& rng);
+
+  /// Total faults fired so far (all types).
+  std::size_t fired() const;
+
+ private:
+  struct Armed {
+    RetrainFaultType type;
+    std::size_t cluster;
+    std::size_t remaining;
+  };
+  bool consume_locked(RetrainFaultType type, std::size_t cluster);
+
+  mutable std::mutex mutex_;
+  std::vector<Armed> armed_;
+  std::size_t fired_ = 0;
+};
 
 }  // namespace ns

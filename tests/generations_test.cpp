@@ -1,0 +1,465 @@
+// Rolling model generations (DESIGN.md §12): RCU registry snapshot
+// completeness under concurrent publish, G=1 consensus bitwise equivalence
+// with the single-model serve path, the self-healing retrainer's failure
+// semantics (crash-mid-train, crash-mid-publish, poisoned segments, circuit
+// breaker), CRC-framed checkpoint round-trips, and a concurrent
+// score/hot-swap race test (run under TSan via the race label).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/nodesentry.hpp"
+#include "nn/module.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/replay.hpp"
+#include "serve/retrainer.hpp"
+#include "sim/dataset_builder.hpp"
+#include "sim/telemetry_faults.hpp"
+
+namespace ns {
+namespace fs = std::filesystem;
+namespace {
+
+std::string temp_dir(const char* tag) {
+  const std::string dir = fs::temp_directory_path() /
+                          (std::string("ns_gens_") + tag + "_" +
+                           std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string params_blob(const TransformerReconstructor& model) {
+  std::ostringstream os(std::ios::binary);
+  save_parameters(model, os);
+  return std::move(os).str();
+}
+
+// One fitted detector shared by the suite (the serve engine and retrainer
+// never mutate it: models run in eval mode, clones are trained privately).
+class GenerationsFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimDatasetConfig sim_config = d2_sim_config(0.3, 7);
+    sim_config.missing_rate = 0.0;  // clean stream -> exact equivalence
+    sim_config.anomaly_ratio = 0.01;
+    sim_ = new SimDataset(build_sim_dataset(sim_config));
+    sentry_ = new NodeSentry(fast_config());
+    sentry_->fit(sim_->data, sim_->train_end);
+    batch_ = new NodeSentry::DetectReport(sentry_->detect());
+  }
+
+  static void TearDownTestSuite() {
+    delete batch_;
+    delete sentry_;
+    delete sim_;
+    batch_ = nullptr;
+    sentry_ = nullptr;
+    sim_ = nullptr;
+  }
+
+  static NodeSentryConfig fast_config() {
+    NodeSentryConfig config;
+    config.model.d_model = 24;
+    config.model.num_layers = 2;
+    config.model.num_heads = 2;
+    config.model.ffn_hidden = 32;
+    config.train_epochs = 2;
+    config.learning_rate = 3e-3f;
+    config.max_tokens_per_segment = 96;
+    config.train_window = 32;
+    config.match_period = 60;
+    config.threshold_window = 40;
+    config.k_max = 6;
+    config.seed = 99;
+    config.incremental_updates = false;
+    return config;
+  }
+
+  static RetrainerConfig fast_retrain_config() {
+    RetrainerConfig config;
+    config.min_segments = 1;
+    config.max_segments = 2;
+    config.train_window = 32;
+    config.epochs = 1;
+    config.batch = 4;
+    config.backoff_initial = std::chrono::milliseconds(0);
+    return config;
+  }
+
+  /// Fills `retrainer`'s per-cluster rings with real serving segments by
+  /// replaying the stream through a throwaway engine that offers every
+  /// matched closed segment.
+  static void feed(Retrainer& retrainer, obs::Registry& obs) {
+    ServeConfig config;
+    config.registry = &obs;
+    config.retrainer = &retrainer;
+    ServeEngine engine(*sentry_, config);
+    serve_replay(engine, sim_->data, sim_->train_end);
+  }
+
+  static std::vector<std::shared_ptr<const GenerationSet>> all_snapshots(
+      const GenerationRegistry& registry) {
+    std::vector<std::shared_ptr<const GenerationSet>> snaps;
+    for (std::size_t c = 0; c < registry.num_clusters(); ++c)
+      snaps.push_back(registry.snapshot(c));
+    return snaps;
+  }
+
+  static SimDataset* sim_;
+  static NodeSentry* sentry_;
+  static NodeSentry::DetectReport* batch_;
+};
+
+SimDataset* GenerationsFixture::sim_ = nullptr;
+NodeSentry* GenerationsFixture::sentry_ = nullptr;
+NodeSentry::DetectReport* GenerationsFixture::batch_ = nullptr;
+
+TEST_F(GenerationsFixture, RegistrySnapshotsCompleteUnderConcurrentPublish) {
+  obs::Registry obs;
+  GenerationRegistry registry(sentry_->library().size(), 3, &obs);
+  registry.seed_from_library(sentry_->library());
+  const ClusterEntry& entry = sentry_->library().clusters()[0];
+
+  constexpr std::size_t kPublishes = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r)
+    readers.emplace_back([&] {
+      std::uint64_t last_newest = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto snap = registry.snapshot(0);
+        // Invariants every reader must observe on every load: non-empty,
+        // bounded by G, strictly ascending consecutive gen ids, every
+        // generation fully formed, and the newest id never goes backwards.
+        if (snap->generations.empty() || snap->generations.size() > 3) {
+          ++violations;
+          continue;
+        }
+        for (std::size_t g = 0; g < snap->generations.size(); ++g) {
+          const ModelGeneration& gen = snap->generations[g];
+          if (gen.model == nullptr || gen.residual_scale.numel() == 0)
+            ++violations;
+          if (g > 0 &&
+              gen.gen_id != snap->generations[g - 1].gen_id + 1)
+            ++violations;
+        }
+        const std::uint64_t newest = snap->generations.back().gen_id;
+        if (newest < last_newest) ++violations;
+        last_newest = newest;
+      }
+    });
+  for (std::size_t p = 0; p < kPublishes; ++p) {
+    ModelGeneration gen;
+    gen.model = entry.model;
+    gen.residual_scale = entry.residual_scale.clone();
+    gen.baseline_error = entry.baseline_error;
+    registry.publish(0, std::move(gen));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  const auto snap = registry.snapshot(0);
+  EXPECT_EQ(snap->generations.size(), 3u);
+  EXPECT_EQ(snap->generations.back().gen_id, kPublishes);
+  EXPECT_GE(registry.epoch(), kPublishes);
+}
+
+TEST_F(GenerationsFixture, ConsensusWithOneGenerationMatchesBatchBitwise) {
+  obs::Registry obs;
+  ServeConfig config;
+  config.registry = &obs;
+  config.consensus_scoring = true;  // G = 1, Q = 1 defaults
+  ServeEngine engine(*sentry_, config);
+  const ReplayReport rep = serve_replay(engine, sim_->data, sim_->train_end);
+
+  ASSERT_EQ(rep.result.detections.size(), batch_->detections.size());
+  const DetectionDelta delta =
+      compare_detections(rep.result.detections, batch_->detections);
+  EXPECT_EQ(delta.max_abs_score_delta, 0.0);  // bitwise, not just close
+  EXPECT_EQ(delta.prediction_mismatches, 0u);
+  EXPECT_GT(rep.result.stats.consensus_points, 0u);
+  ASSERT_NE(engine.generation_registry(), nullptr);
+  EXPECT_EQ(engine.generation_registry()->max_generations(), 1u);
+}
+
+TEST_F(GenerationsFixture, RetrainerPublishesAndConsensusServesNewSet) {
+  obs::Registry obs;
+  GenerationRegistry registry(sentry_->library().size(), 3, &obs);
+  Retrainer retrainer(registry, sentry_->library(), sentry_->model_config(),
+                      fast_retrain_config(), &obs);
+
+  // First replay seeds the registry (via the engine) and feeds the rings.
+  ServeConfig config;
+  config.registry = &obs;
+  config.consensus_scoring = true;
+  config.generations = 3;
+  config.consensus_quorum = 2;
+  config.generation_registry = &registry;
+  config.retrainer = &retrainer;
+  {
+    ServeEngine engine(*sentry_, config);
+    serve_replay(engine, sim_->data, sim_->train_end);
+  }
+  const RetrainCycleReport report = retrainer.run_cycle();
+  EXPECT_GT(report.clusters_with_data, 0u);
+  EXPECT_GT(report.retrains_published, 0u);
+  EXPECT_EQ(report.retrains_failed, 0u);
+
+  bool saw_multi_generation = false;
+  for (const auto& snap : all_snapshots(registry))
+    if (snap->generations.size() >= 2) saw_multi_generation = true;
+  EXPECT_TRUE(saw_multi_generation);
+
+  // A fresh engine over the retrained registry must serve cleanly with the
+  // staggered set (finite scores, consensus votes happening).
+  ServeEngine engine(*sentry_, config);
+  const ReplayReport rep = serve_replay(engine, sim_->data, sim_->train_end);
+  EXPECT_GT(rep.result.stats.consensus_points, 0u);
+  for (const NodeDetection& det : rep.result.detections)
+    for (const float s : det.scores) ASSERT_TRUE(std::isfinite(s));
+}
+
+TEST_F(GenerationsFixture, CrashMidTrainNeverTouchesServingSet) {
+  obs::Registry obs;
+  GenerationRegistry registry(sentry_->library().size(), 3, &obs);
+  registry.seed_from_library(sentry_->library());
+  RetrainFaultInjector faults;
+  RetrainerConfig config = fast_retrain_config();
+  config.max_attempts = 2;
+  Retrainer retrainer(registry, sentry_->library(), sentry_->model_config(),
+                      config, &obs, &faults);
+  feed(retrainer, obs);
+
+  const auto before = all_snapshots(registry);
+  faults.arm(RetrainFaultType::kCrashMidTrain,
+             RetrainFaultInjector::kEveryCluster, 1u << 20);
+  const RetrainCycleReport report = retrainer.run_cycle();
+
+  EXPECT_GT(report.clusters_with_data, 0u);
+  EXPECT_EQ(report.retrains_published, 0u);
+  EXPECT_EQ(report.retrains_failed, report.clusters_with_data);
+  // max_attempts = 2: every failed cluster retried exactly once.
+  EXPECT_EQ(report.retries, report.clusters_with_data);
+  EXPECT_GT(faults.fired(), 0u);
+  const auto after = all_snapshots(registry);
+  for (std::size_t c = 0; c < before.size(); ++c)
+    EXPECT_EQ(before[c].get(), after[c].get())
+        << "cluster " << c << ": serving set changed by a crashed retrain";
+}
+
+TEST_F(GenerationsFixture, CrashMidPublishKeepsCheckpointComplete) {
+  const std::string dir = temp_dir("midpub");
+  obs::Registry obs;
+  GenerationRegistry registry(sentry_->library().size(), 3, &obs);
+  registry.seed_from_library(sentry_->library());
+  RetrainFaultInjector faults;
+  RetrainerConfig config = fast_retrain_config();
+  config.checkpoint_dir = dir;
+  Retrainer retrainer(registry, sentry_->library(), sentry_->model_config(),
+                      config, &obs, &faults);
+
+  // Phase 1: a clean cycle publishes and checkpoints.
+  feed(retrainer, obs);
+  const RetrainCycleReport clean = retrainer.run_cycle();
+  ASSERT_GT(clean.retrains_published, 0u);
+  const auto before = all_snapshots(registry);
+
+  // Phase 2: every attempt crashes right before the atomic swap.
+  faults.arm(RetrainFaultType::kCrashMidPublish,
+             RetrainFaultInjector::kEveryCluster, 1u << 20);
+  feed(retrainer, obs);
+  const RetrainCycleReport crashed = retrainer.run_cycle();
+  EXPECT_EQ(crashed.retrains_published, 0u);
+  EXPECT_GT(crashed.retrains_failed, 0u);
+
+  // Serving set unchanged...
+  const auto after = all_snapshots(registry);
+  for (std::size_t c = 0; c < before.size(); ++c)
+    EXPECT_EQ(before[c].get(), after[c].get()) << "cluster " << c;
+  // ...and the on-disk checkpoint is still the previous complete one:
+  // loadable, CRC-valid, with exactly the pre-crash generation sets.
+  obs::Registry obs2;
+  GenerationRegistry restored(sentry_->library().size(), 3, &obs2);
+  ASSERT_NO_THROW(
+      restored.load(dir, sentry_->model_config(), fast_config().seed));
+  for (std::size_t c = 0; c < before.size(); ++c) {
+    const auto loaded = restored.snapshot(c);
+    ASSERT_EQ(loaded->generations.size(), before[c]->generations.size());
+    for (std::size_t g = 0; g < loaded->generations.size(); ++g)
+      EXPECT_EQ(loaded->generations[g].gen_id,
+                before[c]->generations[g].gen_id);
+  }
+  fs::remove_all(dir);
+}
+
+TEST_F(GenerationsFixture, PoisonedSegmentsRejectedWithoutRetry) {
+  obs::Registry obs;
+  GenerationRegistry registry(sentry_->library().size(), 3, &obs);
+  registry.seed_from_library(sentry_->library());
+  RetrainFaultInjector faults;
+  Retrainer retrainer(registry, sentry_->library(), sentry_->model_config(),
+                      fast_retrain_config(), &obs, &faults);
+  feed(retrainer, obs);
+
+  const auto before = all_snapshots(registry);
+  faults.arm(RetrainFaultType::kPoisonedSegments,
+             RetrainFaultInjector::kEveryCluster, 1u << 20);
+  const RetrainCycleReport report = retrainer.run_cycle();
+
+  EXPECT_GT(report.clusters_with_data, 0u);
+  EXPECT_EQ(report.retrains_published, 0u);
+  EXPECT_EQ(report.retrains_rejected, report.clusters_with_data);
+  // Rejection is deterministic-bad-data: no retries were burned on it.
+  EXPECT_EQ(report.retries, 0u);
+  const auto after = all_snapshots(registry);
+  for (std::size_t c = 0; c < before.size(); ++c)
+    EXPECT_EQ(before[c].get(), after[c].get())
+        << "cluster " << c << ": poisoned retrain reached the serving set";
+}
+
+TEST_F(GenerationsFixture, BreakerOpensSkipsAndRecoversThroughProbe) {
+  obs::Registry obs;
+  GenerationRegistry registry(sentry_->library().size(), 3, &obs);
+  registry.seed_from_library(sentry_->library());
+  RetrainFaultInjector faults;
+  RetrainerConfig config = fast_retrain_config();
+  config.max_attempts = 1;
+  config.breaker_threshold = 2;
+  config.breaker_cooldown = 2;
+  Retrainer retrainer(registry, sentry_->library(), sentry_->model_config(),
+                      config, &obs, &faults);
+
+  faults.arm(RetrainFaultType::kCrashMidTrain,
+             RetrainFaultInjector::kEveryCluster, 1u << 20);
+  feed(retrainer, obs);
+  const RetrainCycleReport c1 = retrainer.run_cycle();
+  ASSERT_GT(c1.retrains_failed, 0u);
+  for (std::size_t c = 0; c < registry.num_clusters(); ++c)
+    EXPECT_NE(retrainer.breaker(c), BreakerState::kOpen) << "cluster " << c;
+
+  feed(retrainer, obs);
+  const RetrainCycleReport c2 = retrainer.run_cycle();
+  ASSERT_GT(c2.retrains_failed, 0u);
+  std::size_t open_cluster = registry.num_clusters();
+  for (std::size_t c = 0; c < registry.num_clusters(); ++c)
+    if (retrainer.breaker(c) == BreakerState::kOpen) open_cluster = c;
+  ASSERT_LT(open_cluster, registry.num_clusters())
+      << "no breaker opened after " << config.breaker_threshold
+      << " consecutive failed cycles";
+
+  // Open: the next cycle skips the cluster even though data is waiting.
+  feed(retrainer, obs);
+  const RetrainCycleReport c3 = retrainer.run_cycle();
+  EXPECT_GT(c3.skipped_breaker_open, 0u);
+  EXPECT_EQ(retrainer.breaker(open_cluster), BreakerState::kOpen);
+
+  // Cooldown over: the breaker half-opens for one probe; with the fault
+  // gone the probe publishes and the breaker closes.
+  faults.disarm_all();
+  feed(retrainer, obs);
+  const RetrainCycleReport c4 = retrainer.run_cycle();
+  EXPECT_GT(c4.retrains_published, 0u);
+  EXPECT_EQ(retrainer.breaker(open_cluster), BreakerState::kClosed);
+}
+
+TEST_F(GenerationsFixture, CheckpointRoundTripPreservesEverything) {
+  const std::string dir = temp_dir("roundtrip");
+  obs::Registry obs;
+  GenerationRegistry registry(sentry_->library().size(), 3, &obs);
+  registry.seed_from_library(sentry_->library());
+  // A second generation for cluster 0 with distinctive metadata, then
+  // quarantine the seed so the flag round-trips too.
+  const ClusterEntry& entry = sentry_->library().clusters()[0];
+  {
+    ModelGeneration gen;
+    gen.model = entry.model;
+    gen.residual_scale = entry.residual_scale.clone();
+    gen.baseline_error = 2.5;
+    gen.trained_cycle = 7;
+    registry.publish(0, std::move(gen));
+  }
+  ASSERT_TRUE(registry.quarantine(0, 0));
+  registry.save(dir);
+
+  obs::Registry obs2;
+  GenerationRegistry restored(sentry_->library().size(), 3, &obs2);
+  restored.load(dir, sentry_->model_config(), fast_config().seed);
+  for (std::size_t c = 0; c < registry.num_clusters(); ++c) {
+    const auto a = registry.snapshot(c);
+    const auto b = restored.snapshot(c);
+    ASSERT_EQ(a->generations.size(), b->generations.size()) << "cluster " << c;
+    for (std::size_t g = 0; g < a->generations.size(); ++g) {
+      const ModelGeneration& ga = a->generations[g];
+      const ModelGeneration& gb = b->generations[g];
+      EXPECT_EQ(ga.gen_id, gb.gen_id);
+      EXPECT_EQ(ga.trained_cycle, gb.trained_cycle);
+      EXPECT_EQ(ga.baseline_error, gb.baseline_error);
+      EXPECT_EQ(ga.quarantined, gb.quarantined);
+      ASSERT_EQ(ga.residual_scale.numel(), gb.residual_scale.numel());
+      const auto fa = ga.residual_scale.flat();
+      const auto fb = gb.residual_scale.flat();
+      for (std::size_t i = 0; i < fa.size(); ++i) EXPECT_EQ(fa[i], fb[i]);
+      EXPECT_EQ(params_blob(*ga.model), params_blob(*gb.model))
+          << "cluster " << c << " gen " << g;
+    }
+  }
+  // A truncated cluster file must fail loudly (CRC framing), not serve
+  // a partial generation set.
+  const std::string victim = (fs::path(dir) / "gens_0.bin").string();
+  fs::resize_file(victim, fs::file_size(victim) / 2);
+  obs::Registry obs3;
+  GenerationRegistry corrupt(sentry_->library().size(), 3, &obs3);
+  EXPECT_THROW(corrupt.load(dir, sentry_->model_config(), fast_config().seed),
+               Error);
+  fs::remove_all(dir);
+}
+
+TEST_F(GenerationsFixture, ConcurrentScoreAndHotSwapIsRaceFree) {
+  // The TSan target: live ingest + scoring on one side, a retrainer
+  // publishing (hot-swapping generations) on the other, meeting only at
+  // the registry's atomic snapshot/publish and the offer ring.
+  obs::Registry obs;
+  GenerationRegistry registry(sentry_->library().size(), 3, &obs);
+  Retrainer retrainer(registry, sentry_->library(), sentry_->model_config(),
+                      fast_retrain_config(), &obs);
+
+  ServeConfig config;
+  config.registry = &obs;
+  config.consensus_scoring = true;
+  config.generations = 3;
+  config.consensus_quorum = 2;
+  config.generation_registry = &registry;
+  config.retrainer = &retrainer;
+  ServeEngine engine(*sentry_, config);  // seeds the registry
+
+  std::atomic<bool> stop{false};
+  std::thread trainer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      retrainer.run_cycle();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const ReplayReport rep = serve_replay(engine, sim_->data, sim_->train_end);
+  stop.store(true, std::memory_order_release);
+  trainer.join();
+
+  EXPECT_GT(rep.result.stats.points_scored, 0u);
+  for (const NodeDetection& det : rep.result.detections)
+    for (const float s : det.scores)
+      ASSERT_TRUE(std::isfinite(s)) << "non-finite score under hot-swap";
+}
+
+}  // namespace
+}  // namespace ns
