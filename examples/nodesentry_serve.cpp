@@ -3,8 +3,9 @@
 // a live collector would deliver it, and report streaming statistics.
 //
 //   nodesentry_serve [--data-dir <dir>] [--preset d1|d2|deploy] [--seed N]
-//       [--scale F] [--train-fraction F] [--epochs N]
+//       [--scale F] [--train-fraction F] [--train-end N] [--epochs N]
 //       [--checkpoint <dir>] [--restore]
+//       [--store-dir <dir>] [--from-store]
 //       [--speedup F] [--threads N] [--batch-tokens N] [--slack N]
 //       [--late-prob P] [--max-delay N]
 //       [--generations G] [--consensus Q] [--retrain-every MS]
@@ -13,6 +14,16 @@
 //
 //   --data-dir      load a CSV dataset instead of simulating one
 //   --restore       warm-start from --checkpoint instead of fitting
+//   --store-dir     seal every served sample (with its in-band anomaly and
+//                   validity bits) into an embedded time-series store at
+//                   this directory; the train region is bulk-imported so a
+//                   later --from-store run has the full timeline
+//   --from-store    rebuild the replay dataset from --store-dir segments
+//                   instead of CSV re-reads / simulation (read-only: the
+//                   store is not rewritten); pair with --restore for a
+//                   fully warm restart
+//   --train-end     explicit train/test split tick for --data-dir or
+//                   --from-store runs (0 = use --train-fraction)
 //   --speedup       pace replay at F x real time (0 = as fast as possible)
 //   --verify        also run batch detect() and report the max score delta
 //   --metrics-out   write <prefix>.prom (Prometheus text) + <prefix>.json
@@ -45,6 +56,8 @@
 #include "serve/replay.hpp"
 #include "serve/retrainer.hpp"
 #include "sim/dataset_builder.hpp"
+#include "store/query.hpp"
+#include "store/writer.hpp"
 
 namespace {
 
@@ -77,8 +90,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: nodesentry_serve [--data-dir DIR] [--preset "
                  "d1|d2|deploy] [--seed N]\n"
-                 "  [--scale F] [--train-fraction F] [--epochs N]\n"
-                 "  [--checkpoint DIR] [--restore] [--speedup F] "
+                 "  [--scale F] [--train-fraction F] [--train-end N] "
+                 "[--epochs N]\n"
+                 "  [--checkpoint DIR] [--restore] [--store-dir DIR] "
+                 "[--from-store]\n"
+                 "  [--speedup F] "
                  "[--threads N]\n"
                  "  [--batch-tokens N] [--slack N] [--late-prob P] "
                  "[--max-delay N]\n"
@@ -95,18 +111,47 @@ int main(int argc, char** argv) {
     std::printf("tracing spans to %s\n", trace_out);
   }
 
-  // ---- Data: load a CSV tree or simulate one of the paper's datasets.
+  // ---- Data: rebuild from store segments, load a CSV tree, or simulate
+  // one of the paper's datasets.
   MtsDataset dataset;
   std::size_t train_end = 0;
   const char* data_dir = arg_value(argc, argv, "--data-dir", "");
+  const char* store_dir = arg_value(argc, argv, "--store-dir", "");
+  const bool from_store = arg_flag(argc, argv, "--from-store");
   const std::uint64_t seed =
       std::strtoull(arg_value(argc, argv, "--seed", "33"), nullptr, 10);
-  if (data_dir[0] != '\0') {
+  const std::size_t train_end_arg = static_cast<std::size_t>(
+      std::strtoull(arg_value(argc, argv, "--train-end", "0"), nullptr, 10));
+  const double train_fraction =
+      std::atof(arg_value(argc, argv, "--train-fraction", "0.6"));
+  if (from_store) {
+    if (store_dir[0] == '\0') {
+      std::fprintf(stderr, "--from-store needs --store-dir <dir>\n");
+      return 2;
+    }
+    // Warm restart path: the segment files are the replay source — no CSV
+    // re-read. The rebuilt values are the stored bit patterns, so a
+    // subsequent restore + replay reproduces the CSV run's detections.
+    const TimeSeriesStore store = TimeSeriesStore::open(store_dir);
+    dataset = store_to_dataset(store, 0, store.end_tick());
+    train_end = train_end_arg > 0
+                    ? train_end_arg
+                    : static_cast<std::size_t>(
+                          train_fraction *
+                          static_cast<double>(dataset.num_timestamps()));
+    std::printf("rebuilt dataset from store %s: %zu nodes x %zu metrics x "
+                "%zu steps (%.1f KiB sealed; train/test split at %zu)\n",
+                store_dir, dataset.num_nodes(), dataset.num_metrics(),
+                dataset.num_timestamps(),
+                static_cast<double>(store.sealed_bytes()) / 1024.0,
+                train_end);
+  } else if (data_dir[0] != '\0') {
     dataset = load_dataset(data_dir);
-    const double train_fraction =
-        std::atof(arg_value(argc, argv, "--train-fraction", "0.6"));
-    train_end = static_cast<std::size_t>(
-        train_fraction * static_cast<double>(dataset.num_timestamps()));
+    train_end = train_end_arg > 0
+                    ? train_end_arg
+                    : static_cast<std::size_t>(
+                          train_fraction *
+                          static_cast<double>(dataset.num_timestamps()));
   } else {
     const std::string preset = arg_value(argc, argv, "--preset", "deploy");
     const double scale = std::atof(arg_value(argc, argv, "--scale", "1.0"));
@@ -175,6 +220,17 @@ int main(int argc, char** argv) {
     serve_config.consensus_quorum = quorum > 0 ? quorum : 1;
     registry = std::make_unique<GenerationRegistry>(
         sentry.library().size(), serve_config.generations);
+    // Generations ride the serve checkpoint flow (DESIGN.md §12 follow-on):
+    // a warm start restores the rolling generation sets saved by the
+    // previous run instead of re-seeding every lane from the library.
+    const std::filesystem::path generations_dir =
+        std::filesystem::path(checkpoint) / "generations";
+    if (arg_flag(argc, argv, "--restore") &&
+        std::filesystem::exists(generations_dir)) {
+      registry->load(generations_dir.string(), sentry.model_config(), seed);
+      std::printf("restored generation sets from %s\n",
+                  generations_dir.string().c_str());
+    }
     serve_config.generation_registry = registry.get();
     if (retrain_every_ms > 0) {
       retrainer = std::make_unique<Retrainer>(
@@ -186,6 +242,19 @@ int main(int argc, char** argv) {
                 serve_config.generations, serve_config.consensus_quorum,
                 retrain_every_ms > 0 ? ", background retrainer on" : "");
   }
+  // ---- Embedded store (DESIGN.md §13): seal every served sample with its
+  // in-band anomaly/validity bits. --from-store replays read-only.
+  std::unique_ptr<StoreWriter> store_writer;
+  if (store_dir[0] != '\0' && !from_store) {
+    TimeSeriesStore store = TimeSeriesStore::create(
+        store_dir, store_meta_from_dataset(dataset), StoreConfig{});
+    // Bulk-import the train region so --from-store has the full timeline.
+    store_append_dataset(store, dataset, 0, train_end);
+    store_writer = std::make_unique<StoreWriter>(std::move(store));
+    serve_config.store_writer = store_writer.get();
+    std::printf("sealing served samples into %s\n", store_dir);
+  }
+
   ServeEngine engine(sentry, serve_config);
   if (retrainer)
     retrainer->start(std::chrono::milliseconds(retrain_every_ms));
@@ -248,6 +317,37 @@ int main(int argc, char** argv) {
   if (retrainer)
     std::printf("retrainer: %llu cycles run during the replay\n",
                 static_cast<unsigned long long>(retrainer->cycles()));
+  if (registry && checkpoint[0] != '\0') {
+    const std::string generations_dir =
+        (std::filesystem::path(checkpoint) / "generations").string();
+    registry->save(generations_dir);
+    std::printf("generation sets checkpointed to %s\n",
+                generations_dir.c_str());
+  }
+
+  // ---- Seal the store and audit it with the in-band-bit queries.
+  if (store_writer) {
+    store_writer->drain();
+    const TimeSeriesStore& store = store_writer->store();
+    const AnomalyRateResult rate =
+        store_anomaly_rate(store, train_end, store.end_tick());
+    std::printf("store: %llu samples sealed (%.1f KiB on disk), serve-region "
+                "anomaly rate %.4f, invalid fraction %.4f\n",
+                static_cast<unsigned long long>(
+                    store.stats().samples_appended),
+                static_cast<double>(store.sealed_bytes()) / 1024.0,
+                rate.rate(), rate.invalid_fraction());
+    for (const NodeAnomalyRate& top : store_top_anomalous_nodes(
+             store, 3, train_end, store.end_tick()))
+      std::printf("  top: %-12s rate %.4f (%zu/%zu samples)\n",
+                  top.node_name.c_str(), top.rate.rate(), top.rate.anomalous,
+                  top.rate.samples);
+    const StoreDelta store_delta = compare_detections_with_store(
+        report.result.detections, store, train_end);
+    std::printf("store vs detections: %zu samples compared, %zu flag "
+                "mismatches\n",
+                store_delta.samples_compared, store_delta.flag_mismatches);
+  }
 
   if (!metrics_out.empty()) {
     obs::write_metrics_files(obs::Registry::global(), metrics_out);

@@ -1,0 +1,165 @@
+// store_query — inspect an embedded time-series store (DESIGN.md §13)
+// written by `nodesentry_serve --store-dir`. Every aggregate is computed
+// at query time from the in-band anomaly/validity bits: nothing is
+// pre-aggregated on disk.
+//
+//   store_query <store-dir> info
+//   store_query <store-dir> rate [--node N] [--begin T] [--end T]
+//   store_query <store-dir> top [--k K] [--begin T] [--end T]
+//   store_query <store-dir> export-csv <out-dir> [--begin T] [--end T]
+//   store_query <store-dir> dump --node N [--begin T] [--end T] [--limit L]
+//
+//   info        schema, per-node sample/page/segment counts, sealed bytes
+//   rate        anomaly rate + invalid fraction over [begin, end)
+//   top         the K most anomalous nodes over [begin, end)
+//   export-csv  rebuild the range as an MtsDataset and save_dataset() it
+//               (the CSV export is a query, not a stored artifact)
+//   dump        print raw samples of one node
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "io/dataset_io.hpp"
+#include "store/query.hpp"
+
+namespace {
+
+using namespace ns;
+
+const char* arg_value(int argc, char** argv, const char* flag,
+                      const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return fallback;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: store_query <store-dir> <verb> [options]\n"
+      "  info\n"
+      "  rate [--node N] [--begin T] [--end T]\n"
+      "  top [--k K] [--begin T] [--end T]\n"
+      "  export-csv <out-dir> [--begin T] [--end T]\n"
+      "  dump --node N [--begin T] [--end T] [--limit L]\n");
+  return 2;
+}
+
+void print_rate(const AnomalyRateResult& rate) {
+  std::printf("samples %zu  anomalous %zu (rate %.4f)  invalid %zu "
+              "(fraction %.4f)\n",
+              rate.samples, rate.anomalous, rate.rate(), rate.invalid,
+              rate.invalid_fraction());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string dir = argv[1];
+  const std::string verb = argv[2];
+
+  TimeSeriesStore store = TimeSeriesStore::open(dir);
+  const std::size_t begin = static_cast<std::size_t>(std::strtoull(
+      arg_value(argc, argv, "--begin", "0"), nullptr, 10));
+  std::size_t end = static_cast<std::size_t>(std::strtoull(
+      arg_value(argc, argv, "--end", "0"), nullptr, 10));
+  if (end == 0) end = store.end_tick();
+
+  if (verb == "info") {
+    std::printf("store %s: %zu nodes x %zu raw metrics, interval %.1f s, "
+                "ticks [*, %zu)\n",
+                dir.c_str(), store.num_nodes(), store.num_metrics(),
+                store.meta().interval_seconds, store.end_tick());
+    std::printf("config: page %zu B, %zu pages/segment, retention %zu "
+                "segments/node%s\n",
+                store.config().page_bytes, store.config().segment_pages,
+                store.config().retain_segments,
+                store.config().retain_segments == 0 ? " (unlimited)" : "");
+    std::uint64_t samples = 0;
+    for (std::size_t n = 0; n < store.num_nodes(); ++n) {
+      samples += store.node_samples(n);
+      std::printf("  %-14s %7zu samples in %4zu pages / %2zu segments, "
+                  "first tick %zu\n",
+                  store.meta().node_names[n].c_str(), store.node_samples(n),
+                  store.node_pages(n), store.node_segments(n),
+                  store.node_first_tick(n));
+    }
+    const std::uint64_t bytes = store.sealed_bytes();
+    std::printf("total: %" PRIu64 " samples, %" PRIu64
+                " bytes sealed (%.2f bytes/sample across %zu metrics)\n",
+                samples, bytes,
+                samples > 0 ? static_cast<double>(bytes) /
+                                  static_cast<double>(samples)
+                            : 0.0,
+                store.num_metrics());
+    return 0;
+  }
+
+  if (verb == "rate") {
+    const char* node_arg = arg_value(argc, argv, "--node", "");
+    if (node_arg[0] != '\0') {
+      const std::size_t node =
+          static_cast<std::size_t>(std::strtoull(node_arg, nullptr, 10));
+      std::printf("node %s [%zu, %zu): ",
+                  store.meta().node_names[node].c_str(), begin, end);
+      print_rate(store_anomaly_rate(store, node, begin, end));
+    } else {
+      std::printf("fleet [%zu, %zu): ", begin, end);
+      print_rate(store_anomaly_rate(store, begin, end));
+    }
+    return 0;
+  }
+
+  if (verb == "top") {
+    const std::size_t k = static_cast<std::size_t>(
+        std::strtoull(arg_value(argc, argv, "--k", "5"), nullptr, 10));
+    for (const NodeAnomalyRate& entry :
+         store_top_anomalous_nodes(store, k, begin, end))
+      std::printf("%-14s rate %.4f  (%zu anomalous / %zu samples, "
+                  "%zu invalid)\n",
+                  entry.node_name.c_str(), entry.rate.rate(),
+                  entry.rate.anomalous, entry.rate.samples,
+                  entry.rate.invalid);
+    return 0;
+  }
+
+  if (verb == "export-csv") {
+    if (argc < 4) return usage();
+    const std::string out_dir = argv[3];
+    const MtsDataset dataset = store_to_dataset(store, begin, end);
+    save_dataset(dataset, out_dir);
+    std::printf("exported [%zu, %zu) to %s (%" PRIuMAX " CSV bytes from "
+                "%" PRIu64 " sealed bytes)\n",
+                begin, end, out_dir.c_str(), dataset_csv_bytes(out_dir),
+                store.sealed_bytes());
+    return 0;
+  }
+
+  if (verb == "dump") {
+    const char* node_arg = arg_value(argc, argv, "--node", "");
+    if (node_arg[0] == '\0') return usage();
+    const std::size_t node =
+        static_cast<std::size_t>(std::strtoull(node_arg, nullptr, 10));
+    const std::size_t limit = static_cast<std::size_t>(std::strtoull(
+        arg_value(argc, argv, "--limit", "20"), nullptr, 10));
+    TimeSeriesStore::Cursor cursor = store.range(node, begin, end);
+    StoreSample sample;
+    std::size_t printed = 0;
+    while (printed < limit && cursor.next(sample)) {
+      std::printf("t=%zu job=%lld anomaly=%d valid=%d |", sample.t,
+                  static_cast<long long>(sample.job_id),
+                  sample.anomaly ? 1 : 0, sample.valid ? 1 : 0);
+      const std::size_t show = std::min<std::size_t>(sample.values.size(), 6);
+      for (std::size_t m = 0; m < show; ++m)
+        std::printf(" %.6g", static_cast<double>(sample.values[m]));
+      if (show < sample.values.size()) std::printf(" ...");
+      std::printf("\n");
+      ++printed;
+    }
+    return 0;
+  }
+
+  return usage();
+}

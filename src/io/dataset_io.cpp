@@ -255,4 +255,11 @@ MtsDataset load_dataset(const std::string& directory) {
   return dataset;
 }
 
+std::uintmax_t dataset_csv_bytes(const std::string& directory) {
+  std::uintmax_t total = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(directory))
+    if (entry.is_regular_file()) total += entry.file_size();
+  return total;
+}
+
 }  // namespace ns

@@ -30,4 +30,9 @@ void save_dataset(const MtsDataset& dataset, const std::string& directory);
 /// ns::ParseError instead of loading garbage.
 MtsDataset load_dataset(const std::string& directory);
 
+/// Total bytes of a dataset's CSV tree (every regular file under the
+/// directory, recursively) — the raw-bytes baseline the store's
+/// compression ratio is measured against (bench_store, store_query).
+std::uintmax_t dataset_csv_bytes(const std::string& directory);
+
 }  // namespace ns

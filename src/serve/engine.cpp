@@ -11,6 +11,7 @@
 #include "obs/timer.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/retrainer.hpp"
+#include "store/writer.hpp"
 
 namespace ns {
 
@@ -67,6 +68,17 @@ ServeEngine::ServeEngine(NodeSentry& sentry, ServeConfig config)
     pool_ = owned_pool_.get();
   } else {
     pool_ = &ThreadPool::global();
+  }
+  if (config_.store_writer != nullptr) {
+    const TimeSeriesStore& store = config_.store_writer->store();
+    NS_REQUIRE(store.num_nodes() == N,
+               "serve: store has " << store.num_nodes() << " nodes, engine "
+                                   << N);
+    NS_REQUIRE(store.num_metrics() == sentry.raw_metrics(),
+               "serve: store has " << store.num_metrics()
+                                   << " metrics, raw space is "
+                                   << sentry.raw_metrics());
+    retained_.resize(N);
   }
   registry_ = config_.registry ? config_.registry : &obs::Registry::global();
   const std::vector<double> buckets = obs::default_latency_buckets();
@@ -157,6 +169,7 @@ void ServeEngine::ingest(const StreamSample& sample) {
   StashedRow stashed;
   stashed.row = preproc_.process(sample.node, sample.values);
   stashed.job_id = sample.job_id;
+  if (config_.store_writer != nullptr) stashed.raw = sample.values;
   st.stash.insert_or_assign(sample.t, std::move(stashed));
   advance_node(sample.node);
   // Latency excludes any piggybacked pump below (that work is accounted
@@ -172,8 +185,11 @@ void ServeEngine::advance_node(std::size_t node) {
     if (it != st.stash.end()) {
       const std::int64_t job = it->second.job_id;
       StreamPreprocessor::Row row = std::move(it->second.row);
+      std::vector<float> raw = std::move(it->second.raw);
       st.stash.erase(it);
       st.gap_run = 0;
+      if (config_.store_writer != nullptr)
+        retain_sample(node, st.next_t, job, std::move(raw), row);
       commit_row(node, st.next_t, job, std::move(row));
       ++st.next_t;
       continue;
@@ -212,6 +228,25 @@ void ServeEngine::fill_gap_row(std::size_t node) {
   }
   commit_row(node, st.next_t, job, std::move(filler));
   ++st.next_t;
+}
+
+void ServeEngine::retain_sample(std::size_t node, std::size_t t,
+                                std::int64_t job_id, std::vector<float> raw,
+                                const StreamPreprocessor::Row& row) {
+  StoreSample sample;
+  sample.t = t;
+  sample.job_id = job_id;
+  sample.values = std::move(raw);
+  // Mirrors commit_row's masking: a cell loses scoring weight when it
+  // arrived invalid or non-finite. The in-band bit summarizes the row.
+  sample.valid = true;
+  for (std::size_t m = 0; m < num_metrics_; ++m) {
+    if (!row.valid[m] || !std::isfinite(row.values[m])) {
+      sample.valid = false;
+      break;
+    }
+  }
+  retained_[node].push_back(std::move(sample));
 }
 
 void ServeEngine::commit_row(std::size_t node, std::size_t t,
@@ -734,8 +769,11 @@ ServeResult ServeEngine::finalize() {
       auto it = st.stash.begin();
       const std::int64_t job = it->second.job_id;
       StreamPreprocessor::Row row = std::move(it->second.row);
+      std::vector<float> raw = std::move(it->second.raw);
       st.stash.erase(it);
       st.gap_run = 0;
+      if (config_.store_writer != nullptr)
+        retain_sample(n, st.next_t, job, std::move(raw), row);
       commit_row(n, st.next_t, job, std::move(row));
       ++st.next_t;
     }
@@ -778,6 +816,22 @@ ServeResult ServeEngine::finalize() {
       stats_.consensus_disagreements += disagreements;
     }
   });
+  if (config_.store_writer != nullptr) {
+    // Flag time: each retained sample gets its in-band anomaly bit from
+    // the thresholded predictions — immutable "what was detectable THEN"
+    // history — then the per-node batches go to the async writer. The
+    // caller drains the writer when it wants the store durable.
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      if (retained_[n].empty()) continue;
+      StoreWriter::Batch batch;
+      batch.node = n;
+      batch.samples = std::move(retained_[n]);
+      const std::vector<std::uint8_t>& flags = result.detections[n].predictions;
+      for (StoreSample& sample : batch.samples)
+        sample.anomaly = sample.t < flags.size() && flags[sample.t] != 0;
+      config_.store_writer->enqueue(std::move(batch));
+    }
+  }
   result.stats = stats();
   return result;
 }

@@ -38,6 +38,7 @@
 
 #include "core/nodesentry.hpp"
 #include "obs/registry.hpp"
+#include "store/codec.hpp"
 #include "ts/stream.hpp"
 
 namespace ns {
@@ -45,6 +46,7 @@ namespace ns {
 class ThreadPool;
 class GenerationRegistry;
 class Retrainer;
+class StoreWriter;
 
 struct ServeConfig {
   /// Worker threads for batched scoring; 0 = share the process-global pool.
@@ -89,6 +91,17 @@ struct ServeConfig {
   /// When set, every matched closed segment's centered tokens are offered
   /// to this retrainer (bounded ring, never blocks ingest).
   Retrainer* retrainer = nullptr;
+
+  // ---- embedded time-series store (DESIGN.md §13)
+  /// When set, every real ingested row is retained (raw values + job id +
+  /// validity summary) and handed to this writer at flag time — finalize()
+  /// stamps each sample's in-band anomaly bit from the thresholded
+  /// predictions, then enqueues per-node batches (bounded queue,
+  /// drop-oldest; never blocks the collector loop). Gap-filled placeholder
+  /// rows are NOT stored: the store records what actually arrived, and
+  /// reconstruction restores the holes as NaN. The writer's store must
+  /// have the engine's node count and the sentry's raw metric count.
+  StoreWriter* store_writer = nullptr;
 };
 
 struct LatencySummary {
@@ -190,6 +203,7 @@ class ServeEngine {
   struct StashedRow {
     StreamPreprocessor::Row row;
     std::int64_t job_id = 0;
+    std::vector<float> raw;  ///< raw metric values; only kept for the store
   };
 
   struct NodeState {
@@ -230,6 +244,12 @@ class ServeEngine {
 
   void commit_row(std::size_t node, std::size_t t, std::int64_t job_id,
                   StreamPreprocessor::Row row);
+  /// Store path: retains one real (non-gap) row for the finalize-time
+  /// batch hand-off; the validity summary bit is "every processed cell of
+  /// this row carries scoring weight".
+  void retain_sample(std::size_t node, std::size_t t, std::int64_t job_id,
+                     std::vector<float> raw,
+                     const StreamPreprocessor::Row& row);
   void advance_node(std::size_t node);
   void fill_gap_row(std::size_t node);
   void open_segment(std::size_t node, std::size_t t, std::int64_t job_id);
@@ -276,6 +296,9 @@ class ServeEngine {
   std::vector<std::vector<std::uint8_t>> lane_active_;        ///< [node][t]
 
   std::vector<NodeState> nodes_;
+  /// Store path: per-node retained samples awaiting their anomaly bit
+  /// (stamped in finalize). Empty vectors unless store_writer is set.
+  std::vector<std::vector<StoreSample>> retained_;
   std::vector<std::vector<float>> scores_;  ///< [node][t], grows with ingest
   /// Per node: closed segment ranges [begin, end) with >= 2 rows, for the
   /// shared reference-level computation.

@@ -70,4 +70,29 @@ DetectionDelta compare_detections(const std::vector<NodeDetection>& a,
   return delta;
 }
 
+StoreDelta compare_detections_with_store(
+    const std::vector<NodeDetection>& detections,
+    const TimeSeriesStore& store, std::size_t begin_t) {
+  NS_REQUIRE(detections.size() == store.num_nodes(),
+             "compare_detections_with_store: node count mismatch ("
+                 << detections.size() << " vs " << store.num_nodes() << ")");
+  StoreDelta delta;
+  for (std::size_t n = 0; n < detections.size(); ++n) {
+    const std::vector<std::uint8_t>& flags = detections[n].predictions;
+    TimeSeriesStore::Cursor cursor =
+        store.range(n, begin_t, store.end_tick());
+    StoreSample sample;
+    while (cursor.next(sample)) {
+      ++delta.samples_compared;
+      if (sample.t >= flags.size()) {
+        ++delta.samples_unflagged;
+        if (sample.anomaly) ++delta.flag_mismatches;
+        continue;
+      }
+      if (sample.anomaly != (flags[sample.t] != 0)) ++delta.flag_mismatches;
+    }
+  }
+  return delta;
+}
+
 }  // namespace ns

@@ -11,6 +11,7 @@
 
 #include "serve/engine.hpp"
 #include "sim/stream.hpp"
+#include "store/store.hpp"
 
 namespace ns {
 
@@ -52,5 +53,19 @@ struct DetectionDelta {
 
 DetectionDelta compare_detections(const std::vector<NodeDetection>& a,
                                   const std::vector<NodeDetection>& b);
+
+/// Store-vs-detections equivalence: every sealed sample's in-band anomaly
+/// bit must equal the prediction flag of its (node, tick). Pins the third
+/// leg of replay == detect == store — the detections.csv the replay wrote
+/// and the bits the store sealed describe the same history, bitwise.
+struct StoreDelta {
+  std::size_t samples_compared = 0;
+  std::size_t flag_mismatches = 0;   ///< in-band bit != prediction flag
+  std::size_t samples_unflagged = 0; ///< sample tick past the timeline
+};
+
+StoreDelta compare_detections_with_store(
+    const std::vector<NodeDetection>& detections,
+    const TimeSeriesStore& store, std::size_t begin_t);
 
 }  // namespace ns

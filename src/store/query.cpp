@@ -1,0 +1,179 @@
+#include "store/query.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ns {
+
+AnomalyRateResult store_anomaly_rate(const TimeSeriesStore& store,
+                                     std::size_t node, std::size_t first_t,
+                                     std::size_t end_t) {
+  AnomalyRateResult result;
+  TimeSeriesStore::Cursor cursor = store.range(node, first_t, end_t);
+  StoreSample sample;
+  while (cursor.next(sample)) {
+    ++result.samples;
+    if (sample.anomaly) ++result.anomalous;
+    if (!sample.valid) ++result.invalid;
+  }
+  return result;
+}
+
+AnomalyRateResult store_anomaly_rate(const TimeSeriesStore& store,
+                                     std::size_t first_t, std::size_t end_t) {
+  AnomalyRateResult total;
+  for (std::size_t n = 0; n < store.num_nodes(); ++n) {
+    const AnomalyRateResult one = store_anomaly_rate(store, n, first_t, end_t);
+    total.samples += one.samples;
+    total.anomalous += one.anomalous;
+    total.invalid += one.invalid;
+  }
+  return total;
+}
+
+std::vector<NodeAnomalyRate> store_top_anomalous_nodes(
+    const TimeSeriesStore& store, std::size_t k, std::size_t first_t,
+    std::size_t end_t) {
+  std::vector<NodeAnomalyRate> rates;
+  rates.reserve(store.num_nodes());
+  for (std::size_t n = 0; n < store.num_nodes(); ++n) {
+    NodeAnomalyRate entry;
+    entry.node = n;
+    entry.node_name = store.meta().node_names[n];
+    entry.rate = store_anomaly_rate(store, n, first_t, end_t);
+    if (entry.rate.samples > 0) rates.push_back(std::move(entry));
+  }
+  std::sort(rates.begin(), rates.end(),
+            [](const NodeAnomalyRate& a, const NodeAnomalyRate& b) {
+              if (a.rate.rate() != b.rate.rate())
+                return a.rate.rate() > b.rate.rate();
+              if (a.rate.anomalous != b.rate.anomalous)
+                return a.rate.anomalous > b.rate.anomalous;
+              return a.node < b.node;
+            });
+  if (rates.size() > k) rates.resize(k);
+  return rates;
+}
+
+StoreMeta store_meta_from_dataset(const MtsDataset& dataset) {
+  StoreMeta meta;
+  meta.metrics = dataset.metrics;
+  meta.node_names.reserve(dataset.num_nodes());
+  for (const NodeSeries& node : dataset.nodes)
+    meta.node_names.push_back(node.node_name);
+  meta.interval_seconds = dataset.interval_seconds;
+  meta.jobs = dataset.jobs;
+  return meta;
+}
+
+namespace {
+
+/// Job occupying tick t, or -1 (idle) when no span covers it.
+std::int64_t job_at(const std::vector<JobSpan>& spans, std::size_t t) {
+  for (const JobSpan& span : spans)
+    if (t >= span.begin && t < span.end) return span.job_id;
+  return -1;
+}
+
+}  // namespace
+
+void store_append_dataset(
+    TimeSeriesStore& store, const MtsDataset& dataset, std::size_t first_t,
+    std::size_t end_t,
+    const ValidityMask* mask,
+    const std::vector<std::vector<std::uint8_t>>* anomaly) {
+  NS_REQUIRE(dataset.num_nodes() == store.num_nodes(),
+             "store_append_dataset: dataset has "
+                 << dataset.num_nodes() << " nodes, store "
+                 << store.num_nodes());
+  NS_REQUIRE(dataset.num_metrics() == store.num_metrics(),
+             "store_append_dataset: dataset has "
+                 << dataset.num_metrics() << " metrics, store "
+                 << store.num_metrics());
+  const std::size_t M = dataset.num_metrics();
+  end_t = std::min(end_t, dataset.num_timestamps());
+  for (std::size_t n = 0; n < dataset.num_nodes(); ++n) {
+    const std::vector<JobSpan>& spans =
+        n < dataset.jobs.size() ? dataset.jobs[n] : std::vector<JobSpan>{};
+    for (std::size_t t = first_t; t < end_t; ++t) {
+      StoreSample sample;
+      sample.t = t;
+      sample.job_id = job_at(spans, t);
+      sample.values.resize(M);
+      bool any_present = false;
+      for (std::size_t m = 0; m < M; ++m) {
+        sample.values[m] = dataset.nodes[n].values[m][t];
+        if (!std::isnan(sample.values[m])) any_present = true;
+      }
+      if (!any_present) continue;  // never-delivered tick: store the hole
+      sample.valid = mask == nullptr ||
+                     mask->row_valid_fraction(n, t) >= 1.0;
+      sample.anomaly = anomaly != nullptr && t < (*anomaly)[n].size() &&
+                       (*anomaly)[n][t] != 0;
+      store.append(n, sample);
+    }
+  }
+}
+
+MtsDataset store_to_dataset(const TimeSeriesStore& store, std::size_t first_t,
+                            std::size_t end_t) {
+  NS_REQUIRE(end_t >= first_t, "store_to_dataset: end_t < first_t");
+  const std::size_t T = end_t - first_t;
+  const std::size_t M = store.num_metrics();
+  const std::size_t N = store.num_nodes();
+  MtsDataset dataset;
+  dataset.metrics = store.meta().metrics;
+  dataset.interval_seconds = store.meta().interval_seconds;
+  dataset.nodes.resize(N);
+  dataset.jobs.resize(N);
+  dataset.labels.assign(N, std::vector<std::uint8_t>(T, 0));
+  const bool explicit_jobs = !store.meta().jobs.empty();
+  for (std::size_t n = 0; n < N; ++n) {
+    NodeSeries& node = dataset.nodes[n];
+    node.node_name = store.meta().node_names[n];
+    node.values.assign(M, std::vector<float>(T, kMissingValue));
+    std::int64_t run_job = 0;
+    std::size_t run_begin = 0;
+    bool in_run = false;
+    TimeSeriesStore::Cursor cursor = store.range(n, first_t, end_t);
+    StoreSample sample;
+    while (cursor.next(sample)) {
+      const std::size_t t = sample.t - first_t;
+      for (std::size_t m = 0; m < M; ++m)
+        node.values[m][t] = sample.values[m];
+      dataset.labels[n][t] = sample.anomaly ? 1 : 0;
+      if (!explicit_jobs) {
+        // Derive job spans from runs of the in-band ids. Absent ticks do
+        // not break a run: the paper's segmentation keys on scheduler
+        // transitions, not collector gaps.
+        if (!in_run || sample.job_id != run_job) {
+          if (in_run)
+            dataset.jobs[n].push_back(JobSpan{run_job, run_begin, t});
+          run_job = sample.job_id;
+          run_begin = t;
+          in_run = true;
+        }
+      }
+    }
+    if (!explicit_jobs && in_run)
+      dataset.jobs[n].push_back(JobSpan{run_job, run_begin, T});
+  }
+  if (explicit_jobs) {
+    // The index's span table preserves the scheduler's exact boundaries;
+    // clip to the range and rebase.
+    for (std::size_t n = 0; n < N; ++n) {
+      for (const JobSpan& span : store.meta().jobs[n]) {
+        const std::size_t begin = std::max(span.begin, first_t);
+        const std::size_t end = std::min(span.end, end_t);
+        if (begin >= end) continue;
+        dataset.jobs[n].push_back(
+            JobSpan{span.job_id, begin - first_t, end - first_t});
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace ns

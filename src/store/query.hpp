@@ -1,0 +1,82 @@
+// Query layer over the time-series store: time-range aggregation of the
+// in-band anomaly/validity bits (the netdata discipline — anomaly rates
+// fall out of ordinary iteration, no pre-aggregation is ever stored) and
+// dataset reconstruction for warm restarts and CSV export.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "store/store.hpp"
+#include "ts/mts.hpp"
+#include "ts/quality.hpp"
+
+namespace ns {
+
+/// Aggregated in-band bits over one time-range query.
+struct AnomalyRateResult {
+  std::size_t samples = 0;    ///< samples present in the range
+  std::size_t anomalous = 0;  ///< anomaly bit set
+  std::size_t invalid = 0;    ///< validity bit clear
+  double rate() const {
+    return samples > 0 ? static_cast<double>(anomalous) /
+                             static_cast<double>(samples)
+                       : 0.0;
+  }
+  double invalid_fraction() const {
+    return samples > 0 ? static_cast<double>(invalid) /
+                             static_cast<double>(samples)
+                       : 0.0;
+  }
+};
+
+/// Anomaly rate of one node over [first_t, end_t) — a single pass over the
+/// pruned page range.
+AnomalyRateResult store_anomaly_rate(const TimeSeriesStore& store,
+                                     std::size_t node, std::size_t first_t,
+                                     std::size_t end_t);
+
+/// Fleet-wide anomaly rate over [first_t, end_t).
+AnomalyRateResult store_anomaly_rate(const TimeSeriesStore& store,
+                                     std::size_t first_t, std::size_t end_t);
+
+struct NodeAnomalyRate {
+  std::size_t node = 0;
+  std::string node_name;
+  AnomalyRateResult rate;
+};
+
+/// The k most anomalous nodes over [first_t, end_t), sorted by descending
+/// anomaly rate (ties: more anomalous samples first, then node index).
+/// Nodes with no samples in the range are excluded.
+std::vector<NodeAnomalyRate> store_top_anomalous_nodes(
+    const TimeSeriesStore& store, std::size_t k, std::size_t first_t,
+    std::size_t end_t);
+
+/// Store schema for a dataset: raw metric metadata, node names, cadence,
+/// and the explicit job span table.
+StoreMeta store_meta_from_dataset(const MtsDataset& dataset);
+
+/// Bulk-imports dataset ticks [first_t, end_t) into `store` (e.g. the
+/// train region at serve startup, or a bench corpus). The validity bit
+/// comes from `mask` when given (a row is valid when every raw metric cell
+/// is, ValidityMask::row_valid_fraction == 1); the anomaly bit from
+/// `anomaly[n][t]` when given (e.g. eval labels or detection flags).
+/// All-NaN rows (ticks the collector never delivered) are skipped — the
+/// store records presence, reconstruction restores the NaN holes.
+void store_append_dataset(
+    TimeSeriesStore& store, const MtsDataset& dataset, std::size_t first_t,
+    std::size_t end_t, const ValidityMask* mask = nullptr,
+    const std::vector<std::vector<std::uint8_t>>* anomaly = nullptr);
+
+/// Rebuilds an MtsDataset over [first_t, end_t) from the store, bit-exact
+/// to what was appended: values are the stored float bit patterns, absent
+/// ticks are kMissingValue holes, labels carry the in-band anomaly bits,
+/// and jobs come from the index's explicit span table (clipped and rebased
+/// to the range) or, when the table is absent, from runs of the in-band
+/// job ids. The CSV export path is save_dataset() over this.
+MtsDataset store_to_dataset(const TimeSeriesStore& store, std::size_t first_t,
+                            std::size_t end_t);
+
+}  // namespace ns

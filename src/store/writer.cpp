@@ -1,0 +1,118 @@
+#include "store/writer.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+
+namespace ns {
+
+StoreWriter::StoreWriter(TimeSeriesStore store, StoreWriterConfig config,
+                         obs::Registry* registry)
+    : store_(std::move(store)), config_(config) {
+  obs::Registry& reg = registry ? *registry : obs::Registry::global();
+  samples_written_counter_ = &reg.counter(
+      "ns_store_samples_written_total", "Samples appended to the store");
+  batches_dropped_counter_ =
+      &reg.counter("ns_store_batches_dropped_total",
+                   "Batches dropped (oldest-first) by queue backpressure");
+  pages_sealed_counter_ =
+      &reg.counter("ns_store_pages_sealed_total", "Pages sealed to disk");
+  queue_depth_gauge_ =
+      &reg.gauge("ns_store_queue_depth", "Batches pending write right now");
+  sealed_bytes_gauge_ = &reg.gauge("ns_store_sealed_bytes",
+                                   "Bytes sealed on disk across all nodes");
+  batch_write_hist_ = &reg.histogram(
+      "ns_store_batch_write_seconds", "Store batch append latency in seconds",
+      obs::default_latency_buckets());
+  consumer_ = std::thread([this] { run(); });
+}
+
+StoreWriter::~StoreWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (consumer_.joinable()) consumer_.join();
+  try {
+    store_.flush();
+  } catch (const std::exception& e) {
+    NS_LOG_WARN("store writer: final flush failed: " << e.what());
+  }
+}
+
+void StoreWriter::enqueue(Batch batch) {
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(batch));
+    ++enqueued_;
+    while (config_.queue_capacity > 0 &&
+           queue_.size() > config_.queue_capacity) {
+      queue_.pop_front();
+      ++dropped;
+    }
+    dropped_ += dropped;
+    queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+  }
+  if (dropped > 0) batches_dropped_counter_->inc(dropped);
+  work_cv_.notify_one();
+}
+
+void StoreWriter::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      // stop_ and nothing left: the destructor flushes after the join.
+      idle_cv_.notify_all();
+      return;
+    }
+    Batch batch = std::move(queue_.front());
+    queue_.pop_front();
+    queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+    busy_ = true;
+    lock.unlock();
+    // The store is touched unlocked: drain() cannot reach it while busy_,
+    // and producers only touch the queue.
+    Stopwatch sw;
+    for (const StoreSample& sample : batch.samples)
+      store_.append(batch.node, sample);
+    batch_write_hist_->observe(sw.elapsed_s());
+    samples_written_counter_->inc(batch.samples.size());
+    lock.lock();
+    written_ += batch.samples.size();
+    busy_ = false;
+    idle_cv_.notify_all();
+  }
+}
+
+void StoreWriter::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  // Consumer is idle and the queue is empty; holding the mutex keeps it
+  // parked (it needs the lock to pick up new work), so the flush below is
+  // the only store access.
+  store_.flush();
+  pages_sealed_counter_->inc(store_.stats().pages_sealed - pages_published_);
+  pages_published_ = store_.stats().pages_sealed;
+  sealed_bytes_gauge_->set(static_cast<double>(store_.sealed_bytes()));
+}
+
+std::uint64_t StoreWriter::batches_enqueued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enqueued_;
+}
+
+std::uint64_t StoreWriter::batches_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::uint64_t StoreWriter::samples_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+}  // namespace ns

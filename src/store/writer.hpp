@@ -1,0 +1,93 @@
+// Async front of the time-series store: the ServeEngine (or any producer)
+// enqueues per-node sample batches; one consumer thread owns every store
+// append. The queue is bounded and drops its *oldest* batch past the cap —
+// same backpressure discipline as the engine's scoring queue: stale
+// history is worth less than stalling the collector loop. Drops, depth and
+// write latency are exposed as ns_store_* instruments.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "store/store.hpp"
+
+namespace ns {
+
+struct StoreWriterConfig {
+  /// Bound on queued batches; past it the oldest batch is dropped. 0 = unbounded.
+  std::size_t queue_capacity = 256;
+};
+
+class StoreWriter {
+ public:
+  /// One producer hand-off: every sample of one node, ticks strictly
+  /// increasing and ahead of everything already written for that node.
+  struct Batch {
+    std::size_t node = 0;
+    std::vector<StoreSample> samples;
+  };
+
+  /// Takes ownership of `store`; `registry` null means the process-global
+  /// obs registry. The consumer thread starts immediately.
+  explicit StoreWriter(TimeSeriesStore store, StoreWriterConfig config = {},
+                       obs::Registry* registry = nullptr);
+  /// Drains the queue, flushes the store, and joins the consumer. Errors
+  /// are swallowed (destructors must not throw) — call drain() first when
+  /// durability matters.
+  ~StoreWriter();
+
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  /// Never blocks on I/O: past queue_capacity the oldest queued batch is
+  /// dropped (counted in ns_store_batches_dropped_total).
+  void enqueue(Batch batch);
+
+  /// Blocks until every queued batch is written, then flushes the store
+  /// (seals pages, commits the index). After drain() the store is
+  /// consistent on disk and safe to query through store().
+  void drain();
+
+  /// The underlying store. Only consistent between drain() (or
+  /// construction) and the next enqueue() — the consumer thread owns the
+  /// store while batches are in flight.
+  const TimeSeriesStore& store() const { return store_; }
+
+  std::uint64_t batches_enqueued() const;
+  std::uint64_t batches_dropped() const;
+  std::uint64_t samples_written() const;
+
+ private:
+  void run();
+
+  TimeSeriesStore store_;
+  StoreWriterConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< producer -> consumer
+  std::condition_variable idle_cv_;   ///< consumer -> drain()
+  std::deque<Batch> queue_;
+  bool busy_ = false;  ///< consumer is mid-batch (store in use, unlocked)
+  bool stop_ = false;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t written_ = 0;
+  std::uint64_t pages_published_ = 0;  ///< pages already counted into obs
+
+  obs::Counter* samples_written_counter_ = nullptr;
+  obs::Counter* batches_dropped_counter_ = nullptr;
+  obs::Counter* pages_sealed_counter_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* sealed_bytes_gauge_ = nullptr;
+  obs::Histogram* batch_write_hist_ = nullptr;
+
+  std::thread consumer_;
+};
+
+}  // namespace ns

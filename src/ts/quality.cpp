@@ -30,6 +30,14 @@ double ValidityMask::segment_valid_fraction(std::size_t node,
          static_cast<double>(metrics_ * (end - begin));
 }
 
+double ValidityMask::row_valid_fraction(std::size_t node,
+                                        std::size_t t) const {
+  if (data_.empty() || metrics_ == 0) return 1.0;
+  std::size_t valid_count = 0;
+  for (std::size_t m = 0; m < metrics_; ++m) valid_count += at(node, m, t) != 0;
+  return static_cast<double>(valid_count) / static_cast<double>(metrics_);
+}
+
 ValidityMask ValidityMask::aggregate(
     const std::vector<std::vector<std::size_t>>& sources) const {
   if (data_.empty()) return {};

@@ -56,6 +56,9 @@ class ValidityMask {
   /// metrics of the node.
   double segment_valid_fraction(std::size_t node, std::size_t begin,
                                 std::size_t end) const;
+  /// Fraction of valid metric cells of one row (node, t) — the store's
+  /// in-band validity summary (a row is "valid" when this is 1.0).
+  double row_valid_fraction(std::size_t node, std::size_t t) const;
 
   /// Maps the mask through semantic aggregation: output metric g at time t
   /// is valid iff at least one source metric is valid there.
