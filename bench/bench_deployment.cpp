@@ -11,6 +11,7 @@
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "obs/export.hpp"
+#include "serve/engine.hpp"
 #include "serve/replay.hpp"
 
 int main() {

@@ -22,6 +22,7 @@
 #include "core/nodesentry.hpp"
 #include "nn/module.hpp"
 #include "serve/model_registry.hpp"
+#include "serve/engine.hpp"
 #include "serve/replay.hpp"
 #include "serve/retrainer.hpp"
 #include "sim/dataset_builder.hpp"

@@ -1,11 +1,15 @@
 // nodesentry_serve — online serving front end: fit (or warm-start from a
-// checkpoint), then replay the test region through the ServeEngine the way
-// a live collector would deliver it, and report streaming statistics.
+// checkpoint), then replay the test region through a ServeBackend (a lone
+// ServeEngine, or a sharded FleetEngine with --shards > 1) the way a live
+// collector would deliver it, and report streaming statistics. All serving
+// flags funnel into one ServeSessionConfig (serve/session.hpp) — the CLI
+// only parses, the session wires.
 //
 //   nodesentry_serve [--data-dir <dir>] [--preset d1|d2|deploy] [--seed N]
 //       [--scale F] [--train-fraction F] [--train-end N] [--epochs N]
 //       [--checkpoint <dir>] [--restore]
 //       [--store-dir <dir>] [--from-store]
+//       [--shards N] [--ring-capacity N]
 //       [--speedup F] [--threads N] [--batch-tokens N] [--slack N]
 //       [--late-prob P] [--max-delay N]
 //       [--generations G] [--consensus Q] [--retrain-every MS]
@@ -24,6 +28,9 @@
 //                   fully warm restart
 //   --train-end     explicit train/test split tick for --data-dir or
 //                   --from-store runs (0 = use --train-fraction)
+//   --shards        serve through a FleetEngine with N consistent-hashed
+//                   engine shards (1 = the classic single engine)
+//   --ring-capacity per-shard SPSC ingest ring capacity (samples)
 //   --speedup       pace replay at F x real time (0 = as fast as possible)
 //   --verify        also run batch detect() and report the max score delta
 //   --metrics-out   write <prefix>.prom (Prometheus text) + <prefix>.json
@@ -53,8 +60,7 @@
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "serve/model_registry.hpp"
-#include "serve/replay.hpp"
-#include "serve/retrainer.hpp"
+#include "serve/session.hpp"
 #include "sim/dataset_builder.hpp"
 #include "store/query.hpp"
 #include "store/writer.hpp"
@@ -94,7 +100,7 @@ int main(int argc, char** argv) {
                  "[--epochs N]\n"
                  "  [--checkpoint DIR] [--restore] [--store-dir DIR] "
                  "[--from-store]\n"
-                 "  [--speedup F] "
+                 "  [--shards N] [--ring-capacity N] [--speedup F] "
                  "[--threads N]\n"
                  "  [--batch-tokens N] [--slack N] [--late-prob P] "
                  "[--max-delay N]\n"
@@ -196,91 +202,66 @@ int main(int argc, char** argv) {
                   checkpoint);
   }
 
-  // ---- Serve: replay the test region through the engine.
-  ServeConfig serve_config;
-  serve_config.threads = static_cast<std::size_t>(
+  // ---- Serve: every serving flag folds into one ServeSessionConfig; the
+  // session owns the wiring (backend, generations, retrainer, store).
+  ServeSessionConfig session_config;
+  session_config.engine.threads = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--threads", "0")));
-  serve_config.max_batch_tokens = static_cast<std::size_t>(
+  session_config.engine.max_batch_tokens = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--batch-tokens", "384")));
-  serve_config.reorder_slack = static_cast<std::size_t>(
+  session_config.engine.reorder_slack = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--slack", "8")));
+  session_config.fleet.shards = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--shards", "1")));
+  session_config.fleet.ring_capacity = static_cast<std::size_t>(
+      std::atoi(arg_value(argc, argv, "--ring-capacity", "4096")));
 
-  // ---- Rolling generations + consensus (DESIGN.md §12).
   const std::size_t generations = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--generations", "1")));
   const std::size_t quorum = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--consensus", "0")));
   const std::size_t retrain_every_ms = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--retrain-every", "0")));
-  std::unique_ptr<GenerationRegistry> registry;
-  std::unique_ptr<Retrainer> retrainer;
   if (generations > 1 || quorum > 0 || retrain_every_ms > 0) {
-    serve_config.consensus_scoring = true;
-    serve_config.generations = generations > 0 ? generations : 1;
-    serve_config.consensus_quorum = quorum > 0 ? quorum : 1;
-    registry = std::make_unique<GenerationRegistry>(
-        sentry.library().size(), serve_config.generations);
+    session_config.generations.enabled = true;
+    session_config.generations.generations =
+        generations > 0 ? generations : 1;
+    session_config.generations.quorum = quorum > 0 ? quorum : 1;
+    session_config.generations.retrain_every_ms = retrain_every_ms;
+    session_config.generations.seed = seed;
     // Generations ride the serve checkpoint flow (DESIGN.md §12 follow-on):
     // a warm start restores the rolling generation sets saved by the
     // previous run instead of re-seeding every lane from the library.
-    const std::filesystem::path generations_dir =
-        std::filesystem::path(checkpoint) / "generations";
-    if (arg_flag(argc, argv, "--restore") &&
-        std::filesystem::exists(generations_dir)) {
-      registry->load(generations_dir.string(), sentry.model_config(), seed);
-      std::printf("restored generation sets from %s\n",
-                  generations_dir.string().c_str());
-    }
-    serve_config.generation_registry = registry.get();
-    if (retrain_every_ms > 0) {
-      retrainer = std::make_unique<Retrainer>(
-          *registry, sentry.library(), sentry.model_config(),
-          RetrainerConfig{});
-      serve_config.retrainer = retrainer.get();
-    }
+    if (arg_flag(argc, argv, "--restore") && checkpoint[0] != '\0')
+      session_config.generations.restore_dir =
+          (std::filesystem::path(checkpoint) / "generations").string();
     std::printf("consensus scoring: G=%zu Q=%zu%s\n",
-                serve_config.generations, serve_config.consensus_quorum,
+                session_config.generations.generations,
+                session_config.generations.quorum,
                 retrain_every_ms > 0 ? ", background retrainer on" : "");
   }
-  // ---- Embedded store (DESIGN.md §13): seal every served sample with its
+  // Embedded store (DESIGN.md §13): seal every served sample with its
   // in-band anomaly/validity bits. --from-store replays read-only.
-  std::unique_ptr<StoreWriter> store_writer;
   if (store_dir[0] != '\0' && !from_store) {
-    TimeSeriesStore store = TimeSeriesStore::create(
-        store_dir, store_meta_from_dataset(dataset), StoreConfig{});
-    // Bulk-import the train region so --from-store has the full timeline.
-    store_append_dataset(store, dataset, 0, train_end);
-    store_writer = std::make_unique<StoreWriter>(std::move(store));
-    serve_config.store_writer = store_writer.get();
+    session_config.store.dir = store_dir;
     std::printf("sealing served samples into %s\n", store_dir);
   }
-
-  ServeEngine engine(sentry, serve_config);
-  if (retrainer)
-    retrainer->start(std::chrono::milliseconds(retrain_every_ms));
-
-  ReplayOptions replay;
-  replay.speedup = std::atof(arg_value(argc, argv, "--speedup", "0"));
-  replay.jitter.late_probability =
+  session_config.replay.speedup =
+      std::atof(arg_value(argc, argv, "--speedup", "0"));
+  session_config.replay.jitter.late_probability =
       std::atof(arg_value(argc, argv, "--late-prob", "0"));
-  replay.jitter.max_delay = static_cast<std::size_t>(
+  session_config.replay.jitter.max_delay = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--max-delay", "0")));
-  replay.jitter.seed = seed;
-  const std::string metrics_out =
-      arg_value(argc, argv, "--metrics-out", "");
-  const std::size_t metrics_every = static_cast<std::size_t>(
+  session_config.replay.jitter.seed = seed;
+  session_config.metrics.out_prefix = arg_value(argc, argv, "--metrics-out", "");
+  session_config.metrics.every = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--metrics-every", "0")));
-  if (!metrics_out.empty() && metrics_every > 0) {
-    // Periodic exposition: a scraper can pick up <prefix>.prom while the
-    // replay is still streaming (files are swapped atomically).
-    replay.progress_every = metrics_every;
-    replay.on_progress = [&metrics_out](std::size_t) {
-      obs::write_metrics_files(obs::Registry::global(), metrics_out);
-    };
-  }
-  const ReplayReport report =
-      serve_replay(engine, dataset, train_end, replay);
-  if (retrainer) retrainer->stop();
+
+  ServeSession session(sentry, dataset, train_end, session_config);
+  if (session.num_shards() > 1)
+    std::printf("fleet serving: %zu shards, ring capacity %zu\n",
+                session.num_shards(), session_config.fleet.ring_capacity);
+  const ReplayReport report = session.run();
   const ServeStats& stats = report.result.stats;
 
   std::printf("\nstreamed %zu samples in %.2f s (%.0f samples/s)\n",
@@ -303,10 +284,13 @@ int main(int argc, char** argv) {
                 "%zu gap rows filled, %zu cells masked\n",
                 stats.samples_out_of_order, stats.samples_dropped_late,
                 stats.gap_rows_filled, stats.cells_masked);
+  if (stats.ring_stalls > 0)
+    std::printf("fleet: %zu producer stalls on full ingest rings\n",
+                stats.ring_stalls);
   print_latency("ingest", stats.ingest_latency);
   print_latency("match", stats.match_latency);
   print_latency("score", stats.score_latency);
-  if (serve_config.consensus_scoring)
+  if (session_config.generations.enabled)
     std::printf("consensus: %zu points voted, %zu disagreements "
                 "(%.2f%% of voted points)\n",
                 stats.consensus_points, stats.consensus_disagreements,
@@ -314,19 +298,19 @@ int main(int argc, char** argv) {
                     ? 100.0 * static_cast<double>(stats.consensus_disagreements) /
                           static_cast<double>(stats.consensus_points)
                     : 0.0);
-  if (retrainer)
-    std::printf("retrainer: %llu cycles run during the replay\n",
-                static_cast<unsigned long long>(retrainer->cycles()));
-  if (registry && checkpoint[0] != '\0') {
-    const std::string generations_dir =
-        (std::filesystem::path(checkpoint) / "generations").string();
-    registry->save(generations_dir);
-    std::printf("generation sets checkpointed to %s\n",
-                generations_dir.c_str());
-  }
+  if (session.retrainer())
+    std::printf("retrainer: %llu cycles run during the replay "
+                "(%llu segments offered)\n",
+                static_cast<unsigned long long>(session.retrainer()->cycles()),
+                static_cast<unsigned long long>(
+                    session.retrainer()->segments_offered()));
+  if (checkpoint[0] != '\0' && session.save_generations(checkpoint))
+    std::printf("generation sets checkpointed to %s/generations\n",
+                checkpoint);
 
   // ---- Seal the store and audit it with the in-band-bit queries.
-  if (store_writer) {
+  if (session.store_writer() != nullptr) {
+    StoreWriter* store_writer = session.store_writer();
     store_writer->drain();
     const TimeSeriesStore& store = store_writer->store();
     const AnomalyRateResult rate =
@@ -349,11 +333,11 @@ int main(int argc, char** argv) {
                 store_delta.samples_compared, store_delta.flag_mismatches);
   }
 
-  if (!metrics_out.empty()) {
-    obs::write_metrics_files(obs::Registry::global(), metrics_out);
+  // The session already refreshed the exposition files after the replay.
+  if (!session_config.metrics.out_prefix.empty())
     std::printf("metrics written to %s.prom / %s.json\n",
-                metrics_out.c_str(), metrics_out.c_str());
-  }
+                session_config.metrics.out_prefix.c_str(),
+                session_config.metrics.out_prefix.c_str());
 
   // ---- Export flagged intervals under the output directory.
   const std::string out_dir =

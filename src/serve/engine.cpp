@@ -37,6 +37,9 @@ LatencySummary summarize_histogram(const obs::Histogram& histogram) {
 
 }  // namespace
 
+ServeEngine::ServeEngine(NodeSentry& sentry, const Options& options)
+    : ServeEngine(sentry, options.config()) {}
+
 ServeEngine::ServeEngine(NodeSentry& sentry, ServeConfig config)
     : sentry_(&sentry),
       config_(config),
@@ -47,8 +50,10 @@ ServeEngine::ServeEngine(NodeSentry& sentry, ServeConfig config)
   NS_REQUIRE(!sentry.library().empty(), "serve: library has no clusters");
   num_metrics_ = sentry.processed().num_metrics();
   masked_mode_ = !sentry.mask().empty();
-  const std::size_t N = sentry.processed().num_nodes();
-  NS_REQUIRE(N > 0, "serve: fitted dataset has no nodes");
+  fitted_nodes_ = sentry.processed().num_nodes();
+  NS_REQUIRE(fitted_nodes_ > 0, "serve: fitted dataset has no nodes");
+  const std::size_t N =
+      config_.num_nodes > 0 ? config_.num_nodes : fitted_nodes_;
   nodes_.resize(N);
   for (NodeState& st : nodes_) {
     st.next_t = start_t_;
@@ -60,9 +65,17 @@ ServeEngine::ServeEngine(NodeSentry& sentry, ServeConfig config)
   // deterministic (dropout short-circuits) and therefore order-independent.
   for (ClusterEntry& entry : sentry.mutable_library().clusters())
     if (entry.model) entry.model->set_training(false);
-  cluster_locks_.reserve(sentry.library().size());
-  for (std::size_t c = 0; c < sentry.library().size(); ++c)
-    cluster_locks_.push_back(std::make_unique<std::mutex>());
+  if (config_.cluster_locks) {
+    // Fleet mode: the lock table is shared across every shard engine so a
+    // cluster's model never runs two forwards anywhere in the fleet.
+    NS_REQUIRE(config_.cluster_locks->size() == sentry.library().size(),
+               "serve: shared lock table has "
+                   << config_.cluster_locks->size() << " clusters, library "
+                   << sentry.library().size());
+    cluster_locks_ = config_.cluster_locks;
+  } else {
+    cluster_locks_ = std::make_shared<ClusterLockTable>(sentry.library().size());
+  }
   if (config_.threads > 0) {
     owned_pool_ = std::make_unique<ThreadPool>(config_.threads);
     pool_ = owned_pool_.get();
@@ -167,7 +180,10 @@ void ServeEngine::ingest(const StreamSample& sample) {
   st.max_seen = st.any_seen ? std::max(st.max_seen, sample.t) : sample.t;
   st.any_seen = true;
   StashedRow stashed;
-  stashed.row = preproc_.process(sample.node, sample.values);
+  // Fleet population: node ids past the fitted count borrow the
+  // standardization profile of (id mod fitted count) — identity mapping
+  // whenever the served population is the fitted one.
+  stashed.row = preproc_.process(sample.node % fitted_nodes_, sample.values);
   stashed.job_id = sample.job_id;
   if (config_.store_writer != nullptr) stashed.raw = sample.values;
   st.stash.insert_or_assign(sample.t, std::move(stashed));
@@ -475,7 +491,7 @@ std::size_t ServeEngine::pump() {
 void ServeEngine::score_cluster_units(std::size_t cluster,
                                       std::vector<PendingUnit> units) {
   const ClusterEntry& entry = sentry_->library().clusters()[cluster];
-  std::lock_guard<std::mutex> cluster_lock(*cluster_locks_[cluster]);
+  std::lock_guard<std::mutex> cluster_lock(cluster_locks_->lock(cluster));
   Rng rng(0);  // eval-mode forwards are deterministic and never draw
   const std::size_t M = num_metrics_;
   std::size_t i = 0;
@@ -585,7 +601,7 @@ void ServeEngine::score_cluster_units_consensus(std::size_t cluster,
   // cluster (MoE routing state is per-model, but the retrainer clones from
   // these models concurrently — one lock per cluster keeps the contract
   // simple and the batches of different clusters still run in parallel).
-  std::lock_guard<std::mutex> cluster_lock(*cluster_locks_[cluster]);
+  std::lock_guard<std::mutex> cluster_lock(cluster_locks_->lock(cluster));
   Rng rng(0);  // eval-mode forwards are deterministic and never draw
   const std::size_t M = num_metrics_;
   std::size_t i = 0;
@@ -731,6 +747,18 @@ void ServeEngine::close_segment(std::size_t node, std::size_t end) {
     if (seg.matched && !seg.insufficient) {
       emit_ready_chunks(node, /*closing=*/true, len);
       if (config_.retrainer != nullptr) {
+        // ORDERING (intentional, not a bug): this offer happens at segment
+        // close, BEFORE detection flags exist — flags are only computed at
+        // finalize(), when the k-sigma reference levels see the full
+        // timeline. A live retrainer cannot wait for end-of-stream, so
+        // offers are flag-agnostic by design; the guard against training on
+        // anomalous data is the retrainer's own validation gate plus
+        // poisoned-segment rejection, NOT a flag filter here. Sealed store
+        // rows are unaffected: the store path stamps anomaly bits at
+        // finalize() from the same predictions it reports, so store bits
+        // and detections always agree regardless of retrain timing
+        // (pinned by ServeRetrainerStoreAgreement).
+        //
         // Feed the retrainer the same representation the models score:
         // centered tokens, capped to the leading max_tokens_per_segment
         // rows (mirrors the fit pipeline's per-segment cap). The ring is
@@ -888,6 +916,12 @@ void ServeEngine::consensus_node_predictions(
   }
   *out_points = points;
   *out_disagreements = disagreements;
+}
+
+bool ServeEngine::checkpoint(const std::string& dir) {
+  if (gen_registry_ == nullptr) return false;
+  gen_registry_->save(dir);
+  return true;
 }
 
 ServeStats ServeEngine::stats() const {

@@ -15,6 +15,10 @@
 // (with incremental updates off) within float round-off (in practice:
 // bit-identical).
 //
+// ServeEngine is one implementation of the ServeBackend contract
+// (serve/backend.hpp); FleetEngine (serve/fleet.hpp) shards a node
+// population across many of these behind the same contract.
+//
 // Threading contract: ingest/pump/finalize are called from one thread (the
 // collector loop); pool tasks only touch the completed-unit queue and the
 // stats block, each behind its own mutex; stats() may be polled from any
@@ -34,10 +38,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/nodesentry.hpp"
 #include "obs/registry.hpp"
+#include "serve/backend.hpp"
 #include "store/codec.hpp"
 #include "ts/stream.hpp"
 
@@ -70,6 +76,23 @@ struct ServeConfig {
   /// the process-global obs::Registry (shared with the fit pipeline, so
   /// one exposition carries both). Tests pass a private registry.
   obs::Registry* registry = nullptr;
+
+  // ---- fleet-scale serving (DESIGN.md §14)
+  /// Served node population; 0 = the fitted dataset's node count. A fleet
+  /// serves MORE nodes than the fit saw: matching is population-agnostic
+  /// (any segment matches into the shared cluster library), and a node id
+  /// past the fitted population borrows the standardization profile of
+  /// node (id mod fitted count) — the §3.2 artifacts are the only per-node
+  /// state, so profile sharing extends the paper's model sharing to the
+  /// preprocessing layer. With num_nodes <= fitted count the mapping is
+  /// the identity and nothing changes.
+  std::size_t num_nodes = 0;
+  /// Per-cluster forward locks shared ACROSS engines. A fleet's shard
+  /// engines score through the same fitted models, so the "one forward per
+  /// cluster at a time" invariant must hold fleet-wide; FleetEngine
+  /// injects one shared table into every shard. Null = the engine owns a
+  /// private table (the historic single-engine behavior).
+  std::shared_ptr<ClusterLockTable> cluster_locks;
 
   // ---- rolling generations + consensus (DESIGN.md §12)
   /// Score through the generation registry instead of the single library
@@ -104,87 +127,123 @@ struct ServeConfig {
   StoreWriter* store_writer = nullptr;
 };
 
-struct LatencySummary {
-  /// Cumulative observations over the engine's lifetime — NOT capped by
-  /// the quantile window (a wrapped window no longer understates
-  /// throughput).
-  std::size_t count = 0;
-  /// Quantiles/max over the most recent `latency_reservoir` samples.
-  double p50_ms = 0.0;
-  double p90_ms = 0.0;
-  double p99_ms = 0.0;
-  double max_ms = 0.0;
-};
-
-struct ServeStats {
-  std::size_t samples_ingested = 0;
-  std::size_t samples_out_of_order = 0;  ///< arrived behind a newer sample
-  std::size_t samples_dropped_late = 0;  ///< behind the gap-fill watermark
-  std::size_t gap_rows_filled = 0;       ///< hold-last placeholder rows
-  std::size_t cells_masked = 0;          ///< non-finite cells made filler
-  std::size_t segments_opened = 0;
-  std::size_t segments_closed = 0;
-  std::size_t segments_matched = 0;
-  std::size_t segments_unmatched = 0;    ///< fell back to nearest cluster
-  std::size_t segments_insufficient = 0; ///< failed the quality gate
-  std::size_t segments_too_short = 0;    ///< < 2 rows, never scored
-  std::size_t chunks_scored = 0;
-  std::size_t points_scored = 0;
-  std::size_t batches_run = 0;
-  double mean_batch_occupancy = 0.0;     ///< mean chunks per batched forward
-  std::size_t units_dropped = 0;         ///< backpressure drops
-  std::size_t queue_depth = 0;           ///< pending units right now
-  std::size_t max_queue_depth = 0;
-  /// Consensus mode only: points voted on, and points where the active
-  /// generations disagreed (some flagged, some did not).
-  std::size_t consensus_points = 0;
-  std::size_t consensus_disagreements = 0;
-  LatencySummary ingest_latency;
-  LatencySummary match_latency;
-  LatencySummary score_latency;          ///< per batched forward
-};
-
-struct ServeResult {
-  /// Per node, aligned to [0, timeline_end) like batch detect() (zeros
-  /// before the serving start).
-  std::vector<NodeDetection> detections;
-  std::size_t timeline_end = 0;
-  ServeStats stats;
-};
-
-class ServeEngine {
+class ServeEngine final : public ServeBackend {
  public:
+  /// Builder-style configuration (preferred): the engine's optional
+  /// attachments (store writer, generation registry, consensus quorum,
+  /// retrainer) read as prose instead of positional config-field soup:
+  ///
+  ///   ServeEngine engine(sentry, ServeEngine::Options()
+  ///                                  .threads(4)
+  ///                                  .batch_tokens(512)
+  ///                                  .store(&writer)
+  ///                                  .consensus(3, 2)
+  ///                                  .retrain_with(&retrainer));
+  ///
+  /// Options is a thin fluent wrapper over ServeConfig — config() hands
+  /// the built struct back, so the two forms can never drift apart.
+  class Options {
+   public:
+    Options& threads(std::size_t n) { config_.threads = n; return *this; }
+    Options& reorder_slack(std::size_t ticks) {
+      config_.reorder_slack = ticks;
+      return *this;
+    }
+    Options& max_pending_units(std::size_t units) {
+      config_.max_pending_units = units;
+      return *this;
+    }
+    Options& batch_tokens(std::size_t rows) {
+      config_.max_batch_tokens = rows;
+      return *this;
+    }
+    Options& pump_watermark(std::size_t units) {
+      config_.pump_watermark = units;
+      return *this;
+    }
+    Options& latency_reservoir(std::size_t window) {
+      config_.latency_reservoir = window;
+      return *this;
+    }
+    Options& metrics(obs::Registry* registry) {
+      config_.registry = registry;
+      return *this;
+    }
+    /// Serve `nodes` node ids (fleet population; see ServeConfig::num_nodes).
+    Options& population(std::size_t nodes) {
+      config_.num_nodes = nodes;
+      return *this;
+    }
+    Options& cluster_locks(std::shared_ptr<ClusterLockTable> table) {
+      config_.cluster_locks = std::move(table);
+      return *this;
+    }
+    /// Enables consensus scoring over G generations with quorum Q.
+    Options& consensus(std::size_t g, std::size_t q) {
+      config_.consensus_scoring = true;
+      config_.generations = g;
+      config_.consensus_quorum = q;
+      return *this;
+    }
+    Options& generation_registry(GenerationRegistry* registry) {
+      config_.generation_registry = registry;
+      return *this;
+    }
+    Options& retrain_with(Retrainer* retrainer) {
+      config_.retrainer = retrainer;
+      return *this;
+    }
+    Options& store(StoreWriter* writer) {
+      config_.store_writer = writer;
+      return *this;
+    }
+    const ServeConfig& config() const { return config_; }
+
+   private:
+    ServeConfig config_;
+  };
+
   /// The engine serves the library `sentry` holds after fit()/restore();
   /// `sentry` must outlive the engine, and the engine puts every cluster
   /// model into eval mode. The serving timeline starts at
   /// sentry.train_end().
+  ServeEngine(NodeSentry& sentry, const Options& options);
+
+  /// DEPRECATED (kept one release as a thin wrapper over the Options
+  /// form): the config-struct signature that grew by accretion. New code
+  /// should construct through ServeEngine::Options.
   explicit ServeEngine(NodeSentry& sentry, ServeConfig config = {});
-  ~ServeEngine();
+
+  ~ServeEngine() override;
 
   ServeEngine(const ServeEngine&) = delete;
   ServeEngine& operator=(const ServeEngine&) = delete;
 
   /// Feeds one raw sample. Never blocks on scoring work; out-of-order
   /// samples within reorder_slack ticks are reordered transparently.
-  void ingest(const StreamSample& sample);
+  void ingest(const StreamSample& sample) override;
 
   /// Dispatches pending scoring units to the pool (grouped by cluster,
   /// packed into batched forwards). Returns the number of units dispatched.
-  std::size_t pump();
+  std::size_t pump() override;
 
   /// Closes all open segments, drains in-flight work, and computes final
   /// scores + thresholded predictions. Call once, after the stream ends.
-  ServeResult finalize();
+  ServeResult finalize() override;
 
   /// Snapshot of the running counters (callable any time before finalize,
   /// from any thread — safe to poll concurrently with ingest).
-  ServeStats stats() const;
+  ServeStats stats() const override;
+
+  std::size_t num_nodes() const override { return nodes_.size(); }
+  std::size_t start_t() const override { return start_t_; }
 
   const ServeConfig& config() const { return config_; }
-  std::size_t start_t() const { return start_t_; }
   /// The generation registry scoring reads (the external one, or the
   /// engine-owned one seeded from the library); null in single-model mode.
-  GenerationRegistry* generation_registry() { return gen_registry_; }
+  GenerationRegistry* generation_registry() override { return gen_registry_; }
+  /// Saves the generation sets (no-op returning false in single-model mode).
+  bool checkpoint(const std::string& dir) override;
 
  private:
   struct OpenSegment {
@@ -275,14 +334,18 @@ class ServeEngine {
   StreamPreprocessor preproc_;
   std::size_t start_t_ = 0;
   std::size_t num_metrics_ = 0;
+  /// Fitted node population: node ids at or past it borrow the profile of
+  /// (id mod fitted_nodes_) for standardization (see ServeConfig::num_nodes).
+  std::size_t fitted_nodes_ = 0;
   bool masked_mode_ = false;
   bool finalized_ = false;
 
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
   /// One lock per cluster: a cluster's MoE layers keep mutable routing
-  /// state across forward(), so its batches must run serialized.
-  std::vector<std::unique_ptr<std::mutex>> cluster_locks_;
+  /// state across forward(), so its batches must run serialized — and in a
+  /// fleet, serialized across ALL shard engines (the table is shared).
+  std::shared_ptr<ClusterLockTable> cluster_locks_;
 
   /// Consensus mode state. The engine owns the registry unless an external
   /// one was supplied. Lane timelines mirror scores_ per generation lane

@@ -1,0 +1,253 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "serve/model_registry.hpp"
+
+namespace ns {
+
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-distributed 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Merges per-shard snapshots into the fleet view: counters sum, maxima
+/// take the max, mean batch occupancy is batch-weighted. Latency summaries
+/// come from ANY one shard — the shards share one obs registry, so each
+/// shard's histograms already cover the whole fleet (summing their counts
+/// would double-count).
+ServeStats merge_shard_stats(const std::vector<ServeStats>& per_shard,
+                             std::uint64_t ring_stalls) {
+  ServeStats out;
+  double occupancy_weighted = 0.0;
+  for (const ServeStats& s : per_shard) {
+    out.samples_ingested += s.samples_ingested;
+    out.samples_out_of_order += s.samples_out_of_order;
+    out.samples_dropped_late += s.samples_dropped_late;
+    out.gap_rows_filled += s.gap_rows_filled;
+    out.cells_masked += s.cells_masked;
+    out.segments_opened += s.segments_opened;
+    out.segments_closed += s.segments_closed;
+    out.segments_matched += s.segments_matched;
+    out.segments_unmatched += s.segments_unmatched;
+    out.segments_insufficient += s.segments_insufficient;
+    out.segments_too_short += s.segments_too_short;
+    out.chunks_scored += s.chunks_scored;
+    out.points_scored += s.points_scored;
+    out.batches_run += s.batches_run;
+    out.units_dropped += s.units_dropped;
+    out.queue_depth += s.queue_depth;
+    out.max_queue_depth = std::max(out.max_queue_depth, s.max_queue_depth);
+    out.consensus_points += s.consensus_points;
+    out.consensus_disagreements += s.consensus_disagreements;
+    occupancy_weighted +=
+        s.mean_batch_occupancy * static_cast<double>(s.batches_run);
+  }
+  out.mean_batch_occupancy =
+      out.batches_run > 0
+          ? occupancy_weighted / static_cast<double>(out.batches_run)
+          : 0.0;
+  if (!per_shard.empty()) {
+    out.ingest_latency = per_shard.front().ingest_latency;
+    out.match_latency = per_shard.front().match_latency;
+    out.score_latency = per_shard.front().score_latency;
+  }
+  out.ring_stalls = static_cast<std::size_t>(ring_stalls);
+  return out;
+}
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(std::size_t shards,
+                                       std::size_t vnodes_per_shard)
+    : shards_(shards) {
+  NS_REQUIRE(shards >= 1, "fleet: ring needs >= 1 shard");
+  NS_REQUIRE(vnodes_per_shard >= 1, "fleet: ring needs >= 1 vnode per shard");
+  points_.reserve(shards * vnodes_per_shard);
+  for (std::size_t s = 0; s < shards; ++s)
+    for (std::size_t v = 0; v < vnodes_per_shard; ++v)
+      points_.push_back(
+          {mix64((static_cast<std::uint64_t>(s) << 32) | v),
+           static_cast<std::uint32_t>(s)});
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t ConsistentHashRing::shard_for(std::size_t node) const {
+  // A distinct hash stream from the vnode points (different pre-xor) so
+  // node hashes cannot systematically collide with point hashes.
+  const std::uint64_t h =
+      mix64(static_cast<std::uint64_t>(node) ^ 0xD6E8FEB86659FD93ull);
+  auto it = std::lower_bound(points_.begin(), points_.end(), Point{h, 0});
+  if (it == points_.end()) it = points_.begin();  // wrap around the ring
+  return it->shard;
+}
+
+FleetEngine::FleetEngine(NodeSentry& sentry, FleetConfig config)
+    : config_(std::move(config)),
+      ring_(config_.shards, config_.vnodes_per_shard) {
+  NS_REQUIRE(config_.shards >= 1, "fleet: shards must be >= 1");
+  NS_REQUIRE(config_.ring_capacity >= 2,
+             "fleet: ring_capacity " << config_.ring_capacity << " < 2");
+  cluster_locks_ = std::make_shared<ClusterLockTable>(sentry.library().size());
+  obs::Registry* registry =
+      config_.engine.registry ? config_.engine.registry
+                              : &obs::Registry::global();
+  if (config_.engine.consensus_scoring) {
+    if (config_.engine.generation_registry != nullptr) {
+      gen_registry_ = config_.engine.generation_registry;
+    } else {
+      // The shards must score through ONE generation set; give them a
+      // fleet-owned registry instead of letting each engine own a private
+      // copy.
+      owned_gen_registry_ = std::make_unique<GenerationRegistry>(
+          sentry.library().size(), config_.engine.generations, registry);
+      owned_gen_registry_->seed_from_library(sentry.library());
+      gen_registry_ = owned_gen_registry_.get();
+    }
+  }
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>(config_.ring_capacity);
+    ServeConfig engine_config = config_.engine;
+    engine_config.cluster_locks = cluster_locks_;
+    if (gen_registry_ != nullptr)
+      engine_config.generation_registry = gen_registry_;
+    shard->engine = std::make_unique<ServeEngine>(sentry, engine_config);
+    shards_.push_back(std::move(shard));
+  }
+  num_nodes_ = shards_.front()->engine->num_nodes();
+  start_t_ = shards_.front()->engine->start_t();
+  for (auto& shard : shards_)
+    shard->worker =
+        std::thread([this, sh = shard.get()] { worker_loop(*sh); });
+}
+
+FleetEngine::~FleetEngine() {
+  // finalize() normally joins; an abandoned fleet still must not leak
+  // running threads. Errors die with the shard (destructors cannot throw).
+  closed_.store(true, std::memory_order_release);
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+}
+
+void FleetEngine::ingest(const StreamSample& sample) {
+  NS_REQUIRE(!finalized_, "fleet: ingest after finalize");
+  NS_REQUIRE(sample.node < num_nodes_,
+             "fleet: node " << sample.node << " out of range");
+  Shard& shard = *shards_[ring_.shard_for(sample.node)];
+  StreamSample routed = sample;
+  while (!shard.ring.try_push(std::move(routed))) {
+    // Never drop a raw sample: spin until the worker frees a slot. The
+    // yield matters on small machines — the consumer needs the core.
+    ring_stalls_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+}
+
+void FleetEngine::worker_loop(Shard& shard) {
+  StreamSample sample;
+  std::size_t idle_polls = 0;
+  const auto deliver = [&shard](StreamSample& s) {
+    // After a shard failure, keep draining (and discarding) so the
+    // producer can never wedge on a full ring; the stored error resurfaces
+    // from finalize().
+    if (shard.failed.load(std::memory_order_relaxed)) return;
+    try {
+      shard.engine->ingest(s);
+    } catch (...) {
+      shard.error = std::current_exception();
+      shard.failed.store(true, std::memory_order_release);
+    }
+  };
+  while (true) {
+    if (shard.ring.try_pop(sample)) {
+      idle_polls = 0;
+      deliver(sample);
+      continue;
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      // The producer stops pushing BEFORE closed_ is set, so one final
+      // drain after the acquire sees everything.
+      while (shard.ring.try_pop(sample)) deliver(sample);
+      return;
+    }
+    ++idle_polls;
+    if (idle_polls >= config_.worker_idle_polls) {
+      idle_polls = 0;
+      if (!shard.failed.load(std::memory_order_relaxed)) {
+        try {
+          shard.engine->pump();
+        } catch (...) {
+          shard.error = std::current_exception();
+          shard.failed.store(true, std::memory_order_release);
+        }
+      }
+      // Idle shard: nap instead of burning the core other shards need.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+ServeResult FleetEngine::finalize() {
+  NS_REQUIRE(!finalized_, "fleet: finalize called twice");
+  finalized_ = true;
+  closed_.store(true, std::memory_order_release);
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+  for (auto& shard : shards_)
+    if (shard->failed.load(std::memory_order_acquire))
+      std::rethrow_exception(shard->error);
+  // Shard finalizes run sequentially on this thread; each one fans its
+  // per-node thresholding out over the process-global pool internally.
+  std::vector<ServeResult> results;
+  results.reserve(shards_.size());
+  for (auto& shard : shards_) results.push_back(shard->engine->finalize());
+
+  ServeResult merged;
+  merged.timeline_end = start_t_;
+  for (const ServeResult& r : results)
+    merged.timeline_end = std::max(merged.timeline_end, r.timeline_end);
+  merged.detections.assign(num_nodes_, NodeDetection{});
+  std::vector<ServeStats> per_shard;
+  per_shard.reserve(results.size());
+  for (const ServeResult& r : results) per_shard.push_back(r.stats);
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    // Every sample of node n went to exactly one shard; the others hold an
+    // all-zero record for it. Take the owner's and stretch it to the
+    // fleet-wide timeline.
+    NodeDetection& det = merged.detections[n];
+    det = std::move(results[ring_.shard_for(n)].detections[n]);
+    det.scores.resize(merged.timeline_end, 0.0f);
+    det.predictions.resize(merged.timeline_end, 0);
+  }
+  merged.stats = merge_shard_stats(
+      per_shard, ring_stalls_.load(std::memory_order_relaxed));
+  return merged;
+}
+
+ServeStats FleetEngine::stats() const {
+  std::vector<ServeStats> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_)
+    per_shard.push_back(shard->engine->stats());
+  return merge_shard_stats(per_shard,
+                           ring_stalls_.load(std::memory_order_relaxed));
+}
+
+bool FleetEngine::checkpoint(const std::string& dir) {
+  if (gen_registry_ == nullptr) return false;
+  gen_registry_->save(dir);
+  return true;
+}
+
+}  // namespace ns

@@ -10,7 +10,7 @@
 
 namespace ns {
 
-ReplayReport serve_replay(ServeEngine& engine, const MtsDataset& raw,
+ReplayReport serve_replay(ServeBackend& backend, const MtsDataset& raw,
                           std::size_t begin_t, const ReplayOptions& options) {
   NS_REQUIRE(options.speedup >= 0.0, "serve_replay: negative speedup");
   TelemetryReplaySource source(raw, begin_t, options.jitter);
@@ -22,10 +22,10 @@ ReplayReport serve_replay(ServeEngine& engine, const MtsDataset& raw,
   StreamSample sample;
   std::size_t since_pump = 0;
   while (source.next(sample)) {
-    engine.ingest(sample);
+    backend.ingest(sample);
     ++report.samples_streamed;
     if (options.pump_every > 0 && ++since_pump >= options.pump_every) {
-      engine.pump();
+      backend.pump();
       since_pump = 0;
     }
     if (options.progress_every > 0 && options.on_progress &&
@@ -41,7 +41,7 @@ ReplayReport serve_replay(ServeEngine& engine, const MtsDataset& raw,
           ? static_cast<double>(report.samples_streamed) /
                 report.ingest_seconds
           : 0.0;
-  report.result = engine.finalize();
+  report.result = backend.finalize();
   return report;
 }
 

@@ -1,15 +1,16 @@
-// serve_replay: streams a materialized dataset through a ServeEngine the
-// way a collector would deliver it — per-sample, optionally jittered and
-// paced in (accelerated) real time — and finalizes the engine. This is the
-// equivalence harness: on clean data the result must reproduce batch
-// detect() (incremental updates off) within float round-off.
+// serve_replay: streams a materialized dataset through any ServeBackend
+// (a lone ServeEngine or a sharded FleetEngine) the way a collector would
+// deliver it — per-sample, optionally jittered and paced in (accelerated)
+// real time — and finalizes the backend. This is the equivalence harness:
+// on clean data the result must reproduce batch detect() (incremental
+// updates off) within float round-off.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <vector>
 
-#include "serve/engine.hpp"
+#include "serve/backend.hpp"
 #include "sim/stream.hpp"
 #include "store/store.hpp"
 
@@ -38,8 +39,9 @@ struct ReplayReport {
 };
 
 /// Streams every sample of `raw` from begin_t (normally the fitted
-/// train_end) through `engine`, pumps periodically, and finalizes.
-ReplayReport serve_replay(ServeEngine& engine, const MtsDataset& raw,
+/// train_end) through `backend`, pumps periodically, and finalizes.
+/// Accepts any ServeBackend — single engine or fleet.
+ReplayReport serve_replay(ServeBackend& backend, const MtsDataset& raw,
                           std::size_t begin_t,
                           const ReplayOptions& options = {});
 

@@ -58,6 +58,7 @@ void Retrainer::offer_segment(std::size_t cluster, Tensor tokens,
                               std::size_t segment_id) {
   NS_REQUIRE(cluster < clusters_.size(),
              "retrainer: cluster " << cluster << " out of range");
+  segments_offered_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(ring_mutex_);
   std::deque<FreshSegment>& ring = clusters_[cluster].ring;
   ring.push_back({std::move(tokens), segment_id});

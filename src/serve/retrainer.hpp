@@ -125,6 +125,13 @@ class Retrainer {
   std::uint64_t cycles() const;
   /// Fresh segments currently buffered for `cluster`.
   std::size_t buffered_segments(std::size_t cluster) const;
+  /// Total offer_segment() calls accepted over the retrainer's lifetime
+  /// (including offers later displaced from a full ring). Offers happen at
+  /// segment close, before finalize-time flags exist — this counter lets
+  /// tests pin that accounting (see close_segment's ordering note).
+  std::uint64_t segments_offered() const {
+    return segments_offered_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct FreshSegment {
@@ -157,6 +164,7 @@ class Retrainer {
   mutable std::mutex ring_mutex_;
   std::vector<ClusterState> clusters_;
   std::atomic<std::uint64_t> cycle_{0};
+  std::atomic<std::uint64_t> segments_offered_{0};
 
   std::thread worker_;
   std::mutex worker_mutex_;

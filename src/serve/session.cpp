@@ -1,0 +1,144 @@
+#include "serve/session.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/export.hpp"
+#include "serve/model_registry.hpp"
+#include "store/query.hpp"
+
+namespace ns {
+
+void ServeSessionConfig::validate() const {
+  NS_REQUIRE(fleet.shards >= 1, "session: fleet.shards must be >= 1");
+  NS_REQUIRE(fleet.ring_capacity >= 2,
+             "session: fleet.ring_capacity " << fleet.ring_capacity << " < 2");
+  NS_REQUIRE(fleet.vnodes_per_shard >= 1,
+             "session: fleet.vnodes_per_shard must be >= 1");
+  if (generations.enabled) {
+    NS_REQUIRE(generations.generations >= 1 && generations.generations <= 8,
+               "session: generations " << generations.generations
+                                       << " out of [1,8]");
+    NS_REQUIRE(generations.quorum >= 1 &&
+                   generations.quorum <= generations.generations,
+               "session: quorum " << generations.quorum << " out of [1,"
+                                  << generations.generations << "]");
+  } else {
+    NS_REQUIRE(generations.retrain_every_ms == 0,
+               "session: retrain_every_ms needs generations.enabled");
+    NS_REQUIRE(generations.restore_dir.empty(),
+               "session: generations.restore_dir needs generations.enabled");
+  }
+  NS_REQUIRE(replay.speedup >= 0.0, "session: negative replay speedup");
+  NS_REQUIRE(metrics.every == 0 || !metrics.out_prefix.empty(),
+             "session: metrics.every needs metrics.out_prefix");
+}
+
+ServeSession::ServeSession(NodeSentry& sentry, const MtsDataset& dataset,
+                           std::size_t train_end, ServeSessionConfig config)
+    : sentry_(&sentry),
+      dataset_(&dataset),
+      train_end_(train_end),
+      config_(std::move(config)) {
+  config_.validate();
+
+  ServeConfig engine_config = config_.engine;
+  // The generations sub-config is the single source of truth for the
+  // consensus knobs — it overwrites whatever the engine template carried.
+  engine_config.consensus_scoring = config_.generations.enabled;
+  engine_config.generations =
+      config_.generations.enabled ? config_.generations.generations : 1;
+  engine_config.consensus_quorum =
+      config_.generations.enabled ? config_.generations.quorum : 1;
+  engine_config.generation_registry = nullptr;
+  engine_config.retrainer = nullptr;
+  engine_config.store_writer = nullptr;
+
+  if (config_.generations.enabled) {
+    registry_ = std::make_unique<GenerationRegistry>(
+        sentry.library().size(), config_.generations.generations,
+        engine_config.registry);
+    if (!config_.generations.restore_dir.empty() &&
+        std::filesystem::exists(config_.generations.restore_dir))
+      registry_->load(config_.generations.restore_dir, sentry.model_config(),
+                      config_.generations.seed);
+    engine_config.generation_registry = registry_.get();
+    if (config_.generations.retrain_every_ms > 0) {
+      retrainer_ = std::make_unique<Retrainer>(*registry_, sentry.library(),
+                                               sentry.model_config(),
+                                               config_.generations.retrainer);
+      engine_config.retrainer = retrainer_.get();
+    }
+  }
+
+  if (!config_.store.dir.empty()) {
+    TimeSeriesStore store = TimeSeriesStore::create(
+        config_.store.dir, store_meta_from_dataset(dataset), StoreConfig{});
+    if (config_.store.import_train)
+      store_append_dataset(store, dataset, 0, train_end);
+    store_writer_ = std::make_unique<StoreWriter>(
+        std::move(store), config_.store.writer, engine_config.registry);
+    engine_config.store_writer = store_writer_.get();
+  }
+
+  if (config_.fleet.shards > 1) {
+    FleetConfig fleet_config;
+    fleet_config.shards = config_.fleet.shards;
+    fleet_config.ring_capacity = config_.fleet.ring_capacity;
+    fleet_config.vnodes_per_shard = config_.fleet.vnodes_per_shard;
+    fleet_config.engine = engine_config;
+    fleet_ = std::make_unique<FleetEngine>(sentry, fleet_config);
+    backend_ = fleet_.get();
+  } else {
+    // One shard = the historic single-engine path: no ring, no worker
+    // thread, bit-for-bit what pre-fleet deployments ran.
+    engine_ = std::make_unique<ServeEngine>(sentry, engine_config);
+    backend_ = engine_.get();
+  }
+}
+
+ServeSession::~ServeSession() {
+  if (retrainer_) retrainer_->stop();
+}
+
+ReplayReport ServeSession::run() {
+  NS_REQUIRE(!ran_, "session: run() called twice");
+  ran_ = true;
+  if (retrainer_)
+    retrainer_->start(
+        std::chrono::milliseconds(config_.generations.retrain_every_ms));
+
+  ReplayOptions replay = config_.replay;
+  if (!config_.metrics.out_prefix.empty() && config_.metrics.every > 0) {
+    // Periodic exposition: a scraper can pick up <prefix>.prom while the
+    // replay streams (files are swapped atomically).
+    obs::Registry* registry = config_.engine.registry
+                                  ? config_.engine.registry
+                                  : &obs::Registry::global();
+    const std::string prefix = config_.metrics.out_prefix;
+    replay.progress_every = config_.metrics.every;
+    replay.on_progress = [registry, prefix](std::size_t) {
+      obs::write_metrics_files(*registry, prefix);
+    };
+  }
+
+  ReplayReport report = serve_replay(*backend_, *dataset_, train_end_, replay);
+  if (retrainer_) retrainer_->stop();
+  if (!config_.metrics.out_prefix.empty()) {
+    obs::Registry* registry = config_.engine.registry
+                                  ? config_.engine.registry
+                                  : &obs::Registry::global();
+    obs::write_metrics_files(*registry, config_.metrics.out_prefix);
+  }
+  return report;
+}
+
+bool ServeSession::save_generations(const std::string& dir) {
+  const std::string generations_dir =
+      (std::filesystem::path(dir) / "generations").string();
+  return backend_->checkpoint(generations_dir);
+}
+
+}  // namespace ns

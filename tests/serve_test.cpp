@@ -15,6 +15,7 @@
 #include "common/error.hpp"
 #include "core/nodesentry.hpp"
 #include "obs/export.hpp"
+#include "serve/engine.hpp"
 #include "serve/replay.hpp"
 #include "sim/dataset_builder.hpp"
 

@@ -19,6 +19,7 @@
 #include "common/error.hpp"
 #include "core/nodesentry.hpp"
 #include "io/dataset_io.hpp"
+#include "serve/engine.hpp"
 #include "serve/replay.hpp"
 #include "sim/dataset_builder.hpp"
 #include "store/query.hpp"
