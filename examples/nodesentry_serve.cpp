@@ -13,7 +13,7 @@
 //       [--speedup F] [--threads N] [--batch-tokens N] [--slack N]
 //       [--late-prob P] [--max-delay N]
 //       [--generations G] [--consensus Q] [--retrain-every MS]
-//       [--out-dir <dir>] [--verify]
+//       [--out-dir <dir>] [--verify] [--incidents-out <file>]
 //       [--metrics-out <prefix>] [--metrics-every N] [--trace-out <file>]
 //
 //   --data-dir      load a CSV dataset instead of simulating one
@@ -45,15 +45,21 @@
 //   --retrain-every run the background retrainer every MS milliseconds
 //                   while the replay streams (0 = no retraining); fresh
 //                   matched segments feed it, publishes hot-swap in
+//   --incidents-out correlate the run's detections into cross-node
+//                   incidents (DESIGN.md §15) and write them as JSON;
+//                   turns on per-metric residual attribution so each
+//                   incident ranks its metrics by WMSE error share
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/nodesentry.hpp"
+#include "correlate/incident.hpp"
 #include "eval/metrics.hpp"
 #include "io/csv.hpp"
 #include "io/dataset_io.hpp"
@@ -105,7 +111,7 @@ int main(int argc, char** argv) {
                  "  [--batch-tokens N] [--slack N] [--late-prob P] "
                  "[--max-delay N]\n"
                  "  [--generations G] [--consensus Q] [--retrain-every MS]\n"
-                 "  [--out-dir DIR] [--verify]\n"
+                 "  [--out-dir DIR] [--verify] [--incidents-out FILE]\n"
                  "  [--metrics-out PREFIX] [--metrics-every N] "
                  "[--trace-out FILE]\n");
     return 2;
@@ -121,6 +127,9 @@ int main(int argc, char** argv) {
   // one of the paper's datasets.
   MtsDataset dataset;
   std::size_t train_end = 0;
+  // job id -> workload archetype, for incident grouping (sim runs only —
+  // CSV/store datasets don't carry archetypes).
+  std::unordered_map<std::int64_t, std::string> job_archetypes;
   const char* data_dir = arg_value(argc, argv, "--data-dir", "");
   const char* store_dir = arg_value(argc, argv, "--store-dir", "");
   const bool from_store = arg_flag(argc, argv, "--from-store");
@@ -168,6 +177,8 @@ int main(int argc, char** argv) {
     const SimDataset sim = build_sim_dataset(sim_config);
     dataset = sim.data;
     train_end = sim.train_end;
+    for (const SchedJob& job : sim.sched_jobs)
+      job_archetypes.emplace(job.job_id, workload_name(job.type));
     std::printf("simulated %s: %zu nodes x %zu metrics x %zu steps "
                 "(train/test split at %zu)\n",
                 preset.c_str(), dataset.num_nodes(), dataset.num_metrics(),
@@ -256,6 +267,11 @@ int main(int argc, char** argv) {
   session_config.metrics.out_prefix = arg_value(argc, argv, "--metrics-out", "");
   session_config.metrics.every = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--metrics-every", "0")));
+  const char* incidents_out = arg_value(argc, argv, "--incidents-out", "");
+  // Incident metric ranking needs the per-metric WMSE split recorded
+  // during scoring; attribution is a separate pass, detections stay
+  // bitwise identical.
+  if (incidents_out[0] != '\0') session_config.engine.attribution = true;
 
   ServeSession session(sentry, dataset, train_end, session_config);
   if (session.num_shards() > 1)
@@ -364,6 +380,40 @@ int main(int argc, char** argv) {
   write_csv(out_csv, {"node", "begin", "end"}, rows);
   std::printf("%zu anomaly intervals written to %s\n", rows.size(),
               out_csv.c_str());
+
+  // ---- Incident correlation (DESIGN.md §15): group co-occurring node
+  // anomalies by job/rack into ranked incidents and write them as JSON.
+  if (incidents_out[0] != '\0') {
+    std::vector<std::string> metric_names;
+    metric_names.reserve(sentry.processed().metrics.size());
+    for (const MetricMeta& meta : sentry.processed().metrics)
+      metric_names.push_back(meta.name);
+    IncidentGroupingMeta meta;
+    meta.jobs = &dataset.jobs;
+    if (!job_archetypes.empty()) meta.job_archetypes = &job_archetypes;
+    meta.metric_names = &metric_names;
+    const IncidentEngine incidents_engine;
+    const IncidentReport incidents =
+        incidents_engine.build(report.result, train_end, meta);
+    std::printf("\nincidents: %zu from %zu anomaly events on %zu nodes\n",
+                incidents.incidents.size(), incidents.anomaly_events,
+                incidents.nodes_flagged);
+    for (std::size_t i = 0; i < incidents.incidents.size() && i < 5; ++i) {
+      const Incident& incident = incidents.incidents[i];
+      std::printf("  #%zu %-9s %zu nodes  [%zu,%zu)  severity %.2f%s%s\n",
+                  incident.id, incident_scope_name(incident.scope),
+                  incident.nodes.size(), incident.begin, incident.end,
+                  incident.severity,
+                  incident.metrics.empty() ? "" : "  top metric ",
+                  incident.metrics.empty()
+                      ? ""
+                      : incident.metrics.front().name.c_str());
+    }
+    if (write_incidents_json(incidents, incidents_out))
+      std::printf("incident report written to %s\n", incidents_out);
+    else
+      std::fprintf(stderr, "failed to write %s\n", incidents_out);
+  }
 
   // ---- Optional equivalence check against the batch path.
   if (arg_flag(argc, argv, "--verify")) {

@@ -480,6 +480,48 @@ std::size_t chunk_point_scores(const Tensor& metric_weights,
   return scored;
 }
 
+void chunk_point_metric_contributions(
+    const Tensor& metric_weights, const Tensor& residual_scale,
+    double baseline_error, const Tensor& out, const Tensor& chunk,
+    const ValidityMask* mask, std::size_t mask_node, std::size_t mask_begin,
+    float* out_contrib) {
+  const std::size_t len = chunk.size(0);
+  const std::size_t M = chunk.size(1);
+  NS_REQUIRE(out.size(0) == len && out.size(1) == M,
+             "chunk_point_metric_contributions: reconstruction shape mismatch");
+  const bool have_mask = mask != nullptr && !mask->empty();
+  for (std::size_t t = 0; t < len; ++t) {
+    float* row = out_contrib + t * M;
+    if (!have_mask) {
+      for (std::size_t m = 0; m < M; ++m) {
+        const double d = out.at(t, m) - chunk.at(t, m);
+        row[m] = static_cast<float>(metric_weights.at(m) * d * d /
+                                    residual_scale.at(m) /
+                                    static_cast<double>(M) / baseline_error);
+      }
+      continue;
+    }
+    // Degraded mode mirrors chunk_point_scores: the divisor is the valid
+    // weight mass of this timestamp, invalid cells contribute nothing, and
+    // a fully-dead timestamp keeps its all-zero row (its score was never
+    // written either).
+    double weight = 0.0;
+    for (std::size_t m = 0; m < M; ++m) {
+      if (!mask->valid(mask_node, m, mask_begin + t)) continue;
+      weight += metric_weights.at(m);
+    }
+    std::fill(row, row + M, 0.0f);
+    if (weight <= 0.0) continue;
+    for (std::size_t m = 0; m < M; ++m) {
+      if (!mask->valid(mask_node, m, mask_begin + t)) continue;
+      const double d = out.at(t, m) - chunk.at(t, m);
+      row[m] = static_cast<float>(metric_weights.at(m) * d * d /
+                                  residual_scale.at(m) / weight /
+                                  baseline_error);
+    }
+  }
+}
+
 std::vector<float> score_reference_levels(
     const std::vector<float>& scores,
     std::span<const std::pair<std::size_t, std::size_t>> segment_ranges) {

@@ -202,6 +202,20 @@ std::size_t chunk_point_scores(const Tensor& metric_weights,
                                std::size_t mask_node, std::size_t mask_begin,
                                float* out_scores);
 
+/// Per-metric split of chunk_point_scores (DESIGN.md §15): writes
+/// out_contrib[t * M + m] = the m-th metric's term of point t's WMSE score,
+/// so that sum_m out_contrib[t * M + m] equals out_scores[t] up to float
+/// rounding. Runs as a separate pass with the exact same arithmetic and
+/// skip rules — clean mode divides by M * baseline, degraded mode
+/// renormalizes by the valid weight mass and leaves fully-dead timestamps
+/// untouched — so enabling attribution can never perturb the score bits.
+/// Cells the score pass skips (invalid metrics, dead timestamps) get 0.
+void chunk_point_metric_contributions(
+    const Tensor& metric_weights, const Tensor& residual_scale,
+    double baseline_error, const Tensor& out, const Tensor& chunk,
+    const ValidityMask* mask, std::size_t mask_node, std::size_t mask_begin,
+    float* out_contrib);
+
 /// Per-timestamp reference level for thresholding: each [begin, end) range
 /// gets its own 25th-percentile score (floored at 1e-6), 1.0 elsewhere. A
 /// segment whose pattern the matched model fits less well has a uniformly

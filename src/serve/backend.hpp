@@ -71,12 +71,27 @@ struct ServeStats {
   LatencySummary score_latency;          ///< per batched forward
 };
 
+/// Optional per-metric share of every scored point's WMSE score
+/// (DESIGN.md §15). Enabled by ServeConfig::attribution; num_metrics == 0
+/// means the run did not record attribution. Per node, contrib is the
+/// flattened [t * num_metrics + m] matrix aligned to [0, timeline_end)
+/// exactly like NodeDetection::scores: each row's terms sum to the point's
+/// score (up to float rounding) and are all-zero wherever the point was
+/// never scored. The incident correlator (src/correlate) consumes this to
+/// rank root-cause metrics; the score path itself never reads it.
+struct ResidualAttribution {
+  std::size_t num_metrics = 0;
+  std::vector<std::vector<float>> contrib;  ///< [node][t * num_metrics + m]
+  bool enabled() const { return num_metrics > 0; }
+};
+
 struct ServeResult {
   /// Per node, aligned to [0, timeline_end) like batch detect() (zeros
   /// before the serving start).
   std::vector<NodeDetection> detections;
   std::size_t timeline_end = 0;
   ServeStats stats;
+  ResidualAttribution attribution;  ///< empty unless ServeConfig::attribution
 };
 
 /// One mutex per cluster model. A cluster's model must never run two

@@ -51,7 +51,11 @@ ServeEngine::ServeEngine(NodeSentry& sentry, ServeConfig config)
   num_metrics_ = sentry.processed().num_metrics();
   masked_mode_ = !sentry.mask().empty();
   fitted_nodes_ = sentry.processed().num_nodes();
-  NS_REQUIRE(fitted_nodes_ > 0, "serve: fitted dataset has no nodes");
+  // Guards the ingest-time profile mapping (sample.node % fitted_nodes_):
+  // a zero-node fitted library would divide by zero on the first sample.
+  NS_REQUIRE(fitted_nodes_ > 0,
+             "serve: fitted dataset has no nodes — no standardization "
+             "profile to serve from");
   const std::size_t N =
       config_.num_nodes > 0 ? config_.num_nodes : fitted_nodes_;
   nodes_.resize(N);
@@ -60,6 +64,7 @@ ServeEngine::ServeEngine(NodeSentry& sentry, ServeConfig config)
     st.last_good.assign(num_metrics_, 0.0f);
   }
   scores_.assign(N, {});
+  if (config_.attribution) contrib_.assign(N, {});
   ranges_.assign(N, {});
   // The engine only ever reads the models; eval mode makes every forward
   // deterministic (dropout short-circuits) and therefore order-independent.
@@ -555,6 +560,15 @@ void ServeEngine::score_cluster_units(std::size_t cluster,
       scored.scored_points = chunk_point_scores(
           entry, rec, unit.tokens, masked_mode_ ? &unit_mask : nullptr, 0, 0,
           scored.scores.data());
+      if (config_.attribution) {
+        // Separate pass, identical arithmetic: the score bits above are
+        // already written and never revisited.
+        scored.contrib.assign(len * M, 0.0f);
+        chunk_point_metric_contributions(
+            entry.metric_weights, entry.residual_scale, entry.baseline_error,
+            rec, unit.tokens, masked_mode_ ? &unit_mask : nullptr, 0, 0,
+            scored.contrib.data());
+      }
       points += scored.scored_points;
       results.push_back(std::move(scored));
     }
@@ -679,6 +693,15 @@ void ServeEngine::score_cluster_units_consensus(std::size_t cluster,
           scored.abs_begin = unit.abs_begin;
           scored.scores = lane;
           scored.scored_points = scored_points;
+          if (config_.attribution) {
+            // Attribution follows the primary lane: the same generation
+            // statistics that produced the reported scores.
+            scored.contrib.assign(len * M, 0.0f);
+            chunk_point_metric_contributions(
+                entry.metric_weights, gen.residual_scale, gen.baseline_error,
+                rec, unit.tokens, masked_mode_ ? &masks[k - i] : nullptr, 0, 0,
+                scored.contrib.data());
+          }
           points += scored_points;
         }
         scored.lane_scores.push_back(std::move(lane));
@@ -715,6 +738,13 @@ void ServeEngine::drain_scored() {
     // unit are 0 in its buffer, matching batch detect() leaving them 0.
     std::copy(unit.scores.begin(), unit.scores.end(),
               timeline.begin() + static_cast<std::ptrdiff_t>(unit.abs_begin));
+    if (!unit.contrib.empty()) {
+      std::vector<float>& plane = contrib_[unit.node];
+      const std::size_t M = num_metrics_;
+      if (plane.size() < end * M) plane.resize(end * M, 0.0f);
+      std::copy(unit.contrib.begin(), unit.contrib.end(),
+                plane.begin() + static_cast<std::ptrdiff_t>(unit.abs_begin * M));
+    }
     if (unit.lanes.empty()) continue;
     // Consensus mode: fold every generation's scores into its lane
     // timeline and record which lanes covered these points. Lanes within
@@ -819,6 +849,10 @@ ServeResult ServeEngine::finalize() {
   ServeResult result;
   result.timeline_end = timeline_end;
   result.detections.assign(nodes_.size(), NodeDetection{});
+  if (config_.attribution) {
+    result.attribution.num_metrics = num_metrics_;
+    result.attribution.contrib.assign(nodes_.size(), {});
+  }
   const NodeSentryConfig& cfg = sentry_->config();
   // Per-node thresholding writes disjoint detection records; fan it out
   // across the engine's pool (all scoring tasks have drained by now).
@@ -826,6 +860,13 @@ ServeResult ServeEngine::finalize() {
     NodeDetection& det = result.detections[n];
     det.scores = std::move(scores_[n]);
     det.scores.resize(timeline_end, 0.0f);
+    if (config_.attribution) {
+      // Same alignment as the scores: one [t, M] plane per node, zero
+      // wherever the point was never scored.
+      std::vector<float>& plane = result.attribution.contrib[n];
+      plane = std::move(contrib_[n]);
+      plane.resize(timeline_end * num_metrics_, 0.0f);
+    }
     if (!config_.consensus_scoring) {
       const std::vector<float> reference =
           score_reference_levels(det.scores, ranges_[n]);

@@ -76,6 +76,13 @@ struct ServeConfig {
   /// the process-global obs::Registry (shared with the fit pipeline, so
   /// one exposition carries both). Tests pass a private registry.
   obs::Registry* registry = nullptr;
+  /// Record per-metric WMSE attribution alongside the scores
+  /// (ServeResult::attribution, DESIGN.md §15): each scored point also
+  /// keeps its M per-metric error terms, computed in a separate pass with
+  /// identical arithmetic — detections are bitwise unchanged whether this
+  /// is on or off. Costs one extra [t, M] float plane per node; off by
+  /// default, the incident correlator turns it on.
+  bool attribution = false;
 
   // ---- fleet-scale serving (DESIGN.md §14)
   /// Served node population; 0 = the fitted dataset's node count. A fleet
@@ -167,6 +174,11 @@ class ServeEngine final : public ServeBackend {
     }
     Options& metrics(obs::Registry* registry) {
       config_.registry = registry;
+      return *this;
+    }
+    /// Records per-metric WMSE attribution (see ServeConfig::attribution).
+    Options& attribution(bool on = true) {
+      config_.attribution = on;
       return *this;
     }
     /// Serve `nodes` node ids (fleet population; see ServeConfig::num_nodes).
@@ -299,6 +311,9 @@ class ServeEngine final : public ServeBackend {
     /// single-model mode.
     std::vector<std::uint8_t> lanes;
     std::vector<std::vector<float>> lane_scores;
+    /// Attribution mode: per-metric terms of the primary scores,
+    /// [len * M] row-major. Empty unless ServeConfig::attribution.
+    std::vector<float> contrib;
   };
 
   void commit_row(std::size_t node, std::size_t t, std::int64_t job_id,
@@ -363,6 +378,11 @@ class ServeEngine final : public ServeBackend {
   /// (stamped in finalize). Empty vectors unless store_writer is set.
   std::vector<std::vector<StoreSample>> retained_;
   std::vector<std::vector<float>> scores_;  ///< [node][t], grows with ingest
+  /// Attribution mode: per-metric planes mirroring scores_ —
+  /// [node][t * M + m], written only through drain_scored() (ingest
+  /// thread), handed to ServeResult::attribution at finalize. Empty
+  /// vectors unless ServeConfig::attribution.
+  std::vector<std::vector<float>> contrib_;
   /// Per node: closed segment ranges [begin, end) with >= 2 rows, for the
   /// shared reference-level computation.
   std::vector<std::vector<std::pair<std::size_t, std::size_t>>> ranges_;

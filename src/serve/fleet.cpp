@@ -11,6 +11,12 @@ namespace ns {
 
 namespace {
 
+/// Producer backoff ladder on a full ingest ring: raw retries up to
+/// kStallSpinWaits failed pushes, sched yields up to kStallYieldWaits, then
+/// 50 us sleeps until a slot frees.
+constexpr std::size_t kStallSpinWaits = 64;
+constexpr std::size_t kStallYieldWaits = 1024;
+
 /// splitmix64 finalizer: a cheap, well-distributed 64-bit mix.
 std::uint64_t mix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
@@ -144,11 +150,21 @@ void FleetEngine::ingest(const StreamSample& sample) {
              "fleet: node " << sample.node << " out of range");
   Shard& shard = *shards_[ring_.shard_for(sample.node)];
   StreamSample routed = sample;
+  // Never drop a raw sample: wait until the worker frees a slot, counting
+  // every failed push as a stall. The wait climbs a backoff ladder — a few
+  // raw retries (a slot usually frees within microseconds), then sched
+  // yields, then short sleeps — so a long stall (slow consumer, tiny ring)
+  // parks the producer instead of burning a full core the worker needs.
+  std::size_t waits = 0;
   while (!shard.ring.try_push(std::move(routed))) {
-    // Never drop a raw sample: spin until the worker frees a slot. The
-    // yield matters on small machines — the consumer needs the core.
     ring_stalls_.fetch_add(1, std::memory_order_relaxed);
-    std::this_thread::yield();
+    ++waits;
+    if (waits <= kStallSpinWaits) continue;  // hot retry
+    if (waits <= kStallYieldWaits) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
 }
 
@@ -221,14 +237,26 @@ ServeResult FleetEngine::finalize() {
   std::vector<ServeStats> per_shard;
   per_shard.reserve(results.size());
   for (const ServeResult& r : results) per_shard.push_back(r.stats);
+  const bool attribution = !results.empty() && results.front().attribution.enabled();
+  if (attribution) {
+    merged.attribution.num_metrics = results.front().attribution.num_metrics;
+    merged.attribution.contrib.assign(num_nodes_, {});
+  }
   for (std::size_t n = 0; n < num_nodes_; ++n) {
     // Every sample of node n went to exactly one shard; the others hold an
     // all-zero record for it. Take the owner's and stretch it to the
     // fleet-wide timeline.
+    const std::size_t owner = ring_.shard_for(n);
     NodeDetection& det = merged.detections[n];
-    det = std::move(results[ring_.shard_for(n)].detections[n]);
+    det = std::move(results[owner].detections[n]);
     det.scores.resize(merged.timeline_end, 0.0f);
     det.predictions.resize(merged.timeline_end, 0);
+    if (attribution) {
+      // Same owner-takes-all rule for the per-metric planes.
+      std::vector<float>& plane = merged.attribution.contrib[n];
+      plane = std::move(results[owner].attribution.contrib[n]);
+      plane.resize(merged.timeline_end * merged.attribution.num_metrics, 0.0f);
+    }
   }
   merged.stats = merge_shard_stats(
       per_shard, ring_stalls_.load(std::memory_order_relaxed));

@@ -43,6 +43,13 @@ ServeSession::ServeSession(NodeSentry& sentry, const MtsDataset& dataset,
       train_end_(train_end),
       config_(std::move(config)) {
   config_.validate();
+  // A zero-node fitted library leaves the engines' profile mapping
+  // (sample.node % fitted nodes) with nothing to map onto; reject here,
+  // before any resource (store, registry, shard threads) is built, instead
+  // of letting the modulo blow up on the first ingested sample.
+  NS_REQUIRE(sentry.processed().num_nodes() > 0,
+             "session: fitted dataset has no nodes — no standardization "
+             "profile to serve from");
 
   ServeConfig engine_config = config_.engine;
   // The generations sub-config is the single source of truth for the

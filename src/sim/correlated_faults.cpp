@@ -1,0 +1,327 @@
+#include "sim/correlated_faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ns {
+
+namespace {
+
+/// Collapsed-signal floor in normalized utilization units: "near zero"
+/// traffic / I/O, kept slightly positive so derived metrics stay in range.
+constexpr double kCollapseFloor = 0.02;
+
+/// One semantic signal's shift under an event: the node's signal level is
+/// blended toward `target` with strength `weight` (1 = hard set). Mirrors
+/// the per-node fault injector's signature blending — an infrastructure
+/// fault morphs the whole profile (progress stalls, queues build), not one
+/// counter, and the detector keys on exactly that pattern mismatch.
+struct SignalShift {
+  Signal signal = Signal::kCpuUser;
+  double target = 0.0;
+  double weight = 1.0;
+};
+
+const SignalShift* shift_for(const std::vector<SignalShift>& shifts,
+                             Signal s) {
+  for (const SignalShift& shift : shifts)
+    if (shift.signal == s) return &shift;
+  return nullptr;
+}
+
+const JobSpan* span_at(const std::vector<JobSpan>& spans, std::size_t t) {
+  for (const JobSpan& span : spans)
+    if (span.begin <= t && t < span.end) return &span;
+  return nullptr;
+}
+
+std::size_t active_ticks(const std::vector<JobSpan>& spans, std::size_t begin,
+                         std::size_t end) {
+  std::size_t active = 0;
+  for (const JobSpan& span : spans) {
+    if (span.is_idle()) continue;
+    const std::size_t lo = std::max(begin, span.begin);
+    const std::size_t hi = std::min(end, span.end);
+    if (lo < hi) active += hi - lo;
+  }
+  return active;
+}
+
+/// Ground-truth qualification: the fault must be observable on the node
+/// (it runs a job for most of the window — an idle node transmits and
+/// reads nothing, so a partition changes nothing for it) and detectable
+/// by the serve pipeline: ONE job span must cover the whole event and
+/// have begun min_lead ticks before onset. A segment whose leading match
+/// window overlaps the event absorbs it into the score reference, and a
+/// job transition mid-event restarts that reference — either way the
+/// detector is blind by design, so such nodes are not ground truth.
+bool qualifies(const std::vector<JobSpan>& spans, std::size_t begin,
+               std::size_t end, const CorrelatedFaultConfig& config) {
+  const JobSpan* at = span_at(spans, begin);
+  if (at == nullptr || at->is_idle()) return false;
+  if (begin < at->begin + config.min_lead) return false;
+  if (at->end < end) return false;
+  const std::size_t active = active_ticks(spans, begin, end);
+  return static_cast<double>(active) >=
+         config.min_active_fraction * static_cast<double>(end - begin);
+}
+
+struct Window {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+bool overlaps(const std::vector<Window>& taken, std::size_t begin,
+              std::size_t end, std::size_t pad) {
+  for (const Window& w : taken) {
+    const std::size_t lo = w.begin > pad ? w.begin - pad : 0;
+    if (begin < w.end + pad && lo < end) return true;
+  }
+  return false;
+}
+
+/// Applies one planned event to the raw metric plane through the
+/// catalog's affine fan-out: every metric sourced from a shifted signal
+/// moves toward that signal's target level, v' = v + w * (raw_target - v)
+/// with raw_target = gain * target + offset (the affine image of the
+/// target level — no inverse mapping needed). Missing cells (NaN) stay
+/// missing; labels are stamped only on each node's active (non-idle)
+/// ticks — nothing observable, nothing labeled.
+void apply_event(SimDataset& sim, const std::vector<RawMetricSpec>& catalog,
+                 const CorrelatedFaultEvent& event,
+                 const std::vector<SignalShift>& shifts) {
+  for (const std::size_t node : event.nodes) {
+    NodeSeries& series = sim.data.nodes[node];
+    for (std::size_t m = 0; m < catalog.size(); ++m) {
+      const RawMetricSpec& spec = catalog[m];
+      if (spec.kind == RawMetricKind::kConstant) continue;
+      const SignalShift* shift = shift_for(shifts, spec.source);
+      if (shift == nullptr) continue;
+      const double raw_target = spec.gain * shift->target + spec.offset;
+      std::vector<float>& values = series.values[m];
+      const std::size_t stop = std::min(event.end, values.size());
+      for (std::size_t t = event.begin; t < stop; ++t) {
+        float& v = values[t];
+        if (!std::isfinite(v)) continue;
+        v = static_cast<float>(
+            v + shift->weight * (raw_target - static_cast<double>(v)));
+      }
+    }
+    const std::vector<JobSpan>& spans = sim.data.jobs[node];
+    std::vector<std::uint8_t>& labels = sim.data.labels[node];
+    const std::size_t stop = std::min(event.end, labels.size());
+    for (std::size_t t = event.begin; t < stop; ++t) {
+      const JobSpan* at = span_at(spans, t);
+      if (at != nullptr && !at->is_idle()) labels[t] = 1;
+    }
+  }
+}
+
+/// Mean level of `signal` over the candidate nodes x window, read back
+/// through the first unit-copy metric it fans out to. Used as the
+/// planner's tie-break: a partition of a rack that isn't talking (or an
+/// FS stall under a job doing no I/O) is physically invisible, so among
+/// equally-covered placements the most signal-active one wins.
+double signal_activity(const SimDataset& sim,
+                       const std::vector<RawMetricSpec>& catalog,
+                       Signal signal, const std::vector<std::size_t>& nodes,
+                       std::size_t begin, std::size_t end) {
+  std::size_t metric = catalog.size();
+  for (std::size_t m = 0; m < catalog.size(); ++m)
+    if (catalog[m].kind != RawMetricKind::kConstant &&
+        catalog[m].source == signal && std::abs(catalog[m].gain) > 1e-9) {
+      metric = m;
+      break;
+    }
+  if (metric == catalog.size()) return 0.0;
+  const RawMetricSpec& spec = catalog[metric];
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const std::size_t node : nodes) {
+    const std::vector<float>& values = sim.data.nodes[node].values[metric];
+    for (std::size_t t = begin; t < std::min(end, values.size()); ++t) {
+      if (!std::isfinite(values[t])) continue;
+      sum += (static_cast<double>(values[t]) - spec.offset) / spec.gain;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+/// Deterministic argmax sweep over (rack, onset): the placement with the
+/// most observable nodes wins; ties go to the highest network activity,
+/// then earliest onset, lowest rack. The schedule decides, not the rng —
+/// recall must not hinge on a lucky draw landing where every node happens
+/// to be busy and talking.
+CorrelatedFaultEvent plan_rack_partition(
+    const SimDataset& sim, const std::vector<RawMetricSpec>& catalog,
+    const CorrelatedFaultConfig& config, std::size_t region_begin,
+    std::size_t region_end, std::size_t duration,
+    const std::vector<Window>& taken) {
+  const std::size_t racks = sim.data.num_nodes() / config.rack_size;
+  CorrelatedFaultEvent best;
+  double best_activity = 0.0;
+  for (std::size_t rack = 0; rack < racks; ++rack) {
+    for (std::size_t begin = region_begin + config.min_lead;
+         begin + duration + 8 <= region_end; begin += 4) {
+      if (overlaps(taken, begin, begin + duration, 2 * config.max_duration))
+        continue;
+      std::vector<std::size_t> nodes;
+      for (std::size_t i = 0; i < config.rack_size; ++i) {
+        const std::size_t node = rack * config.rack_size + i;
+        if (qualifies(sim.data.jobs[node], begin, begin + duration, config))
+          nodes.push_back(node);
+      }
+      if (nodes.size() < best.nodes.size()) continue;
+      const double activity = signal_activity(
+          sim, catalog, Signal::kNetRx, nodes, begin, begin + duration);
+      if (nodes.size() > best.nodes.size() || activity > best_activity) {
+        best.rack = rack;
+        best.begin = begin;
+        best.end = begin + duration;
+        best.nodes = std::move(nodes);
+        best_activity = activity;
+      }
+    }
+  }
+  return best;  // empty node set = no feasible placement
+}
+
+/// Widest multi-node job with a feasible, non-overlapping window wins;
+/// ties go to the job with the most disk activity in the window. Per job
+/// the earliest feasible onset is used.
+CorrelatedFaultEvent plan_fs_stall(const SimDataset& sim,
+                                   const std::vector<RawMetricSpec>& catalog,
+                                   const CorrelatedFaultConfig& config,
+                                   std::size_t region_begin,
+                                   std::size_t region_end,
+                                   std::size_t duration,
+                                   const std::vector<Window>& taken) {
+  CorrelatedFaultEvent best;
+  double best_activity = 0.0;
+  for (const SchedJob& job : sim.sched_jobs) {
+    if (job.nodes.size() < 2 || job.type == WorkloadType::kIdle) continue;
+    const std::size_t lo =
+        std::max(job.begin, region_begin) + config.min_lead;
+    const std::size_t hi = std::min(job.end, region_end);
+    for (std::size_t begin = lo; begin + duration + 4 <= hi; begin += 4) {
+      if (overlaps(taken, begin, begin + duration, 2 * config.max_duration))
+        continue;
+      std::vector<std::size_t> nodes;
+      for (const std::size_t node : job.nodes)
+        if (qualifies(sim.data.jobs[node], begin, begin + duration, config))
+          nodes.push_back(node);
+      if (nodes.size() < best.nodes.size()) break;
+      const double activity = signal_activity(
+          sim, catalog, Signal::kDiskIo, nodes, begin, begin + duration);
+      if (nodes.size() > best.nodes.size() || activity > best_activity) {
+        best.job_id = job.job_id;
+        best.begin = begin;
+        best.end = begin + duration;
+        best.nodes = std::move(nodes);
+        best_activity = activity;
+      }
+      break;  // first feasible onset of this job; wider jobs still compete
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const char* correlated_fault_name(CorrelatedFaultKind kind) {
+  switch (kind) {
+    case CorrelatedFaultKind::kRackNetworkPartition:
+      return "rack_network_partition";
+    case CorrelatedFaultKind::kSharedFsStall:
+      return "shared_fs_stall";
+  }
+  return "unknown";
+}
+
+std::vector<CorrelatedFaultEvent> inject_correlated_faults(
+    SimDataset& sim, const CorrelatedFaultConfig& config) {
+  const std::size_t T = sim.data.num_timestamps();
+  const std::size_t region_begin =
+      config.region_begin > 0 ? config.region_begin : sim.train_end;
+  const std::size_t region_end = config.region_end > 0 ? config.region_end : T;
+  NS_REQUIRE(region_begin < region_end && region_end <= T,
+             "correlated_faults: bad region [" << region_begin << ","
+                                               << region_end << ") of " << T);
+  NS_REQUIRE(config.rack_size >= 2 &&
+                 config.rack_size <= sim.data.num_nodes(),
+             "correlated_faults: rack_size " << config.rack_size
+                                             << " vs " << sim.data.num_nodes()
+                                             << " nodes");
+  NS_REQUIRE(config.min_duration >= 4 &&
+                 config.min_duration <= config.max_duration,
+             "correlated_faults: bad duration range");
+  // The builder's fan-out is deterministic for a given catalog config:
+  // rebuilding it recovers each raw metric's source signal and affine
+  // parameters, so injection uses the exact same mapping.
+  const std::vector<RawMetricSpec> catalog =
+      build_metric_catalog(sim.config.catalog);
+  NS_REQUIRE(catalog.size() == sim.data.num_metrics(),
+             "correlated_faults: rebuilt catalog has "
+                 << catalog.size() << " metrics, dataset "
+                 << sim.data.num_metrics());
+
+  Rng rng(config.seed);
+  const double mag = std::clamp(config.magnitude, 0.0, 1.0);
+  std::vector<CorrelatedFaultEvent> events;
+  std::vector<Window> taken;
+
+  for (std::size_t i = 0; i < config.rack_partitions; ++i) {
+    const std::size_t duration = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.min_duration),
+        static_cast<std::int64_t>(config.max_duration)));
+    CorrelatedFaultEvent event = plan_rack_partition(
+        sim, catalog, config, region_begin, region_end, duration, taken);
+    if (event.nodes.size() < 2) continue;  // no observable placement
+    event.kind = CorrelatedFaultKind::kRackNetworkPartition;
+    event.magnitude = mag;
+    event.root_signals = {Signal::kNetRx, Signal::kNetTx};
+    // Traffic dies outright (root cause, hard collapse); the job stalls
+    // behind it: runnable-but-blocked tasks pile load up while user CPU,
+    // message-driven context switching and paging sag. The whole profile
+    // morphs — exactly the pattern mismatch the reconstructor flags.
+    apply_event(sim, catalog, event,
+                {{Signal::kNetRx, kCollapseFloor, 1.0},
+                 {Signal::kNetTx, kCollapseFloor, 1.0},
+                 {Signal::kLoad, 1.05, 0.7 * mag},
+                 {Signal::kContextSwitches, 0.12, 0.7 * mag},
+                 {Signal::kCpuUser, 0.12, 0.6 * mag},
+                 {Signal::kCpuSystem, 0.30, 0.5 * mag},
+                 {Signal::kProcsRunning, 0.70, 0.5 * mag}});
+    taken.push_back({event.begin, event.end});
+    events.push_back(std::move(event));
+  }
+  for (std::size_t i = 0; i < config.fs_stalls; ++i) {
+    const std::size_t duration = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(config.min_duration),
+        static_cast<std::int64_t>(config.max_duration)));
+    CorrelatedFaultEvent event = plan_fs_stall(
+        sim, catalog, config, region_begin, region_end, duration, taken);
+    if (event.nodes.size() < 2) continue;
+    event.kind = CorrelatedFaultKind::kSharedFsStall;
+    event.magnitude = mag;
+    event.root_signals = {Signal::kDiskIo};
+    // I/O flatlines (root cause); tasks pile up in D-state (load, procs
+    // running) while the CPU starves for data and paging stops.
+    apply_event(sim, catalog, event,
+                {{Signal::kDiskIo, kCollapseFloor, 1.0},
+                 {Signal::kLoad, 1.05, 0.6 * mag},
+                 {Signal::kProcsRunning, 0.75, 0.5 * mag},
+                 {Signal::kCpuUser, 0.15, 0.5 * mag},
+                 {Signal::kPageFaults, 0.05, 0.5 * mag}});
+    taken.push_back({event.begin, event.end});
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace ns

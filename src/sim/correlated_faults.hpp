@@ -1,0 +1,94 @@
+// Correlated fault scenarios: whole-rack and whole-job failures with
+// ground truth for incident grading (DESIGN.md §15).
+//
+// The per-node fault injector (sim/faults.hpp) perturbs one node at a
+// time, which is the right ground truth for per-node detection but says
+// nothing about *incidents* — the simultaneous multi-node anomalies an
+// operator actually triages. This injector perturbs a built SimDataset
+// post-hoc with two infrastructure-level scenarios:
+//
+//   - rack network partition: a leaf-switch failure collapses every
+//     network metric of every node in one simulated rack (rack = node id /
+//     rack_size) to near zero while load creeps up (jobs block on
+//     communication);
+//   - shared-filesystem stall: a parallel-FS outage collapses disk I/O on
+//     every node of one multi-node job while load rises (tasks pile up in
+//     D-state) and CPU droops (nothing to compute on).
+//
+// Injection happens in RAW metric space through the same affine fan-out
+// the builder used (the catalog is rebuilt deterministically from the
+// config), and each event records the resolved ground-truth node set, the
+// time window and the root-cause signals — exactly what bench_correlate
+// grades IncidentEngine's grouping and WMSE metric ranking against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/dataset_builder.hpp"
+#include "sim/workload.hpp"
+
+namespace ns {
+
+enum class CorrelatedFaultKind : std::uint8_t {
+  kRackNetworkPartition = 0,  ///< leaf-switch failure: one rack loses traffic
+  kSharedFsStall,             ///< parallel-FS outage: one job loses disk I/O
+};
+
+const char* correlated_fault_name(CorrelatedFaultKind kind);
+
+struct CorrelatedFaultEvent {
+  CorrelatedFaultKind kind = CorrelatedFaultKind::kRackNetworkPartition;
+  std::size_t rack = 0;      ///< partition target (node id / rack_size)
+  std::int64_t job_id = -1;  ///< stall target (shared-FS scenario)
+  /// Resolved ground truth: the nodes where the fault is observable (a
+  /// partitioned node that is idle the whole window transmits nothing and
+  /// is NOT anomalous — it never enters the set).
+  std::vector<std::size_t> nodes;
+  std::size_t begin = 0;  ///< first affected tick
+  std::size_t end = 0;    ///< exclusive
+  double magnitude = 1.0;
+  /// The semantic signals the injection concentrates the deviation in;
+  /// grading checks that a metric fanned out from one of these ranks in
+  /// the incident's top WMSE contributors.
+  std::vector<Signal> root_signals;
+};
+
+struct CorrelatedFaultConfig {
+  std::uint64_t seed = 7;
+  /// Simulated rack width; node id / rack_size is the rack id (the same
+  /// mapping IncidentConfig::rack_size uses on the serving side).
+  std::size_t rack_size = 8;
+  std::size_t rack_partitions = 1;  ///< events of each kind to inject
+  std::size_t fs_stalls = 1;
+  std::size_t min_duration = 32;  ///< event length in ticks
+  std::size_t max_duration = 48;
+  /// 0..1 severity: scales the secondary effects (load rise, CPU droop);
+  /// the collapsed signals always drop to near zero.
+  double magnitude = 1.0;
+  /// A node only qualifies as ground truth when one job span covers the
+  /// WHOLE event window and started at least this many ticks before the
+  /// onset. The serve engine derives each segment's score reference from
+  /// its leading match window (§3.5), so an event that begins inside that
+  /// window — or a job transition mid-event, which restarts the reference
+  /// — is absorbed into the baseline instead of flagged. Keep this above
+  /// the detector's match_period.
+  std::size_t min_lead = 72;
+  /// ...and when it is running (non-idle) for at least this fraction of
+  /// the event window.
+  double min_active_fraction = 0.6;
+  /// Injection region [begin, end); 0/0 = the dataset's test region.
+  std::size_t region_begin = 0;
+  std::size_t region_end = 0;
+};
+
+/// Injects the configured correlated fault scenarios into `sim` (raw
+/// values + ground-truth labels) and returns the events, in injection
+/// order. Deterministic for a given (dataset, config). Events never
+/// overlap in time — incident grouping is graded per event, so the
+/// scenarios must be separable by construction.
+std::vector<CorrelatedFaultEvent> inject_correlated_faults(
+    SimDataset& sim, const CorrelatedFaultConfig& config);
+
+}  // namespace ns

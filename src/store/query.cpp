@@ -45,15 +45,24 @@ std::vector<NodeAnomalyRate> store_top_anomalous_nodes(
     entry.rate = store_anomaly_rate(store, n, first_t, end_t);
     if (entry.rate.samples > 0) rates.push_back(std::move(entry));
   }
-  std::sort(rates.begin(), rates.end(),
-            [](const NodeAnomalyRate& a, const NodeAnomalyRate& b) {
-              if (a.rate.rate() != b.rate.rate())
-                return a.rate.rate() > b.rate.rate();
-              if (a.rate.anomalous != b.rate.anomalous)
-                return a.rate.anomalous > b.rate.anomalous;
-              return a.node < b.node;
-            });
-  if (rates.size() > k) rates.resize(k);
+  const auto by_severity = [](const NodeAnomalyRate& a,
+                              const NodeAnomalyRate& b) {
+    if (a.rate.rate() != b.rate.rate()) return a.rate.rate() > b.rate.rate();
+    if (a.rate.anomalous != b.rate.anomalous)
+      return a.rate.anomalous > b.rate.anomalous;
+    return a.node < b.node;
+  };
+  if (k < rates.size()) {
+    // Only k survive: partial_sort is O(N log k) against the full sort's
+    // O(N log N), and the comparator is a strict total order (rate,
+    // anomalous count, node id), so the returned prefix is identical.
+    std::partial_sort(rates.begin(),
+                      rates.begin() + static_cast<std::ptrdiff_t>(k),
+                      rates.end(), by_severity);
+    rates.resize(k);
+  } else {
+    std::sort(rates.begin(), rates.end(), by_severity);
+  }
   return rates;
 }
 

@@ -603,6 +603,47 @@ TEST(StoreQuery, AnomalyRateAndTopKFromInBandBits) {
   fs::remove_all(dir);
 }
 
+// The top-k query runs std::partial_sort when k < N and a full sort
+// otherwise; the comparator is a strict total order (rate desc, anomalous
+// count desc, node id asc), so every k must return exactly the full
+// ranking's prefix — including across tied rates.
+TEST(StoreQuery, TopKPartialSortMatchesFullSortPrefix) {
+  const std::string dir = temp_dir("topk");
+  constexpr std::size_t kNodes = 10;
+  TimeSeriesStore store = TimeSeriesStore::create(dir, small_meta(kNodes, 2));
+  // Anomalous-tick counts with deliberate ties: nodes 2/5/8 all at 40%,
+  // nodes 1/7 at 20%, node 9 clean.
+  const std::size_t anomalous[kNodes] = {10, 20, 40, 30, 50,
+                                         40, 60, 20, 40, 0};
+  StoreSample sample;
+  sample.values.assign(2, 1.0f);
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    for (std::size_t t = 0; t < 100; ++t) {
+      sample.t = t;
+      sample.anomaly = t < anomalous[n];
+      store.append(n, sample);
+    }
+  }
+  store.flush();
+  const auto full = store_top_anomalous_nodes(store, kNodes, 0, 100);
+  ASSERT_EQ(full.size(), kNodes);
+  // Tied 40% trio must appear in node-id order.
+  EXPECT_EQ(full[2].node, 2u);
+  EXPECT_EQ(full[3].node, 5u);
+  EXPECT_EQ(full[4].node, 8u);
+  for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{5},
+                              std::size_t{9}, std::size_t{20}}) {
+    const auto top = store_top_anomalous_nodes(store, k, 0, 100);
+    ASSERT_EQ(top.size(), std::min(k, kNodes)) << "k=" << k;
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].node, full[i].node) << "k=" << k << " i=" << i;
+      EXPECT_EQ(top[i].rate.anomalous, full[i].rate.anomalous);
+      EXPECT_EQ(top[i].node_name, full[i].node_name);
+    }
+  }
+  fs::remove_all(dir);
+}
+
 TEST(StoreQuery, DatasetRoundTripWithMaskAndHoles) {
   SimDatasetConfig config = d1_sim_config(0.05, 3);
   config.missing_rate = 0.02;
