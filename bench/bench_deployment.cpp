@@ -4,15 +4,71 @@
 // cycle, per-sample detection latency, and precision/recall on the injected
 // failures. Paper reference: 5.11 s matching per hourly cycle, 36 ms per
 // sampling point, precision 0.857 / recall 0.923.
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "common/stopwatch.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
+#include "common/rng.hpp"
+#include "nn/scoring.hpp"
 #include "obs/export.hpp"
 #include "serve/engine.hpp"
 #include "serve/replay.hpp"
+#include "tensor/kernels.hpp"
+
+namespace {
+
+// One serve replay under a given scoring path, with its own metrics
+// registry so the score-stage histogram sum (cumulative scoring seconds)
+// can be read back per path.
+struct PathRun {
+  ns::ServeResult result;
+  double score_seconds = 0.0;
+  double points_per_second = 0.0;  ///< points scored per score-stage second
+  ns::DetectionMetrics metrics;
+  double fp_rate = 0.0;
+};
+
+PathRun run_scoring_path(ns::NodeSentry& sentry, const ns::SimDataset& sim,
+                         ns::ScoringPath path) {
+  using namespace ns;
+  obs::Registry registry;
+  ServeEngine engine(
+      sentry, ServeEngine::Options().scoring(path).metrics(&registry));
+  PathRun run;
+  run.result = serve_replay(engine, sim.data, sim.train_end).result;
+  run.score_seconds =
+      registry
+          .histogram("ns_serve_stage_seconds", "",
+                     obs::default_latency_buckets(), {{"stage", "score"}}, 1)
+          .sum();
+  if (run.score_seconds > 0.0)
+    run.points_per_second =
+        static_cast<double>(run.result.stats.points_scored) /
+        run.score_seconds;
+  run.metrics = bench::evaluate(sim, run.result.detections);
+  // False-positive rate over masked-in negative points (labels == 0).
+  const auto masks = bench::masks_for(sim);
+  std::size_t negatives = 0, false_positives = 0;
+  for (std::size_t n = 0; n < run.result.detections.size(); ++n) {
+    const auto& pred = run.result.detections[n].predictions;
+    const auto& label = sim.data.labels[n];
+    for (std::size_t t = 0; t < pred.size() && t < label.size(); ++t) {
+      if (t < masks[n].size() && !masks[n][t]) continue;
+      if (label[t]) continue;
+      ++negatives;
+      false_positives += pred[t] != 0;
+    }
+  }
+  if (negatives > 0)
+    run.fp_rate = static_cast<double>(false_positives) /
+                  static_cast<double>(negatives);
+  return run;
+}
+
+}  // namespace
 
 int main() {
   using namespace ns;
@@ -113,6 +169,104 @@ int main() {
               obs_overhead_fraction * 100.0,
               obs_overhead_fraction < 0.01 ? "within" : "OVER");
 
+  // ---- Per-core scoring throughput (DESIGN.md §16): the canonical
+  // autograd forward vs the compiled ScoringPlan on one core, one fitted
+  // cluster model, identical batches. This isolates the forward-path
+  // arithmetic the relaxed contract legalizes — the 4x AVX2 gate applies
+  // here; the end-to-end replay comparison below includes ingest/match/
+  // threshold overhead common to every path and is informational.
+  std::printf("\n=== Per-core forward scoring throughput ===\n\n");
+  const ClusterEntry& bench_cluster = sentry.library().clusters().front();
+  TransformerReconstructor& bench_model = *bench_cluster.model;
+  bench_model.set_training(false);
+  const std::size_t M = bench_model.config().input_dim;
+  constexpr std::size_t kBlocks = 16, kBlockRows = 64;
+  constexpr std::size_t kRows = kBlocks * kBlockRows;
+  Tensor fwd_x(Shape{kRows, M});
+  Rng fwd_data_rng(7);
+  for (std::size_t i = 0; i < fwd_x.numel(); ++i)
+    fwd_x.data()[i] = static_cast<float>(fwd_data_rng.gaussian());
+  std::vector<std::size_t> fwd_offsets(kRows), fwd_segs(kRows);
+  const std::vector<std::size_t> fwd_blocks(kBlocks, kBlockRows);
+  for (std::size_t b = 0; b < kBlocks; ++b)
+    for (std::size_t r = 0; r < kBlockRows; ++r) {
+      fwd_offsets[b * kBlockRows + r] = r;
+      fwd_segs[b * kBlockRows + r] = b % bench_model.config().max_segments;
+    }
+  const auto time_forward = [&](auto&& body) {
+    // Warm up once, then run until ~0.3 s of wall time has accumulated.
+    body();
+    Stopwatch watch;
+    std::size_t iters = 0;
+    do {
+      body();
+      ++iters;
+    } while (watch.elapsed_s() < 0.3);
+    return static_cast<double>(iters * kRows) / watch.elapsed_s();
+  };
+  const Var fwd_input = Var::constant(fwd_x.clone());
+  Rng fwd_rng(0);
+  const double canonical_pps = time_forward([&] {
+    (void)bench_model.forward_blocked(fwd_input, fwd_offsets, fwd_segs,
+                                      fwd_rng, fwd_blocks);
+  });
+  const ScoringPlan relaxed_plan(bench_model);
+  const QuantCalibration bench_calib = calibrate_quantization(bench_model);
+  const ScoringPlan quantized_plan(bench_model, &bench_calib);
+  Workspace fwd_ws;
+  const double relaxed_pps = time_forward([&] {
+    (void)relaxed_plan.forward(fwd_x, fwd_offsets, fwd_segs, fwd_blocks,
+                               fwd_ws);
+  });
+  const double quantized_pps = time_forward([&] {
+    (void)quantized_plan.forward(fwd_x, fwd_offsets, fwd_segs, fwd_blocks,
+                                 fwd_ws);
+  });
+  const double core_speedup =
+      canonical_pps > 0.0 ? quantized_pps / canonical_pps : 0.0;
+  std::printf("canonical: %.0f points/s/core\n", canonical_pps);
+  std::printf("relaxed:   %.0f points/s/core (%.2fx)\n", relaxed_pps,
+              relaxed_pps / canonical_pps);
+  std::printf("quantized: %.0f points/s/core (%.2fx)\n", quantized_pps,
+              core_speedup);
+
+  // ---- Scoring-path comparison (DESIGN.md §16): the canonical strict
+  // path vs the quantized relaxed path, same fitted sentry, same stream.
+  // Throughput is points scored per cumulative score-stage second (read
+  // from each engine's own metrics registry), so the ratio isolates the
+  // batched-forward arithmetic from ingest/match overhead.
+  std::printf("\n=== Scoring paths: strict vs quantized (kernel tier %s) "
+              "===\n\n",
+              kernel_tier_name(kernel_dispatch_tier()));
+  PathRun strict = run_scoring_path(sentry, sim, ScoringPath::kStrict);
+  PathRun quantized = run_scoring_path(sentry, sim, ScoringPath::kQuantized);
+  const double speedup = strict.points_per_second > 0.0
+                             ? quantized.points_per_second /
+                                   strict.points_per_second
+                             : 0.0;
+  const double recall_delta = quantized.metrics.recall - strict.metrics.recall;
+  const double fp_delta = quantized.fp_rate - strict.fp_rate;
+  std::printf("strict:    %.0f points/s of scoring time (%.3f s total), "
+              "P=%.3f R=%.3f FP=%.4f%%\n",
+              strict.points_per_second, strict.score_seconds,
+              strict.metrics.precision, strict.metrics.recall,
+              strict.fp_rate * 100.0);
+  std::printf("quantized: %.0f points/s of scoring time (%.3f s total), "
+              "P=%.3f R=%.3f FP=%.4f%%\n",
+              quantized.points_per_second, quantized.score_seconds,
+              quantized.metrics.precision, quantized.metrics.recall,
+              quantized.fp_rate * 100.0);
+  // Mirrors bench_fleet's host-conditional gate: the 4x per-core target
+  // assumes the AVX2+FMA tier; NEON/scalar hosts still benefit from the
+  // plan's fused forward but only gate on not regressing.
+  const bool avx2_host = kernel_dispatch_tier() == KernelTier::kAvx2Fma;
+  const double speedup_threshold = avx2_host ? 4.0 : 0.9;
+  std::printf("end-to-end scoring-stage speedup: %.2fx; per-core forward "
+              "speedup %.2fx (%s gate, threshold %.1fx); recall delta "
+              "%+.4f, FP-rate delta %+.4f%%\n",
+              speedup, core_speedup, avx2_host ? "avx2" : "no-regression",
+              speedup_threshold, recall_delta, fp_delta * 100.0);
+
   const char* json_path = "BENCH_serve.json";
   if (FILE* f = std::fopen(json_path, "w")) {
     std::fprintf(f, "{\n");
@@ -141,8 +295,32 @@ int main() {
     std::fprintf(f, "  \"units_dropped\": %zu,\n", stats.units_dropped);
     std::fprintf(f, "  \"latency_observations\": %zu,\n", observations);
     std::fprintf(f, "  \"obs_per_observe_ns\": %.1f,\n", per_observe_s * 1e9);
-    std::fprintf(f, "  \"obs_overhead_fraction\": %.6f\n",
+    std::fprintf(f, "  \"obs_overhead_fraction\": %.6f,\n",
                  obs_overhead_fraction);
+    std::fprintf(f, "  \"score_reallocs\": %zu,\n", stats.score_reallocs);
+    std::fprintf(f, "  \"kernel_tier\": \"%s\",\n",
+                 kernel_tier_name(kernel_dispatch_tier()));
+    std::fprintf(f, "  \"canonical_forward_points_per_second_core\": %.1f,\n",
+                 canonical_pps);
+    std::fprintf(f, "  \"relaxed_forward_points_per_second_core\": %.1f,\n",
+                 relaxed_pps);
+    std::fprintf(f, "  \"quantized_forward_points_per_second_core\": %.1f,\n",
+                 quantized_pps);
+    std::fprintf(f, "  \"quantized_core_speedup\": %.4f,\n", core_speedup);
+    std::fprintf(f, "  \"strict_scoring_points_per_second\": %.1f,\n",
+                 strict.points_per_second);
+    std::fprintf(f, "  \"quantized_scoring_points_per_second\": %.1f,\n",
+                 quantized.points_per_second);
+    std::fprintf(f, "  \"quantized_scoring_speedup\": %.4f,\n", speedup);
+    std::fprintf(f, "  \"scoring_speedup_gate\": \"%s\",\n",
+                 avx2_host ? "avx2_4x" : "no_regression");
+    std::fprintf(f, "  \"strict_recall\": %.6f,\n", strict.metrics.recall);
+    std::fprintf(f, "  \"quantized_recall\": %.6f,\n",
+                 quantized.metrics.recall);
+    std::fprintf(f, "  \"strict_fp_rate\": %.6f,\n", strict.fp_rate);
+    std::fprintf(f, "  \"quantized_fp_rate\": %.6f,\n", quantized.fp_rate);
+    std::fprintf(f, "  \"recall_delta\": %.6f,\n", recall_delta);
+    std::fprintf(f, "  \"fp_rate_delta\": %.6f\n", fp_delta);
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("streaming metrics written to %s\n", json_path);
@@ -154,5 +332,39 @@ int main() {
   // serve engine and fit pipeline recorded into, in scrape format.
   obs::write_metrics_files(obs::Registry::global(), "BENCH_serve_metrics");
   std::printf("registry snapshot written to BENCH_serve_metrics.prom/.json\n");
+
+  // ---- Gates (after the JSON so a failed run still leaves the numbers
+  // on disk for diagnosis).
+  if (core_speedup < speedup_threshold) {
+    std::fprintf(stderr,
+                 "FAIL: quantized per-core forward speedup %.2fx under the "
+                 "%s gate's %.1fx threshold\n",
+                 core_speedup, avx2_host ? "avx2" : "no-regression",
+                 speedup_threshold);
+    return 1;
+  }
+  // The end-to-end scoring stage carries path-independent overhead, so it
+  // only gates on never being slower than the canonical path.
+  if (speedup < 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: quantized end-to-end scoring throughput regressed "
+                 "to %.2fx of strict\n",
+                 speedup);
+    return 1;
+  }
+  if (std::abs(recall_delta) > 1e-9) {
+    std::fprintf(stderr,
+                 "FAIL: quantized path changed recall by %+.6f (must be "
+                 "unchanged)\n",
+                 recall_delta);
+    return 1;
+  }
+  if (std::abs(fp_delta) > 0.005) {
+    std::fprintf(stderr,
+                 "FAIL: quantized path moved the FP rate by %+.4f%% "
+                 "(budget: 0.5%% absolute)\n",
+                 fp_delta * 100.0);
+    return 1;
+  }
   return 0;
 }

@@ -32,6 +32,13 @@
 //                   engine shards (1 = the classic single engine)
 //   --ring-capacity per-shard SPSC ingest ring capacity (samples)
 //   --speedup       pace replay at F x real time (0 = as fast as possible)
+//   --strict-replay score through the canonical model forwards (bitwise
+//                   identical to batch detect) instead of the default
+//                   quantized fast path (DESIGN.md §16). Implied by
+//                   --verify, whose equivalence check is a bitwise
+//                   contract; detection quality is equivalent either way
+//                   (flags can only differ for scores already within
+//                   rounding distance of the k-sigma threshold)
 //   --verify        also run batch detect() and report the max score delta
 //   --metrics-out   write <prefix>.prom (Prometheus text) + <prefix>.json
 //                   snapshots of the shared metrics registry (fit stages +
@@ -70,6 +77,7 @@
 #include "sim/dataset_builder.hpp"
 #include "store/query.hpp"
 #include "store/writer.hpp"
+#include "tensor/kernels.hpp"
 
 namespace {
 
@@ -111,7 +119,8 @@ int main(int argc, char** argv) {
                  "  [--batch-tokens N] [--slack N] [--late-prob P] "
                  "[--max-delay N]\n"
                  "  [--generations G] [--consensus Q] [--retrain-every MS]\n"
-                 "  [--out-dir DIR] [--verify] [--incidents-out FILE]\n"
+                 "  [--out-dir DIR] [--strict-replay] [--verify] "
+                 "[--incidents-out FILE]\n"
                  "  [--metrics-out PREFIX] [--metrics-every N] "
                  "[--trace-out FILE]\n");
     return 2;
@@ -226,6 +235,17 @@ int main(int argc, char** argv) {
       std::atoi(arg_value(argc, argv, "--shards", "1")));
   session_config.fleet.ring_capacity = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--ring-capacity", "4096")));
+  // The deployment default is the quantized fast path; --strict-replay
+  // opts back into canonical (bitwise-replayable) forwards, and --verify
+  // implies it because its batch-equivalence check is a bitwise contract.
+  const bool strict_replay = arg_flag(argc, argv, "--strict-replay") ||
+                             arg_flag(argc, argv, "--verify");
+  session_config.engine.scoring_path =
+      strict_replay ? ScoringPath::kStrict : ScoringPath::kQuantized;
+  std::printf("scoring path: %s (kernel tier %s)\n",
+              strict_replay ? "strict (canonical kernels)"
+                            : "quantized int8 + relaxed kernels",
+              kernel_tier_name(kernel_dispatch_tier()));
 
   const std::size_t generations = static_cast<std::size_t>(
       std::atoi(arg_value(argc, argv, "--generations", "1")));

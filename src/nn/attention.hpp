@@ -43,6 +43,14 @@ class MultiHeadSelfAttention : public Module {
                       std::span<const std::size_t> block_lens) const;
 
   std::size_t heads() const { return heads_; }
+  std::size_t head_dim() const { return head_dim_; }
+
+  /// Per-head projection matrices [dim, head_dim] and the output projection
+  /// — read by the ScoringPlan compiler (src/nn/scoring.hpp).
+  const Var& wq(std::size_t h) const { return wq_[h]; }
+  const Var& wk(std::size_t h) const { return wk_[h]; }
+  const Var& wv(std::size_t h) const { return wv_[h]; }
+  const Linear& out_proj() const { return out_proj_; }
 
  private:
   std::size_t dim_, heads_, head_dim_;

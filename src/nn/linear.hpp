@@ -23,6 +23,11 @@ class Linear : public Module {
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }
 
+  /// Weight [in, out] / bias [out] — read by the forward-only ScoringPlan
+  /// compiler (src/nn/scoring.hpp).
+  const Var& weight() const { return weight_; }
+  const Var& bias() const { return bias_; }
+
  private:
   std::size_t in_, out_;
   Var weight_, bias_;
@@ -38,6 +43,9 @@ class LayerNorm : public Module {
   Var forward(const Var& x) const {
     return vlayernorm_rows(x, gain_, bias_);
   }
+
+  const Var& gain() const { return gain_; }
+  const Var& bias() const { return bias_; }
 
  private:
   Var gain_, bias_;
@@ -55,6 +63,9 @@ class FeedForward : public Module {
   }
 
   Var forward(const Var& x) const { return fc2_.forward(vgelu(fc1_.forward(x))); }
+
+  const Linear& fc1() const { return fc1_; }
+  const Linear& fc2() const { return fc2_; }
 
  private:
   Linear fc1_, fc2_;

@@ -40,6 +40,11 @@ class MoELayer : public Module {
   std::size_t num_experts() const { return experts_.size(); }
   std::size_t top_k() const { return top_k_; }
 
+  /// Routing weight [dim, N] and experts — read by the ScoringPlan
+  /// compiler, which replicates the top-k routing exactly.
+  const Var& gate_weight() const { return gate_weight_; }
+  const FeedForward& expert(std::size_t i) const { return *experts_[i]; }
+
  private:
   std::size_t dim_, top_k_;
   Var gate_weight_;  // [dim, N] — the routing variable W_r

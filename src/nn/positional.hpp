@@ -35,6 +35,10 @@ class SegmentPositionalEncoding : public Module {
               std::span<const std::size_t> segment_ids) const;
 
   bool segment_term_enabled() const { return use_segment_term_; }
+  std::size_t max_len() const { return max_len_; }
+  std::size_t max_segments() const { return max_segments_; }
+  const Tensor& sin_table() const { return sin_table_; }
+  const Var& segment_embedding() const { return segment_embedding_; }
 
  private:
   std::size_t dim_, max_len_, max_segments_;

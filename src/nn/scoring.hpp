@@ -1,0 +1,106 @@
+// Forward-only scoring plan: the relaxed-arithmetic serve path's evaluator
+// (DESIGN.md §16).
+//
+// A ScoringPlan is an immutable, compiled form of one fitted
+// TransformerReconstructor. It re-expresses the model's eval-mode
+// forward_blocked() directly on the tensor kernels — no autograd nodes, no
+// per-op tensor allocation (scratch comes from a caller workspace), the
+// three per-head q/k/v projections packed into one [d, 3d] gemm, attention
+// evaluated by the fused block_attention_into kernel, and every gemm free
+// to use the FastKernelScope dispatch tier. Optionally the encoder/MoE
+// weight matrices are quantized to int8 with per-channel calibration.
+//
+// Contract: the plan computes the same mathematical function as the model
+// (identical MoE top-k routing code, identical clamping, identical
+// residual structure) but NOT the same float rounding — outputs agree with
+// the canonical path to vector-math accuracy (or int8 accuracy when
+// quantized), never bitwise. Strict-replay serving keeps using the model's
+// own forward_blocked(); see ServeConfig::scoring_path.
+//
+// Thread safety: a built plan is immutable and may be shared across
+// threads; forward() only mutates the caller's workspace and its output.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/transformer.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/quant.hpp"
+
+namespace ns {
+
+class ThreadPool;
+
+/// Per-channel int8 calibration for one model: the quantization scales of
+/// every quantizable weight matrix, in ScoringPlan traversal order —
+/// input_proj, then per layer the packed q|k|v matrix, out_proj, and each
+/// expert's (or the dense FFN's) fc1/fc2. The routing gate and the decoder
+/// stay fp32 and have no entry. Computed at fit/retrain time from the
+/// trained weights and stored alongside the generation checkpoint, so a
+/// serving replica quantizes exactly like the trainer did.
+struct QuantCalibration {
+  std::vector<std::vector<float>> channel_scales;
+};
+
+/// Max-abs/127 per-channel scales for every quantizable matrix of `model`.
+QuantCalibration calibrate_quantization(const TransformerReconstructor& model);
+
+class ScoringPlan {
+ public:
+  /// Compiles `model`. With a non-null `calibration` the encoder/MoE
+  /// weights are int8-quantized using its scales (which must match the
+  /// model's architecture); without one the plan keeps fp32 weights
+  /// (relaxed path). Weight storage is shared with the model, so the plan
+  /// must not outlive mutation of the model's parameters — serving never
+  /// mutates published models (retraining trains clones).
+  explicit ScoringPlan(const TransformerReconstructor& model,
+                       const QuantCalibration* calibration = nullptr);
+
+  bool quantized() const { return quantized_; }
+  std::size_t input_dim() const { return input_dim_; }
+
+  /// Evaluates the reconstruction of x [T, input_dim]. offsets /
+  /// segment_ids have one entry per token; block_lens partitions the rows
+  /// into independent attention blocks (<= 1 entries means one dense
+  /// block), exactly like TransformerReconstructor::forward_blocked.
+  Tensor forward(const Tensor& x, std::span<const std::size_t> offsets,
+                 std::span<const std::size_t> segment_ids,
+                 std::span<const std::size_t> block_lens, Workspace& ws,
+                 ThreadPool* pool = nullptr) const;
+
+ private:
+  struct PlanLinear {
+    Tensor w;            ///< fp32 weights [in, out] (shared storage)
+    QuantizedMatrix qw;  ///< set instead of used-for-matmul w when quantized
+    Tensor b;            ///< bias [out]; unset when !has_bias
+    bool has_bias = false;
+    void apply(Tensor& dst, const Tensor& x, ThreadPool* pool) const;
+  };
+  struct PlanExpert {
+    PlanLinear fc1, fc2;
+  };
+  struct PlanLayer {
+    Tensor ln1_gain, ln1_bias, ln2_gain, ln2_bias;
+    PlanLinear qkv;       ///< packed [d, 3d]: q heads | k heads | v heads
+    PlanLinear out_proj;  ///< [d, d] + bias
+    Tensor gate_w;        ///< [d, N], fp32 always; unset for dense FFN
+    std::vector<PlanExpert> experts;  ///< N experts, or 1 dense FFN
+    bool moe = false;
+    std::size_t top_k = 1;
+  };
+
+  std::size_t input_dim_ = 0, d_model_ = 0, heads_ = 0, head_dim_ = 0;
+  bool quantized_ = false;
+  PlanLinear input_proj_;
+  Tensor sin_table_;           // shared with the model's posenc
+  Tensor segment_embedding_;   // shared; unset when !segment_term_
+  std::size_t max_len_ = 0, max_segments_ = 0;
+  bool segment_term_ = false;
+  std::vector<PlanLayer> layers_;
+  Tensor final_gain_, final_bias_;
+  PlanLinear decoder_;  ///< fp32 always
+};
+
+}  // namespace ns

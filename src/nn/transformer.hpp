@@ -72,7 +72,6 @@ class TransformerReconstructor : public Module {
 
   const TransformerConfig& config() const { return config_; }
 
- private:
   struct EncoderLayer : public Module {
     EncoderLayer(const TransformerConfig& config, Rng& rng);
     /// `attn_blocks` with >= 2 entries confines attention to consecutive
@@ -87,6 +86,18 @@ class TransformerReconstructor : public Module {
     std::unique_ptr<FeedForward> ffn;     // set when !use_moe
   };
 
+  /// Submodule views for the forward-only ScoringPlan compiler
+  /// (src/nn/scoring.hpp), which re-expresses this model's eval-mode
+  /// forward_blocked() without the autograd graph.
+  const Linear& input_proj() const { return input_proj_; }
+  const SegmentPositionalEncoding& posenc() const { return posenc_; }
+  const std::vector<std::unique_ptr<EncoderLayer>>& layers() const {
+    return layers_;
+  }
+  const LayerNorm& final_norm() const { return final_norm_; }
+  const Linear& decoder() const { return decoder_; }
+
+ private:
   TransformerConfig config_;
   Linear input_proj_;
   SegmentPositionalEncoding posenc_;

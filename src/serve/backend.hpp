@@ -59,6 +59,10 @@ struct ServeStats {
   std::size_t units_dropped = 0;         ///< backpressure drops
   std::size_t queue_depth = 0;           ///< pending units right now
   std::size_t max_queue_depth = 0;
+  /// Times a per-node score/lane timeline reallocated its storage. The
+  /// commit path reserves to the stashed-batch extent per flush, so this
+  /// stays near log2(ticks) per node instead of growing with every row.
+  std::size_t score_reallocs = 0;
   /// Fleet only: times the producer had to wait on a full ingest ring
   /// (raw samples are never dropped — the producer spins instead).
   std::size_t ring_stalls = 0;

@@ -8,14 +8,40 @@
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "features/extract.hpp"
+#include "nn/scoring.hpp"
 #include "obs/timer.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/retrainer.hpp"
 #include "store/writer.hpp"
+#include "tensor/kernels.hpp"
 
 namespace ns {
 
 namespace {
+
+/// Per-pool-thread scratch for ScoringPlan forwards: buffers survive across
+/// tasks, so steady-state scoring allocates nothing per batch.
+Workspace& scoring_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+/// Grows a score/lane timeline to `need` entries, reserving at least `hint`
+/// capacity when storage must move so one reservation covers a whole stash
+/// flush (or scored batch) instead of reallocating per committed row.
+/// Returns whether storage actually moved — the score_reallocs stat.
+template <typename T>
+bool grow_timeline(std::vector<T>& v, std::size_t need, std::size_t hint,
+                   T fill) {
+  if (v.size() >= need) return false;
+  bool realloced = false;
+  if (need > v.capacity()) {
+    v.reserve(std::max(std::max(need, hint), v.capacity() * 2));
+    realloced = true;
+  }
+  v.resize(need, fill);
+  return realloced;
+}
 
 /// Thin view over a shared latency histogram: cumulative count, quantiles
 /// over the recent-sample window via one sort (quantiles_from_sorted)
@@ -113,6 +139,16 @@ ServeEngine::ServeEngine(NodeSentry& sentry, ServeConfig config)
   units_dropped_counter_ = &registry_->counter(
       "ns_serve_units_dropped_total",
       "Scoring units dropped (oldest-first) by queue backpressure");
+  score_reallocs_counter_ = &registry_->counter(
+      "ns_serve_score_timeline_reallocs_total",
+      "Per-node score/lane timeline storage reallocations");
+  // Which kernel tier this host's scoring dispatches to (relaxed/quantized
+  // paths; strict scoring always uses the canonical scalar-reproducible
+  // kernels regardless of tier).
+  registry_
+      ->gauge("ns_serve_kernel_tier",
+              "Runtime kernel dispatch tier: 0=scalar 1=neon 2=avx2_fma")
+      .set(static_cast<double>(static_cast<int>(kernel_dispatch_tier())));
   if (config_.consensus_scoring) {
     const std::size_t G = config_.generations;
     NS_REQUIRE(G >= 1 && G <= 8,
@@ -302,7 +338,15 @@ void ServeEngine::commit_row(std::size_t node, std::size_t t,
   }
   st.open->rows.push_back(std::move(row.values));
   st.open->valid.push_back(std::move(row.valid));
-  if (scores_[node].size() <= t) scores_[node].resize(t + 1, 0.0f);
+  // Hint the reservation out to the newest tick seen for this node: one
+  // allocation then covers the whole stash flush / gap-fill run that
+  // advance_node is in the middle of, instead of growing per row.
+  if (grow_timeline(scores_[node], t + 1, std::max(st.max_seen, t) + 1,
+                    0.0f)) {
+    score_reallocs_counter_->inc();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.score_reallocs;
+  }
   maybe_match(node);
 }
 
@@ -493,9 +537,42 @@ std::size_t ServeEngine::pump() {
   return dispatched;
 }
 
+std::shared_ptr<const ScoringPlan> ServeEngine::plan_for(
+    const std::shared_ptr<TransformerReconstructor>& model,
+    const QuantCalibration* calibration) {
+  {
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    auto it = plans_.find(model.get());
+    if (it != plans_.end()) {
+      if (!it->second.alive.expired()) return it->second.plan;
+      plans_.erase(it);  // the old model at this address is gone
+    }
+  }
+  // Compile outside the lock: plan construction (and lazy calibration) is
+  // the expensive part, and concurrent compiles of the same model are
+  // idempotent — last writer wins, both plans are correct.
+  std::shared_ptr<const ScoringPlan> plan;
+  if (config_.scoring_path == ScoringPath::kQuantized) {
+    if (calibration != nullptr) {
+      plan = std::make_shared<const ScoringPlan>(*model, calibration);
+    } else {
+      const QuantCalibration local = calibrate_quantization(*model);
+      plan = std::make_shared<const ScoringPlan>(*model, &local);
+    }
+  } else {
+    plan = std::make_shared<const ScoringPlan>(*model);
+  }
+  std::lock_guard<std::mutex> lock(plans_mutex_);
+  plans_[model.get()] = PlanCacheEntry{model, plan};
+  return plan;
+}
+
 void ServeEngine::score_cluster_units(std::size_t cluster,
                                       std::vector<PendingUnit> units) {
   const ClusterEntry& entry = sentry_->library().clusters()[cluster];
+  std::shared_ptr<const ScoringPlan> plan;
+  if (config_.scoring_path != ScoringPath::kStrict)
+    plan = plan_for(entry.model, nullptr);
   std::lock_guard<std::mutex> cluster_lock(cluster_locks_->lock(cluster));
   Rng rng(0);  // eval-mode forwards are deterministic and never draw
   const std::size_t M = num_metrics_;
@@ -534,9 +611,18 @@ void ServeEngine::score_cluster_units(std::size_t cluster,
       block_lens.push_back(len);
       base += len;
     }
-    const Var out = entry.model->forward_blocked(Var::constant(std::move(x)),
-                                                 offsets, seg_ids, rng,
-                                                 block_lens);
+    // Strict: the canonical autograd forward, bitwise-stable for replay.
+    // Relaxed/quantized: the compiled plan — same math, vector rounding.
+    Tensor rec_all;
+    if (plan) {
+      rec_all = plan->forward(x, offsets, seg_ids, block_lens,
+                              scoring_workspace(), pool_);
+    } else {
+      rec_all = entry.model
+                    ->forward_blocked(Var::constant(std::move(x)), offsets,
+                                      seg_ids, rng, block_lens)
+                    .value();
+    }
     std::vector<ScoredUnit> results;
     results.reserve(j - i);
     std::size_t points = 0;
@@ -544,7 +630,7 @@ void ServeEngine::score_cluster_units(std::size_t cluster,
     for (std::size_t k = i; k < j; ++k) {
       const PendingUnit& unit = units[k];
       const std::size_t len = unit.tokens.size(0);
-      const Tensor rec = slice_rows(out.value(), base, base + len);
+      const Tensor rec = slice_rows(rec_all, base, base + len);
       base += len;
       ScoredUnit scored;
       scored.node = unit.node;
@@ -611,6 +697,14 @@ void ServeEngine::score_cluster_units_consensus(std::size_t cluster,
     gens.push_back(&fallback);
   }
   const std::size_t G = config_.generations;
+  // Relaxed/quantized: one compiled plan per live generation, each built
+  // with the calibration checkpointed alongside that generation.
+  std::vector<std::shared_ptr<const ScoringPlan>> plans;
+  if (config_.scoring_path != ScoringPath::kStrict) {
+    plans.reserve(gens.size());
+    for (const ModelGeneration* gen : gens)
+      plans.push_back(plan_for(gen->model, gen->quant_calibration.get()));
+  }
   // The cluster lock serializes every generation's forward for this
   // cluster (MoE routing state is per-model, but the retrainer clones from
   // these models concurrently — one lock per cluster keeps the contract
@@ -669,14 +763,21 @@ void ServeEngine::score_cluster_units_consensus(std::size_t cluster,
     for (std::size_t gi = 0; gi < gens.size(); ++gi) {
       const ModelGeneration& gen = *gens[gi];
       const bool newest = gi + 1 == gens.size();
-      const Var out = gen.model->forward_blocked(Var::constant(x.clone()),
-                                                 offsets, seg_ids, rng,
-                                                 block_lens);
+      Tensor rec_all;
+      if (!plans.empty()) {
+        rec_all = plans[gi]->forward(x, offsets, seg_ids, block_lens,
+                                     scoring_workspace(), pool_);
+      } else {
+        rec_all = gen.model
+                      ->forward_blocked(Var::constant(x.clone()), offsets,
+                                        seg_ids, rng, block_lens)
+                      .value();
+      }
       base = 0;
       for (std::size_t k = i; k < j; ++k) {
         const PendingUnit& unit = units[k];
         const std::size_t len = unit.tokens.size(0);
-        const Tensor rec = slice_rows(out.value(), base, base + len);
+        const Tensor rec = slice_rows(rec_all, base, base + len);
         base += len;
         ScoredUnit& scored = results[k - i];
         std::vector<float> lane(len, 0.0f);
@@ -730,10 +831,15 @@ void ServeEngine::drain_scored() {
     std::lock_guard<std::mutex> lock(results_mutex_);
     ready.swap(scored_ready_);
   }
+  // Lane/attribution timelines get the same reserve-to-extent treatment as
+  // the commit path: the node's known frontier is the hint, so one
+  // reservation covers many future units.
+  std::size_t reallocs = 0;
   for (const ScoredUnit& unit : ready) {
     std::vector<float>& timeline = scores_[unit.node];
     const std::size_t end = unit.abs_begin + unit.scores.size();
-    if (timeline.size() < end) timeline.resize(end, 0.0f);
+    const std::size_t hint = std::max(nodes_[unit.node].max_seen + 1, end);
+    reallocs += grow_timeline(timeline, end, hint, 0.0f);
     // Units cover disjoint [abs_begin, end) ranges; unscored cells inside a
     // unit are 0 in its buffer, matching batch detect() leaving them 0.
     std::copy(unit.scores.begin(), unit.scores.end(),
@@ -741,7 +847,7 @@ void ServeEngine::drain_scored() {
     if (!unit.contrib.empty()) {
       std::vector<float>& plane = contrib_[unit.node];
       const std::size_t M = num_metrics_;
-      if (plane.size() < end * M) plane.resize(end * M, 0.0f);
+      reallocs += grow_timeline(plane, end * M, hint * M, 0.0f);
       std::copy(unit.contrib.begin(), unit.contrib.end(),
                 plane.begin() + static_cast<std::ptrdiff_t>(unit.abs_begin * M));
     }
@@ -750,17 +856,22 @@ void ServeEngine::drain_scored() {
     // timeline and record which lanes covered these points. Lanes within
     // one snapshot are distinct (gen_ids are consecutive, G apart repeats).
     std::vector<std::uint8_t>& active = lane_active_[unit.node];
-    if (active.size() < end) active.resize(end, 0);
+    reallocs += grow_timeline(active, end, hint, std::uint8_t{0});
     for (std::size_t li = 0; li < unit.lanes.size(); ++li) {
       const std::uint8_t lane = unit.lanes[li];
       std::vector<float>& lane_timeline = lane_scores_[lane][unit.node];
-      if (lane_timeline.size() < end) lane_timeline.resize(end, 0.0f);
+      reallocs += grow_timeline(lane_timeline, end, hint, 0.0f);
       std::copy(
           unit.lane_scores[li].begin(), unit.lane_scores[li].end(),
           lane_timeline.begin() + static_cast<std::ptrdiff_t>(unit.abs_begin));
       for (std::size_t t = unit.abs_begin; t < end; ++t)
         active[t] |= static_cast<std::uint8_t>(1u << lane);
     }
+  }
+  if (reallocs > 0) {
+    score_reallocs_counter_->inc(reallocs);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.score_reallocs += reallocs;
   }
 }
 

@@ -53,6 +53,29 @@ class ThreadPool;
 class GenerationRegistry;
 class Retrainer;
 class StoreWriter;
+class ScoringPlan;
+struct QuantCalibration;
+
+/// How serve-time forwards are evaluated (DESIGN.md §16).
+///
+/// Detection compares scores to k-sigma thresholds, so exact float
+/// reproducibility is a replay/testing concern, not a correctness one —
+/// the relaxed and quantized paths compute the same mathematical function
+/// with different rounding, and flag flips can only happen for scores
+/// already within rounding distance of the threshold.
+enum class ScoringPath {
+  /// Canonical model forwards (autograd graph, scalar-reproducible
+  /// kernels). Bitwise identical to batch detect() — the default, and
+  /// what serve_replay / compare_detections / all bitwise tests use
+  /// (the CLI's --strict-replay selects it).
+  kStrict = 0,
+  /// Compiled fp32 ScoringPlan: no graph, fused attention kernel, packed
+  /// q|k|v gemm, FastKernelScope vector math on the dispatched tier.
+  kRelaxed = 1,
+  /// kRelaxed plus int8 per-channel quantized encoder/MoE weights (the
+  /// calibration travels with each model generation).
+  kQuantized = 2,
+};
 
 struct ServeConfig {
   /// Worker threads for batched scoring; 0 = share the process-global pool.
@@ -83,6 +106,11 @@ struct ServeConfig {
   /// is on or off. Costs one extra [t, M] float plane per node; off by
   /// default, the incident correlator turns it on.
   bool attribution = false;
+  /// Forward-evaluation strategy (see ScoringPath). Strict by default:
+  /// opting into relaxed/quantized arithmetic is a deployment decision
+  /// (the serve CLI defaults to kQuantized with --strict-replay opting
+  /// back; replay/compare tooling always stays strict).
+  ScoringPath scoring_path = ScoringPath::kStrict;
 
   // ---- fleet-scale serving (DESIGN.md §14)
   /// Served node population; 0 = the fitted dataset's node count. A fleet
@@ -179,6 +207,11 @@ class ServeEngine final : public ServeBackend {
     /// Records per-metric WMSE attribution (see ServeConfig::attribution).
     Options& attribution(bool on = true) {
       config_.attribution = on;
+      return *this;
+    }
+    /// Forward-evaluation strategy (see ScoringPath).
+    Options& scoring(ScoringPath path) {
+      config_.scoring_path = path;
       return *this;
     }
     /// Serve `nodes` node ids (fleet population; see ServeConfig::num_nodes).
@@ -336,6 +369,16 @@ class ServeEngine final : public ServeBackend {
                            std::vector<PendingUnit> units);
   void score_cluster_units_consensus(std::size_t cluster,
                                      std::vector<PendingUnit> units);
+  /// Cached compiled ScoringPlan for one model (relaxed/quantized paths).
+  /// Plans are keyed by model identity; an entry whose model died (its
+  /// generation was retired and freed) is rebuilt, so address reuse can
+  /// never serve a stale plan. `calibration` is used only on the quantized
+  /// path; null there means "calibrate from the weights now" (identical
+  /// scales to fit-time calibration — they are a pure function of the
+  /// weights).
+  std::shared_ptr<const ScoringPlan> plan_for(
+      const std::shared_ptr<TransformerReconstructor>& model,
+      const QuantCalibration* calibration);
   void drain_scored();
   /// Consensus thresholding for one node (called from finalize's
   /// parallel_for): per-lane reference levels + flags, then the >= Q vote.
@@ -393,6 +436,15 @@ class ServeEngine final : public ServeBackend {
   mutable std::mutex results_mutex_;
   std::vector<ScoredUnit> scored_ready_;
 
+  /// Compiled-plan cache for the relaxed/quantized paths (empty in strict
+  /// mode). `alive` detects model-address reuse after a generation dies.
+  struct PlanCacheEntry {
+    std::weak_ptr<const TransformerReconstructor> alive;
+    std::shared_ptr<const ScoringPlan> plan;
+  };
+  mutable std::mutex plans_mutex_;
+  std::map<const TransformerReconstructor*, PlanCacheEntry> plans_;
+
   /// Guards stats_ and units_batched_total_. stats_.queue_depth is the
   /// published queue depth: pending_ itself is only ever touched by the
   /// ingest thread, so stats() must read the published copy, never
@@ -410,6 +462,7 @@ class ServeEngine final : public ServeBackend {
   obs::Histogram* score_hist_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Counter* units_dropped_counter_ = nullptr;
+  obs::Counter* score_reallocs_counter_ = nullptr;
   obs::Counter* consensus_points_counter_ = nullptr;
   obs::Counter* consensus_disagreements_counter_ = nullptr;
 };

@@ -52,6 +52,7 @@ ServeStats merge_shard_stats(const std::vector<ServeStats>& per_shard,
     out.units_dropped += s.units_dropped;
     out.queue_depth += s.queue_depth;
     out.max_queue_depth = std::max(out.max_queue_depth, s.max_queue_depth);
+    out.score_reallocs += s.score_reallocs;
     out.consensus_points += s.consensus_points;
     out.consensus_disagreements += s.consensus_disagreements;
     occupancy_weighted +=

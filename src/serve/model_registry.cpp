@@ -95,6 +95,8 @@ void GenerationRegistry::seed_from_library(const ClusterLibrary& library) {
     gen.model = entry.model;
     gen.residual_scale = entry.residual_scale.clone();
     gen.baseline_error = entry.baseline_error;
+    gen.quant_calibration = std::make_shared<const QuantCalibration>(
+        calibrate_quantization(*entry.model));
     publish(c, std::move(gen));
   }
 }
@@ -189,6 +191,18 @@ void GenerationRegistry::save(const std::string& directory) const {
       os.write(reinterpret_cast<const char*>(&quarantined),
                sizeof(quarantined));
       write_floats(os, gen.residual_scale.flat());
+      // Quantization calibration travels with the generation (present
+      // flag + per-matrix channel scales in ScoringPlan traversal order).
+      const std::uint8_t has_calib = gen.quant_calibration != nullptr ? 1 : 0;
+      os.write(reinterpret_cast<const char*>(&has_calib), sizeof(has_calib));
+      if (has_calib) {
+        const std::uint32_t matrices = static_cast<std::uint32_t>(
+            gen.quant_calibration->channel_scales.size());
+        os.write(reinterpret_cast<const char*>(&matrices), sizeof(matrices));
+        for (const std::vector<float>& scales :
+             gen.quant_calibration->channel_scales)
+          write_floats(os, scales);
+      }
       NS_REQUIRE(gen.model != nullptr, "generation without model");
       save_parameters(*gen.model, os);
     }
@@ -243,6 +257,19 @@ void GenerationRegistry::load(const std::string& directory,
       gen.quarantined = quarantined != 0;
       gen.residual_scale =
           Tensor::from_vector(read_floats(is, "residual scale"));
+      std::uint8_t has_calib = 0;
+      read_pod(is, has_calib, "calibration flag");
+      if (has_calib != 0) {
+        std::uint32_t matrices = 0;
+        read_pod(is, matrices, "calibration matrix count");
+        QuantCalibration calib;
+        calib.channel_scales.reserve(matrices);
+        for (std::uint32_t m = 0; m < matrices; ++m)
+          calib.channel_scales.push_back(
+              read_floats(is, "calibration scales"));
+        gen.quant_calibration =
+            std::make_shared<const QuantCalibration>(std::move(calib));
+      }
       gen.model =
           std::make_shared<TransformerReconstructor>(model_config, rng);
       gen.model->set_training(false);

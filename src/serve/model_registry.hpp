@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/cluster_library.hpp"
+#include "nn/scoring.hpp"
 #include "obs/registry.hpp"
 
 namespace ns {
@@ -46,6 +47,13 @@ struct ModelGeneration {
   /// Quarantined generations stay in the set (their slot keeps its lane)
   /// but are excluded from scoring until replaced.
   bool quarantined = false;
+  /// Per-channel int8 scales for the quantized serve path (DESIGN.md §16),
+  /// computed from the trained weights at seed/publish time and
+  /// checkpointed with the generation so a restored replica quantizes
+  /// identically. Null on generations from pre-quantization checkpoints
+  /// (the engine then calibrates lazily — same scales, they are a pure
+  /// function of the weights).
+  std::shared_ptr<const QuantCalibration> quant_calibration;
 };
 
 /// The immutable per-cluster set readers snapshot: generations in

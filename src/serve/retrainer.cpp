@@ -226,6 +226,11 @@ bool Retrainer::retrain_cluster(std::size_t cluster,
       gen.residual_scale = stats.residual_scale;
       gen.baseline_error = stats.baseline_error;
       gen.trained_cycle = cycle;
+      // Fresh weights need fresh int8 scales; computing them at publish
+      // time (not lazily at first score) keeps the quantized serve path
+      // allocation-free and puts the scales in the checkpoint.
+      gen.quant_calibration = std::make_shared<const QuantCalibration>(
+          calibrate_quantization(*gen.model));
       registry_->publish(cluster, std::move(gen));
       if (!config_.checkpoint_dir.empty())
         registry_->save(config_.checkpoint_dir);

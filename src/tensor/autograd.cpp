@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_set>
 
+#include "common/thread_pool.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/shape_check.hpp"
 
@@ -300,13 +302,36 @@ Var vblock_attention(const Var& q, const Var& k, const Var& v,
   // (matmul / scale / softmax_rows / matmul on row-slices), so the output
   // is bitwise identical to it. Per-block attention weights are kept for
   // the backward pass; every other temporary comes from the thread-local
-  // arena.
-  Workspace& ws = backward_workspace();
+  // arena. Blocks are independent — disjoint output rows, one owned attn
+  // slot each, per-worker scratch arenas — and each block's arithmetic
+  // never depends on the partition, so fanning the loop out across the
+  // pool above kBlockAttentionParallelFlops stays bitwise identical to the
+  // sequential order. This is what lets a single cluster's B-chunk forward
+  // shard across workers even though every per-block matmul is far below
+  // the matmul parallel threshold.
   Tensor out(Shape{T, dh});
-  std::vector<Tensor> attn_cache;
-  attn_cache.reserve(block_lens.size());
-  std::size_t base = 0;
-  for (std::size_t len : block_lens) {
+  std::vector<Tensor> attn_cache(block_lens.size());
+  std::vector<std::size_t> bases(block_lens.size());
+  std::size_t score_flops = 0;
+  {
+    std::size_t base = 0;
+    for (std::size_t b = 0; b < block_lens.size(); ++b) {
+      bases[b] = base;
+      base += block_lens[b];
+      score_flops += 4 * dh * block_lens[b] * block_lens[b];
+    }
+  }
+  // Sampled on the calling thread: the fast-kernel opt-in is thread-local,
+  // so it must be re-entered on whichever worker runs a block — otherwise
+  // the kernel variant would depend on the partition and the output would
+  // no longer be deterministic.
+  const bool caller_fast = fast_kernels_enabled();
+  const auto run_block = [&](std::size_t b) {
+    std::optional<FastKernelScope> fast;
+    if (caller_fast) fast.emplace();
+    Workspace& ws = backward_workspace();  // thread-local: one per worker
+    const std::size_t len = block_lens[b];
+    const std::size_t base = bases[b];
     Tensor qb = ws.acquire(Shape{len, dh});
     Tensor kb = ws.acquire(Shape{len, dh});
     Tensor vb = ws.acquire(Shape{len, dh});
@@ -335,14 +360,19 @@ Var vblock_attention(const Var& q, const Var& k, const Var& v,
     Tensor ob = ws.acquire(Shape{len, dh});
     matmul_into(ob, attn, vb);
     std::copy_n(ob.data(), len * dh, out.data() + base * dh);
-    attn_cache.push_back(std::move(attn));
+    attn_cache[b] = std::move(attn);
     ws.release(std::move(qb));
     ws.release(std::move(kb));
     ws.release(std::move(vb));
     ws.release(std::move(kt));
     ws.release(std::move(raw));
     ws.release(std::move(ob));
-    base += len;
+  };
+  if (block_lens.size() > 1 &&
+      score_flops >= kBlockAttentionParallelFlops) {
+    ThreadPool::global().parallel_for(0, block_lens.size(), 1, run_block);
+  } else {
+    for (std::size_t b = 0; b < block_lens.size(); ++b) run_block(b);
   }
 
   auto pq = q.node();

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <immintrin.h>
 #define NS_X86_64 1
+#elif defined(__aarch64__) || defined(_M_ARM64)
+#include <arm_neon.h>
+#define NS_AARCH64 1
 #endif
 
 #include "common/thread_pool.hpp"
@@ -218,6 +223,37 @@ __attribute__((target("avx2,fma"))) __m256 tanh256_ps(__m256 u) {
       _mm256_div_ps(two, _mm256_add_ps(e2, _mm256_set1_ps(1.0f))));
 }
 
+// Lane maximum; max is order-independent, so the value equals a scalar
+// left-to-right scan of the same elements.
+__attribute__((target("avx2,fma"))) float hmax256_ps(__m256 v) {
+  __m128 m4 = _mm_max_ps(_mm256_castps256_ps128(v),
+                         _mm256_extractf128_ps(v, 1));
+  m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+  m4 = _mm_max_ss(m4, _mm_shuffle_ps(m4, m4, 1));
+  return _mm_cvtss_f32(m4);
+}
+
+__attribute__((target("avx2,fma"))) float row_max_avx2(const float* x,
+                                                       std::size_t cols) {
+  __m256 vm = _mm256_set1_ps(x[0]);
+  std::size_t j = 0;
+  for (; j + 8 <= cols; j += 8)
+    vm = _mm256_max_ps(vm, _mm256_loadu_ps(x + j));
+  float mx = hmax256_ps(vm);
+  for (; j < cols; ++j) mx = std::max(mx, x[j]);
+  return mx;
+}
+
+__attribute__((target("avx2,fma"))) void scale_inplace_avx2(float* y,
+                                                            std::size_t cols,
+                                                            float inv) {
+  const __m256 vinv = _mm256_set1_ps(inv);
+  std::size_t j = 0;
+  for (; j + 8 <= cols; j += 8)
+    _mm256_storeu_ps(y + j, _mm256_mul_ps(_mm256_loadu_ps(y + j), vinv));
+  for (; j < cols; ++j) y[j] *= inv;
+}
+
 __attribute__((target("avx2,fma"))) void softmax_rows_fast(float* o,
                                                            const float* in,
                                                            std::size_t rows,
@@ -225,8 +261,7 @@ __attribute__((target("avx2,fma"))) void softmax_rows_fast(float* o,
   for (std::size_t i = 0; i < rows; ++i) {
     const float* x = in + i * cols;
     float* y = o + i * cols;
-    float mx = x[0];
-    for (std::size_t j = 1; j < cols; ++j) mx = std::max(mx, x[j]);
+    const float mx = row_max_avx2(x, cols);
     const __m256 vmx = _mm256_set1_ps(mx);
     __m256 vsum = _mm256_setzero_ps();
     std::size_t j = 0;
@@ -243,8 +278,7 @@ __attribute__((target("avx2,fma"))) void softmax_rows_fast(float* o,
       y[j] = std::exp(x[j] - mx);
       denom += y[j];
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::size_t jj = 0; jj < cols; ++jj) y[jj] *= inv;
+    scale_inplace_avx2(y, cols, static_cast<float>(1.0 / denom));
   }
 }
 
@@ -360,19 +394,366 @@ __attribute__((target("avx2,fma"))) void gelu_backward_fast(
     dx[i] = dy[i] * dgelu;
   }
 }
+
+// Fused scale+softmax for block_attention_into: exp(scale*(x - max)) in one
+// vector pass, 8 lanes at a time.
+__attribute__((target("avx2,fma"))) void softmax_scaled_rows_fast(
+    float* x, std::size_t rows, std::size_t cols, float scale) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* row = x + i * cols;
+    const float mx = row_max_avx2(row, cols);
+    const __m256 vmx = _mm256_set1_ps(mx);
+    __m256 vsum = _mm256_setzero_ps();
+    std::size_t j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      const __m256 e = exp256_ps(_mm256_mul_ps(
+          vscale, _mm256_sub_ps(_mm256_loadu_ps(row + j), vmx)));
+      _mm256_storeu_ps(row + j, e);
+      vsum = _mm256_add_ps(vsum, e);
+    }
+    double denom = hsum256_ps(vsum);
+    for (; j < cols; ++j) {
+      row[j] = std::exp(scale * (row[j] - mx));
+      denom += row[j];
+    }
+    scale_inplace_avx2(row, cols, static_cast<float>(1.0 / denom));
+  }
+}
 #endif  // NS_X86_64
+
+#ifdef NS_AARCH64
+// ---- NEON ports of the fast kernels. Same interfaces, same per-element
+// accumulation order, same polynomial constants as the AVX2 variants —
+// only the vector width (4 lanes) and the ISA differ. aarch64 NEON is
+// baseline, so there is no runtime capability probe: any FastKernelScope
+// on aarch64 dispatches here instead of falling back to scalar.
+
+void gemm_rows_neon(const float* a, const float* b, float* c, std::size_t i0,
+                    std::size_t i1, std::size_t k, std::size_t n) {
+  std::size_t j0 = 0;
+  // 4 rows x 8 columns: 8 q-register accumulators + 2 B vectors + 1
+  // broadcast stay well inside the 32 NEON registers.
+  for (; j0 + 8 <= n; j0 += 8) {
+    std::size_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      float32x4_t acc0[4], acc1[4];
+      for (std::size_t r = 0; r < 4; ++r) {
+        acc0[r] = vdupq_n_f32(0.0f);
+        acc1[r] = vdupq_n_f32(0.0f);
+      }
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* brow = b + kk * n + j0;
+        const float32x4_t b0 = vld1q_f32(brow);
+        const float32x4_t b1 = vld1q_f32(brow + 4);
+        for (std::size_t r = 0; r < 4; ++r) {
+          const float32x4_t av = vdupq_n_f32(a[(i + r) * k + kk]);
+          acc0[r] = vfmaq_f32(acc0[r], av, b0);
+          acc1[r] = vfmaq_f32(acc1[r], av, b1);
+        }
+      }
+      for (std::size_t r = 0; r < 4; ++r) {
+        vst1q_f32(c + (i + r) * n + j0, acc0[r]);
+        vst1q_f32(c + (i + r) * n + j0 + 4, acc1[r]);
+      }
+    }
+    for (; i < i1; ++i) {
+      float32x4_t acc0 = vdupq_n_f32(0.0f), acc1 = vdupq_n_f32(0.0f);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* brow = b + kk * n + j0;
+        const float32x4_t av = vdupq_n_f32(a[i * k + kk]);
+        acc0 = vfmaq_f32(acc0, av, vld1q_f32(brow));
+        acc1 = vfmaq_f32(acc1, av, vld1q_f32(brow + 4));
+      }
+      vst1q_f32(c + i * n + j0, acc0);
+      vst1q_f32(c + i * n + j0 + 4, acc1);
+    }
+  }
+  for (; j0 + 4 <= n; j0 += 4) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      float32x4_t acc = vdupq_n_f32(0.0f);
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc = vfmaq_f32(acc, vdupq_n_f32(a[i * k + kk]),
+                        vld1q_f32(b + kk * n + j0));
+      vst1q_f32(c + i * n + j0, acc);
+    }
+  }
+  for (std::size_t j = j0; j < n; ++j) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc = std::fmaf(a[i * k + kk], b[kk * n + j], acc);
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+// 4-lane exp: the same Cephes-style reduction and degree-5 polynomial as
+// exp256_ps. vfmaq_f32(a, b, c) computes a + b*c.
+float32x4_t exp_f32x4(float32x4_t x) {
+  x = vminq_f32(vmaxq_f32(x, vdupq_n_f32(-87.336548f)),
+                vdupq_n_f32(88.376259f));
+  float32x4_t fx =
+      vfmaq_f32(vdupq_n_f32(0.5f), x, vdupq_n_f32(1.44269504088896341f));
+  fx = vrndmq_f32(fx);  // floor
+  x = vfmsq_f32(x, fx, vdupq_n_f32(0.693359375f));
+  x = vfmsq_f32(x, fx, vdupq_n_f32(-2.12194440e-4f));
+  const float32x4_t z = vmulq_f32(x, x);
+  float32x4_t y = vdupq_n_f32(1.9875691500e-4f);
+  y = vfmaq_f32(vdupq_n_f32(1.3981999507e-3f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(8.3334519073e-3f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(4.1665795894e-2f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(1.6666665459e-1f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(5.0000001201e-1f), y, x);
+  y = vfmaq_f32(x, y, z);
+  y = vaddq_f32(y, vdupq_n_f32(1.0f));
+  const int32x4_t n = vcvtq_s32_f32(fx);
+  const int32x4_t pow2n = vshlq_n_s32(vaddq_s32(n, vdupq_n_s32(127)), 23);
+  return vmulq_f32(y, vreinterpretq_f32_s32(pow2n));
+}
+
+float32x4_t tanh_f32x4(float32x4_t u) {
+  const float32x4_t e2 = exp_f32x4(vaddq_f32(u, u));
+  return vsubq_f32(vdupq_n_f32(1.0f),
+                   vdivq_f32(vdupq_n_f32(2.0f),
+                             vaddq_f32(e2, vdupq_n_f32(1.0f))));
+}
+
+float row_max_neon(const float* x, std::size_t cols) {
+  float32x4_t vm = vdupq_n_f32(x[0]);
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4) vm = vmaxq_f32(vm, vld1q_f32(x + j));
+  float mx = vmaxvq_f32(vm);
+  for (; j < cols; ++j) mx = std::max(mx, x[j]);
+  return mx;
+}
+
+void scale_inplace_neon(float* y, std::size_t cols, float inv) {
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4)
+    vst1q_f32(y + j, vmulq_n_f32(vld1q_f32(y + j), inv));
+  for (; j < cols; ++j) y[j] *= inv;
+}
+
+void softmax_rows_fast(float* o, const float* in, std::size_t rows,
+                       std::size_t cols) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* x = in + i * cols;
+    float* y = o + i * cols;
+    const float mx = row_max_neon(x, cols);
+    const float32x4_t vmx = vdupq_n_f32(mx);
+    float32x4_t vsum = vdupq_n_f32(0.0f);
+    std::size_t j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      const float32x4_t e = exp_f32x4(vsubq_f32(vld1q_f32(x + j), vmx));
+      vst1q_f32(y + j, e);
+      vsum = vaddq_f32(vsum, e);
+    }
+    float lanes[4];
+    vst1q_f32(lanes, vsum);
+    double denom = 0.0;
+    for (float lane : lanes) denom += lane;
+    for (; j < cols; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      denom += y[j];
+    }
+    scale_inplace_neon(y, cols, static_cast<float>(1.0 / denom));
+  }
+}
+
+void gelu_fast(float* o, const float* in, std::size_t n) {
+  const float32x4_t c = vdupq_n_f32(kGeluC);
+  const float32x4_t a3 = vdupq_n_f32(kGeluA);
+  const float32x4_t half = vdupq_n_f32(0.5f);
+  const float32x4_t one = vdupq_n_f32(1.0f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t x = vld1q_f32(in + i);
+    const float32x4_t x2 = vmulq_f32(x, x);
+    const float32x4_t u = vmulq_f32(c, vfmaq_f32(x, vmulq_f32(a3, x2), x));
+    const float32x4_t t = tanh_f32x4(u);
+    vst1q_f32(o + i, vmulq_f32(vmulq_f32(half, x), vaddq_f32(one, t)));
+  }
+  for (; i < n; ++i) {
+    const float x = in[i];
+    const float t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
+    o[i] = 0.5f * x * (1.0f + t);
+  }
+}
+
+void layernorm_rows_fast(float* out, const float* xp, const float* pg,
+                         const float* pb, std::size_t rows, std::size_t cols,
+                         float eps, float* xhat, float* inv_std) {
+  const float inv_cols = 1.0f / static_cast<float>(cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* in = xp + i * cols;
+    float* o = out + i * cols;
+    float32x4_t vsum = vdupq_n_f32(0.0f);
+    std::size_t j = 0;
+    for (; j + 4 <= cols; j += 4) vsum = vaddq_f32(vsum, vld1q_f32(in + j));
+    float mu = vaddvq_f32(vsum);
+    for (; j < cols; ++j) mu += in[j];
+    mu *= inv_cols;
+    const float32x4_t vmu = vdupq_n_f32(mu);
+    float32x4_t vvar = vdupq_n_f32(0.0f);
+    j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      const float32x4_t d = vsubq_f32(vld1q_f32(in + j), vmu);
+      vvar = vfmaq_f32(vvar, d, d);
+    }
+    float var = vaddvq_f32(vvar);
+    for (; j < cols; ++j) {
+      const float d = in[j] - mu;
+      var += d * d;
+    }
+    var *= inv_cols;
+    const float istd = 1.0f / std::sqrt(var + eps);
+    if (inv_std != nullptr) inv_std[i] = istd;
+    const float32x4_t vistd = vdupq_n_f32(istd);
+    j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      const float32x4_t xh =
+          vmulq_f32(vsubq_f32(vld1q_f32(in + j), vmu), vistd);
+      if (xhat != nullptr) vst1q_f32(xhat + i * cols + j, xh);
+      vst1q_f32(o + j, vfmaq_f32(vld1q_f32(pb + j), xh, vld1q_f32(pg + j)));
+    }
+    for (; j < cols; ++j) {
+      const float xh = (in[j] - mu) * istd;
+      if (xhat != nullptr) xhat[i * cols + j] = xh;
+      o[j] = xh * pg[j] + pb[j];
+    }
+  }
+}
+
+void gelu_backward_fast(float* dx, const float* in, const float* dy,
+                        std::size_t n) {
+  const float32x4_t c = vdupq_n_f32(kGeluC);
+  const float32x4_t a3 = vdupq_n_f32(kGeluA);
+  const float32x4_t half = vdupq_n_f32(0.5f);
+  const float32x4_t one = vdupq_n_f32(1.0f);
+  const float32x4_t three_a = vdupq_n_f32(3.0f * kGeluA);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t x = vld1q_f32(in + i);
+    const float32x4_t x2 = vmulq_f32(x, x);
+    const float32x4_t u = vmulq_f32(c, vfmaq_f32(x, vmulq_f32(a3, x2), x));
+    const float32x4_t t = tanh_f32x4(u);
+    const float32x4_t du = vmulq_f32(c, vfmaq_f32(one, three_a, x2));
+    const float32x4_t sech2 = vfmsq_f32(one, t, t);  // 1 - t^2
+    const float32x4_t dgelu =
+        vfmaq_f32(vmulq_f32(half, vaddq_f32(one, t)),
+                  vmulq_f32(vmulq_f32(half, x), sech2), du);
+    vst1q_f32(dx + i, vmulq_f32(vld1q_f32(dy + i), dgelu));
+  }
+  for (; i < n; ++i) {
+    const float x = in[i];
+    const float u = kGeluC * (x + kGeluA * x * x * x);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+    const float dgelu = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+    dx[i] = dy[i] * dgelu;
+  }
+}
+
+// Fused scale+softmax for block_attention_into (see the x86 variant).
+void softmax_scaled_rows_fast(float* x, std::size_t rows, std::size_t cols,
+                              float scale) {
+  const float32x4_t vscale = vdupq_n_f32(scale);
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* row = x + i * cols;
+    const float mx = row_max_neon(row, cols);
+    const float32x4_t vmx = vdupq_n_f32(mx);
+    float32x4_t vsum = vdupq_n_f32(0.0f);
+    std::size_t j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      const float32x4_t e = exp_f32x4(
+          vmulq_f32(vscale, vsubq_f32(vld1q_f32(row + j), vmx)));
+      vst1q_f32(row + j, e);
+      vsum = vaddq_f32(vsum, e);
+    }
+    double denom = vaddvq_f32(vsum);
+    for (; j < cols; ++j) {
+      row[j] = std::exp(scale * (row[j] - mx));
+      denom += row[j];
+    }
+    scale_inplace_neon(row, cols, static_cast<float>(1.0 / denom));
+  }
+}
+#endif  // NS_AARCH64
+
+// In-place softmax(scale * x) over rows of a [rows, cols] matrix. Because
+// scale > 0, max(scale*x) == scale*max(x), so the exponent is evaluated as
+// scale*(x - max) in one fused pass — the scaled logits are never
+// materialized. Used only by block_attention_into (relaxed path); the
+// result is a valid float softmax but not bitwise identical to
+// scale_into + softmax_rows_into.
+void softmax_scaled_rows_inplace(float* x, std::size_t rows, std::size_t cols,
+                                 float scale) {
+#if defined(NS_X86_64) || defined(NS_AARCH64)
+  if (fast_kernels_enabled()) {
+    softmax_scaled_rows_fast(x, rows, cols, scale);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* row = x + i * cols;
+    float mx = row[0];
+    for (std::size_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(scale * (row[j] - mx));
+      denom += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
 
 }  // namespace
 
 FastKernelScope::FastKernelScope() { ++fast_kernel_depth; }
-FastKernelScope::~FastKernelScope() { --fast_kernel_depth; }
+FastKernelScope::~FastKernelScope() {
+  // Active even under NDEBUG: a negative depth means a scope outlived its
+  // constructing thread (the only way paired scoping can underflow), which
+  // would silently disable the opt-in for every later scope on this thread.
+  if (--fast_kernel_depth < 0) {
+    std::fprintf(stderr,
+                 "FastKernelScope: fast_kernel_depth underflow — a scope was "
+                 "destroyed on a thread that did not construct it\n");
+    std::abort();
+  }
+}
 
 bool fast_kernels_enabled() {
-#ifdef NS_X86_64
+#if defined(NS_X86_64)
   return fast_kernel_depth > 0 && cpu_has_avx2_fma();
+#elif defined(NS_AARCH64)
+  return fast_kernel_depth > 0;  // NEON is aarch64 baseline
 #else
   return false;
 #endif
+}
+
+KernelTier kernel_dispatch_tier() {
+#if defined(NS_X86_64)
+  return cpu_has_avx2_fma() ? KernelTier::kAvx2Fma : KernelTier::kScalar;
+#elif defined(NS_AARCH64)
+  return KernelTier::kNeon;
+#else
+  return KernelTier::kScalar;
+#endif
+}
+
+const char* kernel_tier_name(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kNeon:
+      return "neon";
+    case KernelTier::kAvx2Fma:
+      return "avx2_fma";
+    case KernelTier::kScalar:
+      break;
+  }
+  return "scalar";
 }
 
 void ensure_shape(Tensor& dst, const Shape& shape) {
@@ -444,8 +825,10 @@ void matmul_into(Tensor& dst, const Tensor& a, const Tensor& b,
   using GemmFn = void (*)(const float*, const float*, float*, std::size_t,
                           std::size_t, std::size_t, std::size_t);
   GemmFn kernel = &gemm_rows;
-#ifdef NS_X86_64
+#if defined(NS_X86_64)
   if (fast_kernels_enabled()) kernel = &gemm_rows_fma;
+#elif defined(NS_AARCH64)
+  if (fast_kernels_enabled()) kernel = &gemm_rows_neon;
 #endif
   if (flops < kMatmulParallelFlops || m <= kRowBlock) {
     kernel(pa, pb, po, 0, m, k, n);
@@ -500,7 +883,7 @@ void softmax_rows_into(Tensor& dst, const Tensor& x) {
   check_rank2(x, "softmax_rows");
   ensure_shape(dst, x.shape());
   const std::size_t rows = x.size(0), cols = x.size(1);
-#ifdef NS_X86_64
+#if defined(NS_X86_64) || defined(NS_AARCH64)
   if (fast_kernels_enabled()) {
     softmax_rows_fast(dst.data(), x.data(), rows, cols);
     return;
@@ -524,7 +907,7 @@ void softmax_rows_into(Tensor& dst, const Tensor& x) {
 void gelu_into(Tensor& dst, const Tensor& x) {
   ensure_shape(dst, x.shape());
   const std::size_t n = x.numel();
-#ifdef NS_X86_64
+#if defined(NS_X86_64) || defined(NS_AARCH64)
   if (fast_kernels_enabled()) {
     gelu_fast(dst.data(), x.data(), n);
     return;
@@ -542,7 +925,7 @@ void gelu_backward_into(Tensor& dx, const Tensor& x, const Tensor& dy) {
   NS_REQUIRE(x.numel() == dy.numel(), "gelu_backward operand size mismatch");
   ensure_shape(dx, x.shape());
   const std::size_t n = x.numel();
-#ifdef NS_X86_64
+#if defined(NS_X86_64) || defined(NS_AARCH64)
   if (fast_kernels_enabled()) {
     gelu_backward_fast(dx.data(), x.data(), dy.data(), n);
     return;
@@ -572,7 +955,7 @@ void layernorm_rows_into(Tensor& dst, const Tensor& x, const Tensor& gain,
   if (inv_std != nullptr) ensure_shape(*inv_std, Shape{rows});
   const float* pg = gain.data();
   const float* pb = bias.data();
-#ifdef NS_X86_64
+#if defined(NS_X86_64) || defined(NS_AARCH64)
   if (fast_kernels_enabled()) {
     layernorm_rows_fast(dst.data(), x.data(), pg, pb, rows, cols, eps,
                         xhat != nullptr ? xhat->data() : nullptr,
@@ -599,6 +982,51 @@ void layernorm_rows_into(Tensor& dst, const Tensor& x, const Tensor& gain,
       if (xhat != nullptr) xhat->data()[i * cols + j] = xh;
       out[j] = xh * pg[j] + pb[j];
     }
+  }
+}
+
+void block_attention_into(Tensor& out, const Tensor& q, const Tensor& k,
+                          const Tensor& v,
+                          std::span<const std::size_t> block_lens, float scale,
+                          Workspace& ws) {
+  check_rank2(q, "block_attention");
+  check_same_shape(q, k, "block_attention q/k");
+  check_same_shape(q, v, "block_attention q/v");
+  const std::size_t tokens = q.size(0), dh = q.size(1);
+  std::size_t covered = 0;
+  for (std::size_t len : block_lens) covered += len;
+  NS_REQUIRE(covered == tokens, "block_attention: block lens cover "
+                                    << covered << " of " << tokens
+                                    << " rows");
+  NS_REQUIRE(out.data() != q.data() && out.data() != k.data() &&
+                 out.data() != v.data(),
+             "block_attention_into: dst must not alias an operand");
+  ensure_shape(out, q.shape());
+  // Sample the fast flag once so every block of this call agrees.
+  using GemmFn = void (*)(const float*, const float*, float*, std::size_t,
+                          std::size_t, std::size_t, std::size_t);
+  GemmFn kernel = &gemm_rows;
+#if defined(NS_X86_64)
+  if (fast_kernels_enabled()) kernel = &gemm_rows_fma;
+#elif defined(NS_AARCH64)
+  if (fast_kernels_enabled()) kernel = &gemm_rows_neon;
+#endif
+  std::size_t base = 0;
+  for (std::size_t len : block_lens) {
+    if (len == 0) continue;
+    Tensor kt = ws.acquire(Shape{dh, len});
+    const float* kb = k.data() + base * dh;
+    float* pkt = kt.data();
+    for (std::size_t r = 0; r < len; ++r)
+      for (std::size_t c = 0; c < dh; ++c) pkt[c * len + r] = kb[r * dh + c];
+    Tensor attn = ws.acquire(Shape{len, len});
+    kernel(q.data() + base * dh, pkt, attn.data(), 0, len, dh, len);
+    softmax_scaled_rows_inplace(attn.data(), len, len, scale);
+    kernel(attn.data(), v.data() + base * dh, out.data() + base * dh, 0, len,
+           len, dh);
+    ws.release(std::move(kt));
+    ws.release(std::move(attn));
+    base += len;
   }
 }
 

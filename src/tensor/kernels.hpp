@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -33,6 +34,34 @@ class ThreadPool;
 // (2*m*n*k) the pool dispatch overhead exceeds the win and the kernel runs
 // on the calling thread. Exposed so tests can pick shapes on either side.
 inline constexpr std::size_t kMatmulParallelFlops = std::size_t{1} << 22;
+
+// Parallelization threshold for block-diagonal attention (vblock_attention
+// and block_attention_into): total score-stage FLOPs (4 * dh * sum(len^2))
+// above which the per-block loop fans out across the thread pool. Much
+// lower than kMatmulParallelFlops because each block is an independent
+// chain of small matmuls — a single cluster's batched forward (e.g. 8
+// blocks of 48 tokens) should shard across workers even though every
+// individual matmul is far below the matmul threshold. Blocks write
+// disjoint output rows and each block's arithmetic is untouched, so any
+// partition is bitwise identical to the sequential loop.
+inline constexpr std::size_t kBlockAttentionParallelFlops = std::size_t{1}
+                                                           << 18;
+
+/// Runtime kernel dispatch tier, resolved once per process from CPU
+/// capabilities (`__builtin_cpu_supports` on x86-64, architecture macros on
+/// aarch64). The tier names which fast-kernel variants a FastKernelScope
+/// opts into; kScalar means the scope is a no-op and every kernel runs the
+/// canonical portable path.
+enum class KernelTier {
+  kScalar = 0,   ///< canonical portable kernels only
+  kNeon = 1,     ///< aarch64 NEON gemm/softmax/gelu/layernorm variants
+  kAvx2Fma = 2,  ///< x86-64 AVX2+FMA variants
+};
+
+/// The tier the running CPU dispatches to (cached after the first call).
+KernelTier kernel_dispatch_tier();
+/// Stable lowercase name for a tier ("scalar", "neon", "avx2_fma").
+const char* kernel_tier_name(KernelTier tier);
 
 /// Reshapes dst to `shape`, reusing its storage when the element count
 /// already matches (and the storage is not shared); otherwise allocates.
@@ -58,12 +87,16 @@ void matmul_into(Tensor& dst, const Tensor& a, const Tensor& b,
 /// calls with polynomial vector math accurate to a few ulps. Results are
 /// therefore *not* bitwise identical to the canonical kernels — they are
 /// equally valid float evaluations. Only paths without a
-/// bitwise-reproducibility contract may opt in (the batched trainer at
-/// batch > 1 does; eval, serving, residual statistics and the batch-1
-/// trainer never do). The scope nests, applies to the constructing thread
-/// only, and is a no-op on CPUs without AVX2+FMA. Each kernel samples the
-/// flag on the calling thread, so parallel row-blocks of one call always
-/// agree on the variant.
+/// bitwise-reproducibility contract may opt in: the batched trainer at
+/// batch > 1 and the relaxed/quantized serve scoring paths (DESIGN.md
+/// §16) do; eval, strict-replay serving, residual statistics and the
+/// batch-1 trainer never do. The scope nests, applies to the constructing
+/// thread only, and is a no-op on CPUs without AVX2+FMA (on aarch64, NEON
+/// variants dispatch unconditionally under the scope). Each kernel
+/// samples the flag on the calling thread, so parallel row-blocks of one
+/// call always agree on the variant. Construction and destruction must
+/// happen on the same thread in LIFO order; the destructor aborts the
+/// process on depth underflow (see src/tensor/README.md).
 class FastKernelScope {
  public:
   FastKernelScope();
@@ -118,5 +151,20 @@ class Workspace {
   std::vector<Tensor> pool_;
   std::size_t reuse_count_ = 0;
 };
+
+/// Fused block-diagonal attention for the forward-only scoring path:
+/// out[T,dh] = softmax(scale · q kᵀ) v, evaluated independently per block
+/// of `block_lens` (which must cover all T rows). Unlike the autograd op
+/// (vblock_attention) this kernel never copies q/k/v blocks (it reads the
+/// contiguous row ranges in place), fuses the scale into the softmax
+/// exponent, and keeps no attention matrices for a backward pass. Inside a
+/// FastKernelScope the gemms and the fused softmax run the dispatch tier's
+/// vector variants, so results are NOT bitwise comparable to the canonical
+/// op — relaxed serving paths only. dst must not alias q/k/v; scratch comes
+/// from `ws`.
+void block_attention_into(Tensor& out, const Tensor& q, const Tensor& k,
+                          const Tensor& v,
+                          std::span<const std::size_t> block_lens, float scale,
+                          Workspace& ws);
 
 }  // namespace ns

@@ -1,0 +1,401 @@
+#include "tensor/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define NS_X86_64 1
+#elif defined(__aarch64__) || defined(_M_ARM64)
+#include <arm_neon.h>
+#define NS_AARCH64 1
+#endif
+
+#include "common/thread_pool.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/shape_check.hpp"
+
+namespace ns {
+namespace {
+
+// Rows of dst per parallel task; mirrors matmul_into's fixed blocking so
+// the partition is a pure function of the shape.
+constexpr std::size_t kQuantRowBlock = 64;
+
+// int8 lanes per SIMD chunk. Activation rows are zero-padded to this
+// multiple and weight payloads carry kQuantSlack trailing zero bytes, so
+// the vector kernels can run whole chunks unconditionally: lanes past a
+// column's k elements multiply the activation padding (zero) and add
+// nothing, keeping the integer accumulation exact with no tail loop.
+constexpr std::size_t kQuantChunk = 32;
+constexpr std::size_t kQuantSlack = kQuantChunk - 1;
+
+std::size_t padded_k(std::size_t k) {
+  return (k + kQuantChunk - 1) & ~(kQuantChunk - 1);
+}
+
+// Round-to-nearest-even, matching _mm256_round_ps / vcvtnq_s32_f32 exactly
+// so every dispatch tier quantizes to identical integers.
+std::int8_t quantize_cell(float v, float inv_scale) {
+  const float q = std::nearbyintf(v * inv_scale);
+  return static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+}
+
+// Quantizes rows [i0, i1) of a and writes the matching dst rows. Portable
+// reference kernel; the SIMD drivers below reproduce its integers exactly.
+void quant_gemm_rows_scalar(const Tensor& a, const QuantizedMatrix& qw,
+                            float* po, std::size_t i0, std::size_t i1) {
+  const std::size_t k = qw.rows, n = qw.cols;
+  const float* pa = a.data();
+  std::vector<std::int8_t> qa(k);
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* row = pa + i * k;
+    float maxabs = 0.0f;
+    for (std::size_t kk = 0; kk < k; ++kk)
+      maxabs = std::max(maxabs, std::fabs(row[kk]));
+    float* out = po + i * n;
+    if (maxabs == 0.0f) {
+      std::fill(out, out + n, 0.0f);
+      continue;
+    }
+    const float inv_scale = 127.0f / maxabs;
+    const float a_scale = maxabs / 127.0f;
+    for (std::size_t kk = 0; kk < k; ++kk)
+      qa[kk] = quantize_cell(row[kk], inv_scale);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int8_t* w = qw.data.data() + j * k;
+      std::int32_t acc = 0;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc += static_cast<std::int32_t>(qa[kk]) *
+               static_cast<std::int32_t>(w[kk]);
+      out[j] = static_cast<float>(acc) * (a_scale * qw.scales[j]);
+    }
+  }
+}
+
+#if defined(NS_X86_64)
+
+__attribute__((target("avx2"))) float row_maxabs_avx2(const float* row,
+                                                      std::size_t k) {
+  const __m256 signmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 m = _mm256_setzero_ps();
+  std::size_t kk = 0;
+  for (; kk + 8 <= k; kk += 8)
+    m = _mm256_max_ps(m, _mm256_and_ps(signmask, _mm256_loadu_ps(row + kk)));
+  __m128 m4 = _mm_max_ps(_mm256_castps256_ps128(m),
+                         _mm256_extractf128_ps(m, 1));
+  m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+  m4 = _mm_max_ss(m4, _mm_shuffle_ps(m4, m4, 1));
+  float r = _mm_cvtss_f32(m4);
+  for (; kk < k; ++kk) r = std::max(r, std::fabs(row[kk]));
+  return r;
+}
+
+__attribute__((target("avx2"))) void quantize_row_avx2(const float* row,
+                                                       std::int8_t* qa,
+                                                       std::size_t k,
+                                                       float inv_scale) {
+  const __m256 vinv = _mm256_set1_ps(inv_scale);
+  const __m256i lo = _mm256_set1_epi32(-127);
+  const __m256i hi = _mm256_set1_epi32(127);
+  std::size_t kk = 0;
+  for (; kk + 8 <= k; kk += 8) {
+    const __m256 v = _mm256_mul_ps(_mm256_loadu_ps(row + kk), vinv);
+    __m256i q = _mm256_cvtps_epi32(
+        _mm256_round_ps(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+    q = _mm256_max_epi32(lo, _mm256_min_epi32(hi, q));
+    const __m128i q16 = _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                        _mm256_extracti128_si256(q, 1));
+    const __m128i q8 = _mm_packs_epi16(q16, q16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(qa + kk), q8);
+  }
+  for (; kk < k; ++kk) qa[kk] = quantize_cell(row[kk], inv_scale);
+}
+
+// Row-level AVX2 driver: one dispatch per row block instead of one indirect
+// call per dot product. The inner loop uses the sign/maddubs identity
+//   dot(a, w) == dot(|a|, sign(w, a))
+// where |a| <= 127 fits unsigned and each maddubs pair sum is at most
+// 2 * 127 * 127 = 32258 < 32767, so nothing saturates and the int32
+// accumulation stays exact — bitwise identical to the scalar kernel.
+__attribute__((target("avx2"))) void quant_gemm_rows_avx2(
+    const Tensor& a, const QuantizedMatrix& qw, float* po, std::size_t i0,
+    std::size_t i1) {
+  const std::size_t k = qw.rows, n = qw.cols;
+  const std::size_t kp = padded_k(k);
+  const float* pa = a.data();
+  const std::int8_t* wdata = qw.data.data();
+  std::vector<std::int8_t> qa(kp, 0);
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* row = pa + i * k;
+    const float maxabs = row_maxabs_avx2(row, k);
+    float* out = po + i * n;
+    if (maxabs == 0.0f) {
+      std::fill(out, out + n, 0.0f);
+      continue;
+    }
+    const float inv_scale = 127.0f / maxabs;
+    const float a_scale = maxabs / 127.0f;
+    quantize_row_avx2(row, qa.data(), k, inv_scale);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::int8_t* w0 = wdata + (j + 0) * k;
+      const std::int8_t* w1 = wdata + (j + 1) * k;
+      const std::int8_t* w2 = wdata + (j + 2) * k;
+      const std::int8_t* w3 = wdata + (j + 3) * k;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = acc0, acc2 = acc0, acc3 = acc0;
+      for (std::size_t kk = 0; kk < kp; kk += kQuantChunk) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(qa.data() + kk));
+        const __m256i ua = _mm256_sign_epi8(va, va);
+        const __m256i v0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(w0 + kk));
+        const __m256i v1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(w1 + kk));
+        const __m256i v2 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(w2 + kk));
+        const __m256i v3 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(w3 + kk));
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(ua, _mm256_sign_epi8(v0, va)),
+                      ones16));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(ua, _mm256_sign_epi8(v1, va)),
+                      ones16));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(ua, _mm256_sign_epi8(v2, va)),
+                      ones16));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(ua, _mm256_sign_epi8(v3, va)),
+                      ones16));
+      }
+      // Integer lane sums of the four accumulators packed into one vector;
+      // every step is an exact int32 add, so order does not matter.
+      const __m256i h01 = _mm256_hadd_epi32(acc0, acc1);
+      const __m256i h23 = _mm256_hadd_epi32(acc2, acc3);
+      const __m256i h = _mm256_hadd_epi32(h01, h23);
+      const __m128i s = _mm_add_epi32(_mm256_castsi256_si128(h),
+                                      _mm256_extracti128_si256(h, 1));
+      // Dequant lanes compute float(acc) * (a_scale * scales[j]) with the
+      // same operation order as the scalar kernel.
+      const __m128 f = _mm_cvtepi32_ps(s);
+      const __m128 sc = _mm_mul_ps(_mm_set1_ps(a_scale),
+                                   _mm_loadu_ps(qw.scales.data() + j));
+      _mm_storeu_ps(out + j, _mm_mul_ps(f, sc));
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* w = wdata + j * k;
+      __m256i acc = _mm256_setzero_si256();
+      for (std::size_t kk = 0; kk < kp; kk += kQuantChunk) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(qa.data() + kk));
+        const __m256i ua = _mm256_sign_epi8(va, va);
+        const __m256i vw =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + kk));
+        acc = _mm256_add_epi32(
+            acc, _mm256_madd_epi16(
+                     _mm256_maddubs_epi16(ua, _mm256_sign_epi8(vw, va)),
+                     ones16));
+      }
+      alignas(32) std::int32_t lanes[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+      std::int32_t sum = 0;
+      for (std::int32_t lane : lanes) sum += lane;
+      out[j] = static_cast<float>(sum) * (a_scale * qw.scales[j]);
+    }
+  }
+}
+
+#elif defined(NS_AARCH64)
+
+float row_maxabs_neon(const float* row, std::size_t k) {
+  float32x4_t m = vdupq_n_f32(0.0f);
+  std::size_t kk = 0;
+  for (; kk + 4 <= k; kk += 4) m = vmaxq_f32(m, vabsq_f32(vld1q_f32(row + kk)));
+  float r = vmaxvq_f32(m);
+  for (; kk < k; ++kk) r = std::max(r, std::fabs(row[kk]));
+  return r;
+}
+
+void quantize_row_neon(const float* row, std::int8_t* qa, std::size_t k,
+                       float inv_scale) {
+  const int32x4_t lo = vdupq_n_s32(-127);
+  const int32x4_t hi = vdupq_n_s32(127);
+  std::size_t kk = 0;
+  for (; kk + 8 <= k; kk += 8) {
+    // vcvtnq rounds to nearest even, matching std::nearbyintf.
+    int32x4_t q0 = vcvtnq_s32_f32(vmulq_n_f32(vld1q_f32(row + kk), inv_scale));
+    int32x4_t q1 =
+        vcvtnq_s32_f32(vmulq_n_f32(vld1q_f32(row + kk + 4), inv_scale));
+    q0 = vmaxq_s32(lo, vminq_s32(hi, q0));
+    q1 = vmaxq_s32(lo, vminq_s32(hi, q1));
+    const int16x8_t q16 = vcombine_s16(vmovn_s32(q0), vmovn_s32(q1));
+    vst1_s8(qa + kk, vmovn_s16(q16));
+  }
+  for (; kk < k; ++kk) qa[kk] = quantize_cell(row[kk], inv_scale);
+}
+
+// Row-level NEON driver; same structure as the AVX2 one with 16-lane
+// chunks. vmull_s8/vmlal_s8 products are at most 127*127 and each int16
+// lane holds at most two of them (32258 < 32767), so vpadalq_s16 widens
+// exact int16 sums into the int32 accumulator — bitwise identical to the
+// scalar kernel.
+void quant_gemm_rows_neon(const Tensor& a, const QuantizedMatrix& qw,
+                          float* po, std::size_t i0, std::size_t i1) {
+  const std::size_t k = qw.rows, n = qw.cols;
+  const std::size_t kp = padded_k(k);
+  const float* pa = a.data();
+  const std::int8_t* wdata = qw.data.data();
+  std::vector<std::int8_t> qa(kp, 0);
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* row = pa + i * k;
+    const float maxabs = row_maxabs_neon(row, k);
+    float* out = po + i * n;
+    if (maxabs == 0.0f) {
+      std::fill(out, out + n, 0.0f);
+      continue;
+    }
+    const float inv_scale = 127.0f / maxabs;
+    const float a_scale = maxabs / 127.0f;
+    quantize_row_neon(row, qa.data(), k, inv_scale);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::int8_t* w[4] = {wdata + (j + 0) * k, wdata + (j + 1) * k,
+                                 wdata + (j + 2) * k, wdata + (j + 3) * k};
+      int32x4_t acc[4] = {vdupq_n_s32(0), vdupq_n_s32(0), vdupq_n_s32(0),
+                          vdupq_n_s32(0)};
+      for (std::size_t kk = 0; kk < kp; kk += 16) {
+        const int8x16_t va = vld1q_s8(qa.data() + kk);
+        for (int c = 0; c < 4; ++c) {
+          const int8x16_t vw = vld1q_s8(w[c] + kk);
+          int16x8_t p = vmull_s8(vget_low_s8(va), vget_low_s8(vw));
+          p = vmlal_s8(p, vget_high_s8(va), vget_high_s8(vw));
+          acc[c] = vpadalq_s16(acc[c], p);
+        }
+      }
+      for (int c = 0; c < 4; ++c)
+        out[j + c] = static_cast<float>(vaddvq_s32(acc[c])) *
+                     (a_scale * qw.scales[j + c]);
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* wj = wdata + j * k;
+      int32x4_t acc = vdupq_n_s32(0);
+      for (std::size_t kk = 0; kk < kp; kk += 16) {
+        const int8x16_t va = vld1q_s8(qa.data() + kk);
+        const int8x16_t vw = vld1q_s8(wj + kk);
+        int16x8_t p = vmull_s8(vget_low_s8(va), vget_low_s8(vw));
+        p = vmlal_s8(p, vget_high_s8(va), vget_high_s8(vw));
+        acc = vpadalq_s16(acc, p);
+      }
+      out[j] = static_cast<float>(vaddvq_s32(acc)) * (a_scale * qw.scales[j]);
+    }
+  }
+}
+
+#endif
+
+using RowsFn = void (*)(const Tensor&, const QuantizedMatrix&, float*,
+                        std::size_t, std::size_t);
+
+RowsFn pick_rows_kernel() {
+#if defined(NS_X86_64)
+  // Unlike the fp32 fast kernels there is no FastKernelScope gate: the
+  // quantized kernel is exact at every tier, so the best one is always
+  // legal.
+  return kernel_dispatch_tier() == KernelTier::kAvx2Fma
+             ? &quant_gemm_rows_avx2
+             : &quant_gemm_rows_scalar;
+#elif defined(NS_AARCH64)
+  return &quant_gemm_rows_neon;
+#else
+  return &quant_gemm_rows_scalar;
+#endif
+}
+
+}  // namespace
+
+std::vector<float> per_channel_scales(const Tensor& w) {
+  check_rank2(w, "per_channel_scales");
+  const std::size_t k = w.size(0), n = w.size(1);
+  std::vector<float> scales(n, 0.0f);
+  const float* pw = w.data();
+  for (std::size_t kk = 0; kk < k; ++kk)
+    for (std::size_t j = 0; j < n; ++j)
+      scales[j] = std::max(scales[j], std::fabs(pw[kk * n + j]));
+  for (float& s : scales) s /= 127.0f;
+  return scales;
+}
+
+QuantizedMatrix quantize_per_channel(const Tensor& w) {
+  return quantize_with_scales(w, per_channel_scales(w));
+}
+
+QuantizedMatrix quantize_with_scales(const Tensor& w,
+                                     const std::vector<float>& scales) {
+  check_rank2(w, "quantize_with_scales");
+  const std::size_t k = w.size(0), n = w.size(1);
+  NS_REQUIRE(scales.size() == n, "quantize_with_scales: " << scales.size()
+                                     << " scales for " << n << " channels");
+  QuantizedMatrix qw;
+  qw.rows = k;
+  qw.cols = n;
+  qw.scales = scales;
+  // kQuantSlack trailing zeros let the SIMD kernels read whole chunks past
+  // the last column; the overlapping lanes meet activation padding that is
+  // also zero, so they never contribute to a dot product.
+  qw.data.assign(k * n == 0 ? 0 : k * n + kQuantSlack, 0);
+  const float* pw = w.data();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (scales[j] == 0.0f) continue;  // all-zero channel stays zero
+    const float inv_scale = 1.0f / scales[j];
+    std::int8_t* chan = qw.data.data() + j * k;
+    for (std::size_t kk = 0; kk < k; ++kk)
+      chan[kk] = quantize_cell(pw[kk * n + j], inv_scale);
+  }
+  return qw;
+}
+
+void dequantize_into(Tensor& dst, const QuantizedMatrix& qw) {
+  ensure_shape(dst, Shape{qw.rows, qw.cols});
+  float* po = dst.data();
+  for (std::size_t j = 0; j < qw.cols; ++j) {
+    const std::int8_t* chan = qw.data.data() + j * qw.rows;
+    for (std::size_t kk = 0; kk < qw.rows; ++kk)
+      po[kk * qw.cols + j] = static_cast<float>(chan[kk]) * qw.scales[j];
+  }
+}
+
+void quantized_matmul_into(Tensor& dst, const Tensor& a,
+                           const QuantizedMatrix& qw, ThreadPool* pool) {
+  check_rank2(a, "quantized_matmul");
+  const std::size_t m = a.size(0), k = a.size(1), n = qw.cols;
+  NS_REQUIRE(k == qw.rows, "quantized_matmul: inner dims " << k << " vs "
+                               << qw.rows);
+  NS_REQUIRE(dst.data() != a.data(),
+             "quantized_matmul_into: dst must not alias the input");
+  ensure_shape(dst, Shape{m, n});
+  if (m == 0 || n == 0) return;
+  // The SIMD kernels rely on the slack bytes quantize_with_scales appends.
+  NS_REQUIRE(qw.data.size() >= k * n + (padded_k(k) - k),
+             "quantized_matmul: payload missing slack padding");
+  const RowsFn rows = pick_rows_kernel();
+  const std::size_t flops = 2 * m * n * k;
+  if (pool == nullptr) pool = &ThreadPool::global();
+  if (flops < kMatmulParallelFlops || m <= kQuantRowBlock) {
+    rows(a, qw, dst.data(), 0, m);
+    return;
+  }
+  const std::size_t blocks = (m + kQuantRowBlock - 1) / kQuantRowBlock;
+  pool->parallel_for(0, blocks, 1, [&](std::size_t blk) {
+    const std::size_t lo = blk * kQuantRowBlock;
+    rows(a, qw, dst.data(), lo, std::min(m, lo + kQuantRowBlock));
+  });
+}
+
+}  // namespace ns

@@ -1,0 +1,73 @@
+// Symmetric int8 per-channel weight quantization for the relaxed serve
+// scoring path (DESIGN.md §16).
+//
+// Weights are quantized per OUTPUT channel: column j of a [k, n] weight
+// matrix gets one scale max|w[:,j]| / 127 and is stored as a contiguous
+// int8 vector of length k (channel-major / transposed layout), so the
+// quantized matmul reads both operand vectors of every dot product
+// sequentially. Activations are quantized dynamically per row with the
+// same symmetric max-abs rule at scoring time. All rounding to int8 is
+// round-to-nearest-even (std::nearbyintf), which _mm256_round_ps and
+// vcvtnq_s32_f32 reproduce exactly, so scalar and SIMD quantizers emit
+// identical integers.
+//
+// Determinism contract: the int32 dot-product accumulation is exact (no
+// rounding), so its result is independent of summation order and therefore
+// of the SIMD tier — AVX2, NEON and the scalar fallback produce bitwise
+// identical outputs. The only float rounding happens in the per-element
+// dequantization `float(acc) * (a_scale * w_scale[j])`, whose expression
+// order is fixed. Quantized scoring is reproducible across hosts of any
+// architecture — it is just not bitwise comparable to the fp32 paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ns {
+
+class ThreadPool;
+
+/// One int8-quantized weight matrix (logical shape [rows, cols] like the
+/// fp32 original; payload stored channel-major).
+struct QuantizedMatrix {
+  std::size_t rows = 0;  ///< k: input features
+  std::size_t cols = 0;  ///< n: output channels
+  /// Channel-major payload: data[j * rows + kk] ≈ w[kk, j] / scales[j].
+  /// quantize_with_scales appends a few trailing zero bytes of slack
+  /// (size() > rows * cols) so SIMD kernels may read whole chunks past the
+  /// last column; the extra lanes pair with zero activation padding and
+  /// never reach a dot product.
+  std::vector<std::int8_t> data;
+  std::vector<float> scales;  ///< per-output-channel dequant scale [cols]
+
+  bool empty() const { return data.empty(); }
+};
+
+/// Per-output-channel symmetric scales max|w[:,j]| / 127 of a rank-2
+/// weight matrix. An all-zero channel gets scale 0 (its quantized weights
+/// and dequantized outputs are exactly zero).
+std::vector<float> per_channel_scales(const Tensor& w);
+
+/// Quantizes with freshly computed per_channel_scales(w).
+QuantizedMatrix quantize_per_channel(const Tensor& w);
+
+/// Quantizes with precomputed calibration scales (scales.size() must equal
+/// w.size(1)). Used at serve time with scales stored in the generation
+/// checkpoint, so a retrained fp32 clone and its serving replica agree.
+QuantizedMatrix quantize_with_scales(const Tensor& w,
+                                     const std::vector<float>& scales);
+
+/// dst[k, n] = dequantized weights (round-trip error ≤ scale/2 per cell).
+void dequantize_into(Tensor& dst, const QuantizedMatrix& qw);
+
+/// dst[m, n] = a[m, k] @ dequant(qw), with per-row dynamic activation
+/// quantization and exact int32 accumulation (see file comment). Row-block
+/// parallel on `pool` above kMatmulParallelFlops; the partition never
+/// changes results. dst must not alias a.
+void quantized_matmul_into(Tensor& dst, const Tensor& a,
+                           const QuantizedMatrix& qw,
+                           ThreadPool* pool = nullptr);
+
+}  // namespace ns
